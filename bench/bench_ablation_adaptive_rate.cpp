@@ -1,0 +1,112 @@
+// Ablation (Sec. I–II): adaptive vs static sensing rate in the core
+// sensing-to-action loop under event bursts — the paper's environmental-
+// monitoring example ("reduce sampling during stable periods, increase
+// during pollutant surges"). Measures energy, duty cycle, and burst
+// responsiveness (staleness of the data actions use during the burst).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/loop.hpp"
+#include "core/policies.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::core;
+
+namespace {
+
+// Environment: quiet signal with a burst window [20 s, 30 s).
+class BurstSensor : public Sensor {
+ public:
+  Observation sense(double now, Rng& rng) override {
+    Observation obs;
+    const bool burst = now >= 20.0 && now < 30.0;
+    obs.data = {burst ? 4.0 + rng.normal(0.0, 1.0) : rng.normal(0.0, 0.02)};
+    obs.timestamp = now;
+    obs.energy_j = 2e-3;
+    return obs;
+  }
+};
+
+class Passthrough : public Processor {
+ public:
+  std::vector<double> process(const Observation& obs, Rng&) override {
+    return obs.data;
+  }
+  double energy_per_call_j() const override { return 1e-5; }
+};
+
+class BurstTracker : public Actuator {
+ public:
+  void actuate(const Action& a, Rng&) override {
+    const double t = a.based_on_timestamp;
+    // During the burst, record how stale the acted-on data is.
+    if (current_time >= 20.0 && current_time < 30.0)
+      burst_staleness.push_back(current_time - t);
+    current_time += 0.05;
+  }
+  double current_time = 0.0;
+  std::vector<double> burst_staleness;
+};
+
+struct Outcome {
+  double energy_mj;
+  double duty;
+  double burst_staleness_s;
+};
+
+Outcome run(SensingPolicy& policy, std::uint64_t seed) {
+  BurstSensor sensor;
+  Passthrough proc;
+  BurstTracker act;
+  LoopConfig cfg;
+  cfg.dt = 0.05;
+  SensingActionLoop loop(sensor, proc, act, policy, cfg);
+  Rng rng(seed);
+  loop.run(1000, rng);  // 50 s
+  double burst_stale = 0.0;
+  for (double s : act.burst_staleness) burst_stale += s;
+  if (!act.burst_staleness.empty())
+    burst_stale /= static_cast<double>(act.burst_staleness.size());
+  return {loop.metrics().total_energy_j() * 1e3, loop.metrics().duty_cycle(),
+          burst_stale};
+}
+
+}  // namespace
+
+int main() {
+  Table t("Adaptive vs static sensing rate under an event burst "
+          "(50 s run, burst at 20-30 s, sample cost 2 mJ)");
+  t.set_header({"Policy", "Energy (mJ)", "Duty cycle",
+                "Burst staleness (s)"});
+
+  {
+    PeriodicPolicy every_tick(1);
+    const Outcome o = run(every_tick, 1);
+    t.add_row({"Static, every tick", Table::num(o.energy_mj, 1),
+               Table::num(o.duty, 2), Table::num(o.burst_staleness_s, 3)});
+  }
+  {
+    PeriodicPolicy sparse(10);
+    const Outcome o = run(sparse, 1);
+    t.add_row({"Static, 1/10 ticks", Table::num(o.energy_mj, 1),
+               Table::num(o.duty, 2), Table::num(o.burst_staleness_s, 3)});
+  }
+  {
+    AdaptiveActivityConfig acfg;
+    acfg.base_rate = 0.1;
+    acfg.activity_saturation = 0.5;
+    AdaptiveActivityPolicy adaptive(acfg);
+    const Outcome o = run(adaptive, 1);
+    t.add_row({"Adaptive (activity EMA)", Table::num(o.energy_mj, 1),
+               Table::num(o.duty, 2), Table::num(o.burst_staleness_s, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected: the adaptive policy approaches the sparse "
+               "policy's\nenergy in quiet periods while matching the "
+               "every-tick policy's\nresponsiveness (low staleness) during "
+               "the burst.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation (Sec. IV design choice): RoboKoop's contrastive spectral
+// Koopman encoder (Fig. 4) vs the same architecture trained without the
+// InfoNCE term. The contrastive loss regularizes the visual embedding
+// toward augmentation invariance, which shows up as control robustness
+// under disturbances rather than as one-step prediction loss.
+#include <iostream>
+
+#include "koopman/agent.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::koopman;
+
+int main() {
+  sim::CartPoleConfig env_cfg;
+  env_cfg.disturb_min = 4.0;
+  env_cfg.disturb_max = 10.0;
+
+  Rng data_rng(11);
+  const auto data = collect_transitions(24, 100, 32, env_cfg, data_rng);
+
+  Table t("Spectral Koopman agent with vs without the contrastive loss "
+          "(mean balanced steps, max 150, 8 episodes)");
+  t.set_header({"Contrastive weight", "Pred. loss", "p=0.00", "p=0.15",
+                "p=0.25"});
+
+  for (double w : {0.0, 0.1, 0.2, 0.4}) {
+    AgentConfig cfg;
+    cfg.train_epochs = 30;
+    cfg.action_cost = 0.5;
+    cfg.state_cost = {0.3, 0.1, 10.0, 0.3};
+    cfg.contrastive_weight = w;
+
+    Rng model_rng(23);
+    ControlAgent agent(ModelKind::kSpectralKoopman, cfg, model_rng);
+    Rng train_rng(31);
+    const double loss = agent.train(data, train_rng);
+
+    std::vector<std::string> row{Table::num(w, 1), Table::num(loss, 4)};
+    for (double p : {0.0, 0.15, 0.25}) {
+      Rng eval_rng(1000 + static_cast<std::uint64_t>(p * 100));
+      row.push_back(Table::num(
+          evaluate_agent(agent, p, 8, 150, env_cfg, eval_rng), 0));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected: the contrastive term costs a little one-step "
+               "prediction\nloss but buys augmentation-invariant embeddings "
+               "— performance that\nholds (or improves) under disturbance, "
+               "per RoboKoop's design.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation (Sec. III design choice): the two-stage radial masking vs its
+// components — angular-segment-only, range-decay-only, and uniform random
+// masking — sweeping the sensed fraction. Measures active-scan energy and
+// reconstruction quality (occupancy IoU against the full scan) at matched
+// coverage.
+#include <iostream>
+
+#include "lidar/pipeline.hpp"
+#include "sim/scene.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  lidar::RadialMaskerConfig cfg;
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(5);
+  sim::LidarConfig lidar_cfg;
+  lidar_cfg.azimuth_steps = 180;
+  lidar_cfg.elevation_steps = 8;
+  sim::LidarSimulator lidar(lidar_cfg);
+
+  lidar::AutoencoderConfig ae_cfg;
+  ae_cfg.grid.nx = ae_cfg.grid.ny = 32;
+
+  std::vector<Variant> variants;
+  {
+    Variant two_stage{"two-stage (R-MAE)", {}};
+    Variant angular_only{"angular only", {}};
+    angular_only.cfg.in_segment_keep = 1.0;
+    angular_only.cfg.segment_keep_fraction = 0.09;
+    angular_only.cfg.far_pulse_fraction = 1.0;  // no range structure
+    Variant range_only{"range only", {}};
+    range_only.cfg.segment_keep_fraction = 1.0;
+    range_only.cfg.in_segment_keep = 0.09;
+    Variant uniform{"uniform", {}};
+    uniform.cfg.segment_keep_fraction = 1.0;
+    uniform.cfg.in_segment_keep = 0.09;
+    uniform.cfg.far_pulse_fraction = 1.0;  // fire at full power
+    variants = {two_stage, angular_only, range_only, uniform};
+  }
+
+  Table t("Masking ablation: coverage-matched (~9%) active scans");
+  t.set_header({"Variant", "Coverage", "Avg pulse (uJ)", "Scan energy (uJ)",
+                "Recon IoU"});
+
+  for (const auto& v : variants) {
+    // Separate pipeline per variant (pre-trained under its own masking).
+    Rng prng(17);
+    lidar::GenerativeSensingPipeline pipe(lidar_cfg, ae_cfg, v.cfg, prng);
+    pipe.pretrain(12, 10, 3e-3, prng);
+
+    RunningStat coverage, pulse, energy, iou;
+    for (int i = 0; i < 10; ++i) {
+      const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, prng);
+      const auto gen = pipe.sense(scene, prng);
+      const auto full = pipe.sense_conventional(scene, prng);
+      coverage.add(gen.energy.coverage);
+      pulse.add(gen.energy.avg_pulse_energy_j);
+      energy.add(gen.energy.sensing_energy_j);
+      iou.add(gen.reconstructed.iou(full.sensed));
+    }
+    t.add_row({v.name, Table::num(100.0 * coverage.mean(), 1) + "%",
+               Table::num(pulse.mean() * 1e6, 1),
+               Table::num(energy.mean() * 1e6, 0),
+               Table::num(iou.mean(), 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected: only the range-aware variants (two-stage, range "
+               "only)\nreach ~5 uJ pulses — a ~10x scan-energy advantage. "
+               "Reconstruction\nquality at matched coverage *improves* with "
+               "more uniform sampling\n(whole masked wedges are hardest to "
+               "inpaint at this model scale),\nso the decisive column is "
+               "energy at acceptable IoU, not IoU alone\n(see "
+               "EXPERIMENTS.md).\n";
+  return 0;
+}

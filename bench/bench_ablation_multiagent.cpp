@@ -1,0 +1,53 @@
+// Ablation (Sec. VII): coordinated vs independent multi-agent sensing.
+// Agents that share coverage maps assign each target to the cheapest able
+// observer; independent agents all sense everything in range. Sweeps
+// fleet density to show where coordination pays most — the conclusions
+// section cites a threefold energy reduction for multi-agent loops.
+#include <iostream>
+
+#include "core/multi_agent.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::core;
+
+int main() {
+  Rng rng(12);
+  const double arena = 50.0;
+  const int targets_n = 60;
+
+  Table t("Coordinated vs independent multi-agent sensing "
+          "(60 targets, 50 m arena, 40 m sensing range)");
+  t.set_header({"Agents", "Coverage", "Indep. obs", "Coord. obs",
+                "Indep. energy (mJ)", "Coord. energy (mJ)", "Energy saving"});
+
+  for (int agents_n : {2, 4, 6, 8, 12, 16}) {
+    RunningStat ind_obs, coord_obs, ind_e, coord_e, cov_i, cov_c;
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto agents = make_agent_fleet(agents_n, arena, 40.0, rng);
+      const auto targets = make_target_field(targets_n, arena, rng);
+      const CoverageReport ind = independent_sensing(agents, targets);
+      const CoverageReport coord = coordinated_sensing(agents, targets);
+      ind_obs.add(ind.observations);
+      coord_obs.add(coord.observations);
+      ind_e.add(ind.energy_j);
+      coord_e.add(coord.energy_j);
+      cov_i.add(ind.coverage());
+      cov_c.add(coord.coverage());
+    }
+    t.add_row({std::to_string(agents_n),
+               Table::num(100.0 * cov_c.mean(), 0) + "%",
+               Table::num(ind_obs.mean(), 0), Table::num(coord_obs.mean(), 0),
+               Table::num(ind_e.mean() * 1e3, 1),
+               Table::num(coord_e.mean() * 1e3, 1),
+               Table::num(ind_e.mean() / coord_e.mean(), 1) + "x"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected: identical coverage at a fraction of the "
+               "observations;\nthe energy advantage grows with fleet density "
+               "(overlap), passing\nthe ~3x the paper's conclusions cite "
+               "once a few agents overlap.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation (Sec. V design choice): SPSA vs coordinate-wise finite
+// differences for the likelihood-regret inner optimization. SPSA's
+// function-evaluation count is dimension-independent (2–3 per iteration),
+// which is why STARNet can run on low-power edge devices; this bench
+// quantifies the quality-vs-evaluations trade.
+#include <iostream>
+
+#include "monitor/likelihood_regret.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::monitor;
+
+namespace {
+
+std::vector<std::vector<double>> make_clean(int n, int dim, Rng& rng) {
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x(static_cast<std::size_t>(dim));
+    const double mode = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    for (int d = 0; d < dim; ++d)
+      x[static_cast<std::size_t>(d)] =
+          mode * (d % 2 == 0 ? 1.0 : -0.5) + rng.normal(0.0, 0.3);
+    data.push_back(std::move(x));
+  }
+  return data;
+}
+
+std::vector<double> make_anomaly(int dim, Rng& rng) {
+  std::vector<double> x(static_cast<std::size_t>(dim));
+  for (auto& v : x) v = rng.normal(0.0, 3.0) + 4.0;
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(21);
+  const int dim = 16;
+  VaeConfig vcfg;
+  vcfg.input_dim = dim;
+  vcfg.hidden = 48;
+  vcfg.latent_dim = 8;  // 16 posterior parameters to optimize
+  Vae vae(vcfg, rng);
+  const auto clean = make_clean(96, dim, rng);
+  vae.fit(clean, 80, 16, 5e-3, rng);
+
+  Table t("SPSA vs finite-difference likelihood regret "
+          "(16-parameter posterior, AUC over 24 clean + 24 anomalous)");
+  t.set_header({"Optimizer", "Iterations", "Func evals/sample", "AUC"});
+
+  for (int iters : {10, 20, 40, 80}) {
+    for (bool use_spsa : {true, false}) {
+      RegretConfig cfg;
+      cfg.optimizer = use_spsa ? RegretOptimizer::kSpsa
+                               : RegretOptimizer::kFiniteDifference;
+      cfg.spsa.iterations = iters;
+      cfg.fd_iterations = iters;
+
+      std::vector<double> scores;
+      std::vector<int> labels;
+      int evals = 0;
+      Rng srng(33);
+      for (int i = 0; i < 24; ++i) {
+        const auto r = likelihood_regret(
+            vae, clean[static_cast<std::size_t>(i)], cfg, srng);
+        scores.push_back(r.regret);
+        labels.push_back(0);
+        evals += r.function_evaluations;
+      }
+      for (int i = 0; i < 24; ++i) {
+        const auto r = likelihood_regret(vae, make_anomaly(dim, srng), cfg, srng);
+        scores.push_back(r.regret);
+        labels.push_back(1);
+        evals += r.function_evaluations;
+      }
+      t.add_row({use_spsa ? "SPSA" : "finite-diff", std::to_string(iters),
+                 std::to_string(evals / 48), Table::num(auc_roc(scores, labels), 3)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected: SPSA reaches comparable AUC at an order of "
+               "magnitude\nfewer function evaluations per sample — the "
+               "edge-deployment argument of Sec. V.\n";
+  return 0;
+}

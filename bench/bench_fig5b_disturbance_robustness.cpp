@@ -1,0 +1,73 @@
+// Reproduces Fig. 5(b): cart-pole performance under external force
+// disturbances F ~ U(a_min, a_max) applied with per-step probability p,
+// for every dynamics model in the RoboKoop comparison.
+//
+// Paper shape: all models degrade as p rises to 0.25, and the spectral
+// Koopman agent retains the highest performance — its linear spectral
+// structure plus LQR generalizes better off-nominal than MPC through the
+// higher-capacity learned models.
+#include <iostream>
+
+#include "koopman/agent.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::koopman;
+
+int main() {
+  const std::vector<double> probs{0.0, 0.05, 0.10, 0.15, 0.20, 0.25};
+  const int eval_episodes = 6;
+  const int max_steps = 150;
+
+  sim::CartPoleConfig env_cfg;
+  env_cfg.disturb_min = 4.0;
+  env_cfg.disturb_max = 10.0;
+
+  // Shared exploration dataset for all models.
+  Rng data_rng(11);
+  const auto data = collect_transitions(24, 100, 32, env_cfg, data_rng);
+  std::cout << "Training data: " << data.size() << " transitions\n";
+
+  AgentConfig cfg;
+  cfg.train_epochs = 30;
+  cfg.mpc_samples = 32;
+  cfg.mpc_horizon = 6;
+  cfg.action_cost = 0.5;
+  cfg.state_cost = {0.3, 0.1, 10.0, 0.3};
+
+  Table t("Fig. 5b: mean balanced steps (max 150) vs disturbance "
+          "probability p, F ~ U(4, 10) N");
+  std::vector<std::string> header{"Model"};
+  for (double p : probs) header.push_back("p=" + Table::num(p, 2));
+  t.set_header(header);
+
+  std::vector<double> spectral_row, worst_at_max(1, 1e9);
+  for (ModelKind kind : all_model_kinds()) {
+    Rng model_rng(23);
+    ControlAgent agent(kind, cfg, model_rng);
+    Rng train_rng(31);
+    agent.train(data, train_rng);
+
+    std::vector<std::string> row{model_kind_name(kind)};
+    std::vector<double> returns;
+    for (double p : probs) {
+      Rng eval_rng(1000 + static_cast<std::uint64_t>(p * 100));
+      const double ret = evaluate_agent(agent, p, eval_episodes, max_steps,
+                                        env_cfg, eval_rng);
+      returns.push_back(ret);
+      row.push_back(Table::num(ret, 0));
+    }
+    if (kind == ModelKind::kSpectralKoopman) spectral_row = returns;
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  if (!spectral_row.empty()) {
+    std::cout << "\nSpectral Koopman retention at p=0.25: "
+              << Table::num(100.0 * spectral_row.back() /
+                            std::max(1.0, spectral_row.front()), 0)
+              << "% of its undisturbed return (paper: maintains high "
+                 "performance at p=0.25)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces Fig. 9: optical-flow AEE on simulated event-camera data.
+//  Left panel — AEE of EvFlowNet vs Spike-FlowNet vs Fusion-FlowNet, with
+//  parameter counts and inference energy. Paper shape: Fusion-FlowNet has
+//  the lowest error (~40% lower than EV-FlowNet with ~half the parameters
+//  and 1.87× lower energy); Spike-FlowNet beats EV-FlowNet at 1.21× lower
+//  energy.
+//  Right panel — AEE vs model size for Adaptive-SpikeNet vs the
+//  corresponding full-ANN. Paper shape: the learnable-dynamics SNN tracks
+//  or beats the ANN at every size (~20% lower AEE) with ~10× less energy.
+#include <iostream>
+
+#include "neuro/flow_nets.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::neuro;
+
+namespace {
+
+struct TrainedResult {
+  double aee = 0.0;
+  std::size_t params = 0;
+  EnergyBreakdown energy;
+};
+
+TrainedResult train_and_eval(FlowKind kind, const FlowNetConfig& cfg,
+                             const std::vector<sim::FlowSample>& train,
+                             const std::vector<sim::FlowSample>& test,
+                             int epochs) {
+  Rng rng(404);
+  auto net = make_flow_network(kind, cfg, rng);
+  Rng train_rng(505);
+  for (int e = 0; e < epochs; ++e) net->train_epoch(train, train_rng);
+  TrainedResult r;
+  r.aee = net->evaluate_aee(test);
+  r.params = net->param_count();
+  r.energy = net->mean_energy(test);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Rng data_rng(99);
+  const int w = 16, h = 16;
+  const auto train = sim::make_flow_dataset(180, w, h, data_rng);
+  const auto test = sim::make_flow_dataset(36, w, h, data_rng);
+  const int epochs = 30;
+
+  // Zero-flow baseline gives the scale of the task.
+  double zero_aee = 0.0;
+  for (const auto& s : test)
+    zero_aee += sim::average_endpoint_error(sim::FlowField(w, h), s.flow,
+                                            &s.events);
+  zero_aee /= static_cast<double>(test.size());
+
+  FlowNetConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.base_channels = 8;
+  cfg.time_bins = 4;
+
+  Table left("Fig. 9 (left): AEE / parameters / inference energy on "
+             "simulated MVSEC-like event data");
+  left.set_header({"Model", "AEE (px)", "Params", "Energy (nJ)",
+                   "Energy vs ANN"});
+  left.add_row({"Zero-flow baseline", Table::num(zero_aee, 3), "0", "0", "-"});
+
+  double ann_energy = 0.0;
+  for (FlowKind kind : {FlowKind::kEvFlowNet, FlowKind::kSpikeFlowNet,
+                        FlowKind::kFusionFlowNet}) {
+    const TrainedResult r = train_and_eval(kind, cfg, train, test, epochs);
+    const double nj = r.energy.joules() * 1e9;
+    if (kind == FlowKind::kEvFlowNet) ann_energy = nj;
+    left.add_row({flow_kind_name(kind), Table::num(r.aee, 3),
+                  std::to_string(r.params), Table::num(nj, 1),
+                  kind == FlowKind::kEvFlowNet
+                      ? "1.00x"
+                      : Table::num(ann_energy / nj, 2) + "x lower"});
+  }
+  left.print(std::cout);
+  std::cout << "\n";
+
+  Table right("Fig. 9 (right): AEE vs model size — Adaptive-SpikeNet vs "
+              "full-ANN of the same backbone");
+  right.set_header({"Base channels", "ANN AEE", "SNN AEE", "ANN nJ", "SNN nJ",
+                    "Energy ratio"});
+  for (int c : {4, 8, 12}) {
+    FlowNetConfig scfg = cfg;
+    scfg.base_channels = c;
+    const TrainedResult ann =
+        train_and_eval(FlowKind::kEvFlowNet, scfg, train, test, epochs);
+    const TrainedResult snn =
+        train_and_eval(FlowKind::kAdaptiveSpikeNet, scfg, train, test, epochs);
+    right.add_row({std::to_string(c), Table::num(ann.aee, 3),
+                   Table::num(snn.aee, 3),
+                   Table::num(ann.energy.joules() * 1e9, 1),
+                   Table::num(snn.energy.joules() * 1e9, 1),
+                   Table::num(ann.energy.joules() / snn.energy.joules(), 1) +
+                       "x"});
+  }
+  right.print(std::cout);
+
+  std::cout << "\nPaper shape check: fusion lowest AEE; spiking encoders cut\n"
+               "energy well below the ANN at comparable accuracy; the\n"
+               "learnable-dynamics SNN holds accuracy across sizes.\n";
+  return 0;
+}

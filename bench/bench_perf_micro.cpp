@@ -1,0 +1,85 @@
+// Google-benchmark microbenches of the hot paths: voxelization, dense and
+// convolutional forward passes, LIF stepping, LiDAR ray casting, and the
+// LQR solve. These bound the per-tick budget of a real-time
+// sensing-to-action loop on this substrate.
+#include <benchmark/benchmark.h>
+
+#include "lidar/voxel_grid.hpp"
+#include "neuro/spiking.hpp"
+#include "nn/dense.hpp"
+#include "nn/sequential.hpp"
+#include "sim/lidar_sim.hpp"
+#include "sim/scene.hpp"
+
+namespace {
+
+using namespace s2a;
+
+void BM_LidarFullScan(benchmark::State& state) {
+  sim::LidarConfig cfg;
+  cfg.azimuth_steps = static_cast<int>(state.range(0));
+  cfg.elevation_steps = 8;
+  sim::LidarSimulator lidar(cfg);
+  Rng rng(1);
+  const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lidar.full_scan(scene, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * lidar.num_beams());
+}
+BENCHMARK(BM_LidarFullScan)->Arg(90)->Arg(180)->Arg(360);
+
+void BM_Voxelize(benchmark::State& state) {
+  sim::LidarConfig cfg;
+  cfg.azimuth_steps = 180;
+  cfg.elevation_steps = 10;
+  sim::LidarSimulator lidar(cfg);
+  Rng rng(2);
+  const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, rng);
+  const sim::PointCloud pc = lidar.full_scan(scene, rng);
+  lidar::VoxelGridConfig gc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lidar::VoxelGrid::from_cloud(pc, gc));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(pc.returns.size()));
+}
+BENCHMARK(BM_Voxelize);
+
+void BM_DenseForward(benchmark::State& state) {
+  Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  nn::Dense dense(n, n, rng);
+  const nn::Tensor x = nn::Tensor::randn({8, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n);
+}
+BENCHMARK(BM_DenseForward)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(4);
+  nn::Sequential mlp = nn::make_mlp(32, {64, 64}, 16, rng);
+  const nn::Tensor x = nn::Tensor::randn({16, 32}, rng);
+  for (auto _ : state) {
+    nn::Tensor y = mlp.forward(x);
+    benchmark::DoNotOptimize(mlp.backward(y));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_LifStep(benchmark::State& state) {
+  Rng rng(5);
+  neuro::SpikingConv2D layer(2, 8, 3, 2, 1, rng);
+  const nn::Tensor x = nn::Tensor::randn({1, 2, 32, 32}, rng, 0.5);
+  for (auto _ : state) {
+    layer.begin_sequence();
+    benchmark::DoNotOptimize(layer.step(x));
+  }
+}
+BENCHMARK(BM_LifStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

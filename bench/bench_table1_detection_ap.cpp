@@ -1,0 +1,145 @@
+// Reproduces Table I: Average Precision of R-MAE pre-training against
+// OccMAE- and ALSO-style baselines on two detector families
+// (single-stage "SECOND-lite" and two-stage "PV-RCNN-lite"), on synthetic
+// KITTI-like scenes.
+//
+// Paper reference (KITTI val, moderate, R40):
+//   SECOND            79.08 / 44.52 / 64.49   (Car / Ped / Cyclist)
+//   + OccMAE          79.12 / 45.35 / 63.27
+//   + ALSO            78.98 / 45.33 / 66.53
+//   + R-MAE           79.10 / 46.93 / 67.75
+//   PV-RCNN           82.28 / 51.51 / 69.45
+//   + OccMAE          82.43 / 48.13 / 71.51
+//   + ALSO            82.52 / 52.63 / 70.20
+//   + R-MAE           82.82 / 51.61 / 73.82
+// Expected shape: pre-training helps small classes (Ped/Cyclist) most,
+// R-MAE ≥ the other pre-training schemes there, Car ≈ saturated, and the
+// two-stage detector beats the single-stage across the board.
+#include <iostream>
+#include <memory>
+
+#include "detection_harness.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::bench;
+
+namespace {
+
+struct PretrainCondition {
+  std::string name;
+  std::unique_ptr<lidar::Masker> masker;  // null = train from scratch
+  lidar::PretrainObjective objective = lidar::PretrainObjective::kOccupancyFull;
+};
+
+std::vector<PretrainCondition> make_conditions() {
+  std::vector<PretrainCondition> out;
+  out.push_back({"(scratch)", nullptr, {}});
+  out.push_back({"+ OccMAE", std::make_unique<lidar::UniformMasker>(0.3, "OccMAE"),
+                 lidar::PretrainObjective::kOccupancyFull});
+  out.push_back({"+ ALSO", std::make_unique<lidar::SurfaceMasker>(),
+                 lidar::PretrainObjective::kSurfaceWeighted});
+  // Coverage matched to the OccMAE baseline (~30%) so the pre-training
+  // rows differ only in masking *structure*; the aggressive <10% coverage
+  // is the active-sensing (Table II) operating point, not the
+  // pre-training one at this model scale.
+  lidar::RadialMaskerConfig rmae;
+  rmae.segment_keep_fraction = 0.5;
+  rmae.in_segment_keep = 0.6;
+  rmae.range_decay = 1.5;
+  out.push_back({"+ R-MAE (Ours)", std::make_unique<lidar::RadialMasker>(rmae),
+                 lidar::PretrainObjective::kOccupancyFull});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2025);
+
+  sim::LidarConfig lidar_cfg;
+  lidar_cfg.azimuth_steps = 360;
+  lidar_cfg.elevation_steps = 14;
+  sim::LidarSimulator lidar(lidar_cfg);
+
+  lidar::VoxelGridConfig grid_cfg;
+  grid_cfg.nx = grid_cfg.ny = 48;
+  grid_cfg.extent = 30.0;
+
+  sim::SceneConfig scene_cfg;
+  scene_cfg.extent = 26.0;
+
+  // Pre-training corpus (unlabeled) is ~4x the labelled fine-tuning set:
+  // the low-label regime where self-supervised pre-training pays off.
+  Rng data_rng(7);
+  const auto pretrain_data =
+      make_detection_dataset(50, lidar, grid_cfg, scene_cfg, data_rng);
+  const auto train_data =
+      make_detection_dataset(12, lidar, grid_cfg, scene_cfg, data_rng);
+  const auto test_data =
+      make_detection_dataset(40, lidar, grid_cfg, scene_cfg, data_rng);
+
+  lidar::DetectorConfig det_cfg;
+  det_cfg.grid = grid_cfg;
+
+  lidar::AutoencoderConfig ae_cfg;
+  ae_cfg.grid = grid_cfg;
+  ae_cfg.c1 = det_cfg.c1;
+  ae_cfg.c2 = det_cfg.c2;
+
+  const int pretrain_epochs = 12;
+  const int finetune_epochs = 20;
+
+  Table table(
+      "Table I: Average Precision (AP, %) on synthetic KITTI-like scenes");
+  table.set_header({"Model", "Car", "Pedestrian", "Cyclist"});
+
+  const int seeds = 5;
+  for (const char* family : {"SECOND-lite", "PV-RCNN-lite"}) {
+    const bool two_stage = std::string(family) == "PV-RCNN-lite";
+    for (auto& cond : make_conditions()) {
+      // Small-data pre-training effects are noisy; average over seeds so
+      // rows reflect the condition rather than one initialization.
+      std::array<double, 3> ap{};
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng model_rng(99 + static_cast<std::uint64_t>(seed) * 101);
+        Rng pre_rng(55 + static_cast<std::uint64_t>(seed) * 17);
+
+        std::unique_ptr<lidar::OccupancyAutoencoder> ae;
+        if (cond.masker != nullptr) {
+          ae = std::make_unique<lidar::OccupancyAutoencoder>(ae_cfg, model_rng);
+          pretrain_autoencoder(*ae, pretrain_data, *cond.masker, cond.objective,
+                               pretrain_epochs, 3e-3, pre_rng);
+        }
+
+        std::array<double, 3> run{};
+        if (two_stage) {
+          lidar::TwoStageDetector det(det_cfg, model_rng);
+          if (ae) det.init_from_pretrained(*ae);
+          run = train_and_eval_two_stage(det, train_data, test_data,
+                                         finetune_epochs, 2e-3);
+        } else {
+          lidar::BevDetector det(det_cfg, model_rng);
+          if (ae) det.init_from_pretrained(*ae);
+          run = train_and_eval_single_stage(det, train_data, test_data,
+                                            finetune_epochs, 2e-3);
+        }
+        for (int c = 0; c < 3; ++c) ap[static_cast<std::size_t>(c)] += run[static_cast<std::size_t>(c)] / seeds;
+      }
+
+      const std::string label =
+          cond.masker == nullptr ? family : "  " + cond.name;
+      table.add_row({label, Table::num(ap[0]), Table::num(ap[1]),
+                     Table::num(ap[2])});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPaper shape check: pre-training should lift Pedestrian "
+               "(the hard\nsmall class) most, with R-MAE among the strongest "
+               "pre-training rows\nthere, and PV-RCNN-lite should dominate "
+               "SECOND-lite. Differences\nbelow ~5 AP are seed noise even "
+               "with 5-seed averaging — see\nEXPERIMENTS.md for the "
+               "paper-vs-measured discussion.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Neuromorphic sensing-action loops (Sec. VI): train a hybrid SNN-ANN
+// optical-flow network on simulated event-camera data, compare its energy
+// against the full-ANN equivalent, and run the DOTIE spiking detector on
+// the same event stream — no training, just LIF dynamics.
+//
+// Build & run:  ./build/examples/event_flow_neuromorphic
+#include <iostream>
+
+#include "neuro/dotie.hpp"
+#include "neuro/flow_nets.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::neuro;
+
+int main() {
+  std::cout << "Neuromorphic optical flow + spiking object detection\n\n";
+  Rng data_rng(42);
+  const auto train = sim::make_flow_dataset(120, 16, 16, data_rng);
+  const auto test = sim::make_flow_dataset(24, 16, 16, data_rng);
+
+  double zero_aee = 0.0;
+  for (const auto& s : test)
+    zero_aee += sim::average_endpoint_error(sim::FlowField(16, 16), s.flow,
+                                            &s.events);
+  zero_aee /= static_cast<double>(test.size());
+
+  FlowNetConfig cfg;
+  Rng rng(7);
+  auto snn = make_flow_network(FlowKind::kSpikeFlowNet, cfg, rng);
+  auto ann = make_flow_network(FlowKind::kEvFlowNet, cfg, rng);
+  std::cout << "Training Spike-FlowNet (LIF encoder, surrogate-gradient "
+               "BPTT) and EvFlowNet...\n";
+  Rng train_rng(9);
+  for (int e = 0; e < 25; ++e) {
+    snn->train_epoch(train, train_rng);
+    ann->train_epoch(train, train_rng);
+  }
+
+  Table t("Optical flow on held-out event sequences");
+  t.set_header({"Model", "AEE (px)", "Inference energy (nJ)"});
+  t.add_row({"Zero-flow baseline", Table::num(zero_aee, 3), "0"});
+  t.add_row({ann->name(), Table::num(ann->evaluate_aee(test), 3),
+             Table::num(ann->mean_energy(test).joules() * 1e9, 1)});
+  t.add_row({snn->name(), Table::num(snn->evaluate_aee(test), 3),
+             Table::num(snn->mean_energy(test).joules() * 1e9, 1)});
+  t.print(std::cout);
+
+  // DOTIE: single-layer spiking detection of the fast-moving patch.
+  std::cout << "\nDOTIE spiking detector (no training, LIF temporal "
+               "filtering):\n";
+  Rng scene_rng(21);
+  sim::MovingScene scene(24, 24, 1, 0.2, 0.0, scene_rng);
+  sim::EventCamera camera;
+  std::vector<sim::EventFrame> frames;
+  for (int t2 = 0; t2 < 6; ++t2)
+    frames.push_back(camera.events_between(scene.render(t2), scene.render(t2 + 1)));
+  DotieDetector dotie;
+  const auto boxes = dotie.detect(frames);
+  for (const auto& b : boxes)
+    std::cout << "  box [" << b.x0 << "," << b.y0 << "]-[" << b.x1 << ","
+              << b.y1 << "]  spikes=" << Table::num(b.spike_mass, 0) << "\n";
+  std::cout << "(" << boxes.size()
+            << " cluster(s); the slow-panning background stays below the "
+               "spiking threshold)\n";
+  return 0;
+}

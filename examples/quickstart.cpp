@@ -1,0 +1,88 @@
+// Quickstart: assemble a sensing-to-action loop from the core framework.
+//
+// A noisy scalar "pollution sensor" feeds a thresholding processor that
+// drives a purifier actuator. An adaptive sensing policy keeps the duty
+// cycle low while the air is clean and ramps sampling up during a surge —
+// the motivating example of the paper's introduction.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/loop.hpp"
+#include "core/policies.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+using namespace s2a::core;
+
+namespace {
+
+// Environment + sensor: pollutant concentration with a surge at t ∈ [20, 35).
+class PollutionSensor : public Sensor {
+ public:
+  Observation sense(double now, Rng& rng) override {
+    Observation obs;
+    const bool surge = now >= 20.0 && now < 35.0;
+    obs.data = {(surge ? 8.0 : 0.5) + rng.normal(0.0, 0.2)};
+    obs.timestamp = now;
+    obs.energy_j = 5e-3;  // a high-fidelity chemical sample is expensive
+    return obs;
+  }
+};
+
+// Decision stage: purge rate proportional to concentration above target.
+class PurifierController : public Processor {
+ public:
+  std::vector<double> process(const Observation& obs, Rng&) override {
+    return {std::max(0.0, obs.data[0] - 1.0)};
+  }
+  double energy_per_call_j() const override { return 1e-4; }
+};
+
+class Purifier : public Actuator {
+ public:
+  void actuate(const Action& action, Rng&) override {
+    total_purge += action.data[0];
+  }
+  double total_purge = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "s2a quickstart: adaptive sensing-to-action loop\n\n";
+
+  PollutionSensor sensor;
+  PurifierController controller;
+  Purifier purifier;
+
+  AdaptiveActivityConfig policy_cfg;
+  policy_cfg.base_rate = 0.05;       // 5% duty cycle when idle
+  policy_cfg.activity_saturation = 1.0;
+  AdaptiveActivityPolicy policy(policy_cfg);
+
+  LoopConfig loop_cfg;
+  loop_cfg.dt = 0.1;  // 10 Hz tick
+  SensingActionLoop loop(sensor, controller, purifier, policy, loop_cfg);
+
+  Rng rng(1);
+  loop.run(600, rng);  // 60 seconds
+
+  const LoopMetrics& m = loop.metrics();
+  Table t("Loop metrics after 60 s (pollutant surge at 20-35 s)");
+  t.set_header({"Metric", "Value"});
+  t.add_row({"Ticks", std::to_string(m.ticks)});
+  t.add_row({"Sensor samples", std::to_string(m.senses)});
+  t.add_row({"Duty cycle", Table::num(m.duty_cycle(), 3)});
+  t.add_row({"Sensing energy", Table::num(m.sensing_energy_j * 1e3, 1) + " mJ"});
+  t.add_row({"Mean action staleness", Table::num(m.mean_staleness_s(), 3) + " s"});
+  t.add_row({"Total purge applied", Table::num(purifier.total_purge, 1)});
+  t.print(std::cout);
+
+  std::cout << "\nA static every-tick policy would have spent "
+            << Table::num(600 * 5e-3 * 1e3, 0)
+            << " mJ on sensing; the adaptive loop spent "
+            << Table::num(m.sensing_energy_j * 1e3, 0)
+            << " mJ while still reacting to the surge.\n";
+  return 0;
+}

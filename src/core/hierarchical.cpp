@@ -1,0 +1,77 @@
+#include "core/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::core {
+
+HierarchicalController::HierarchicalController(
+    HierarchicalControllerConfig config,
+    std::function<double(const Observation&)> summarize,
+    std::function<double(double)> replan)
+    : cfg_(config),
+      summarize_(std::move(summarize)),
+      replan_(std::move(replan)),
+      parameter_((config.parameter_min + config.parameter_max) / 2.0),
+      setpoint_(config.initial_setpoint) {
+  S2A_CHECK(cfg_.planning_period >= 1);
+  S2A_CHECK(cfg_.parameter_max > cfg_.parameter_min);
+  S2A_CHECK(static_cast<bool>(summarize_) && static_cast<bool>(replan_));
+}
+
+double HierarchicalController::update(const Observation& obs) {
+  const double value = summarize_(obs);
+
+  // Fast tier: proportional pursuit of the current setpoint.
+  parameter_ += cfg_.fast_gain * (setpoint_ - value);
+  parameter_ = std::clamp(parameter_, cfg_.parameter_min, cfg_.parameter_max);
+
+  // Slow tier: replan the setpoint from the recent mean.
+  running_sum_ += value;
+  if (++ticks_since_plan_ >= cfg_.planning_period) {
+    const double recent_mean = running_sum_ / ticks_since_plan_;
+    setpoint_ = replan_(recent_mean);
+    running_sum_ = 0.0;
+    ticks_since_plan_ = 0;
+    ++replans_;
+  }
+  return parameter_;
+}
+
+LifSensingPolicy::LifSensingPolicy(double leak, double threshold,
+                                   double input_gain)
+    : leak_(leak), threshold_(threshold), gain_(input_gain) {
+  S2A_CHECK(leak >= 0.0 && leak < 1.0);
+  S2A_CHECK(threshold > 0.0 && input_gain > 0.0);
+}
+
+bool LifSensingPolicy::should_sense(double, const Observation* last, Rng&) {
+  if (last == nullptr) return true;  // bootstrap
+
+  double activity = 0.0;
+  for (double v : last->data) activity += std::abs(v);
+  if (!last->data.empty()) activity /= static_cast<double>(last->data.size());
+
+  membrane_ = leak_ * membrane_ + gain_ * activity;
+  if (membrane_ >= threshold_) {
+    membrane_ -= threshold_;  // reset by subtraction
+    ++spikes_;
+    return true;
+  }
+  return false;
+}
+
+void ConfidenceGatedActuator::set_confidence(double c) {
+  S2A_CHECK(c >= 0.0 && c <= 1.0);
+  confidence_ = c;
+}
+
+void ConfidenceGatedActuator::actuate(const Action& action, Rng& rng) {
+  Action gated = action;
+  for (double& v : gated.data) v *= confidence_;
+  inner_.actuate(gated, rng);
+}
+
+}  // namespace s2a::core

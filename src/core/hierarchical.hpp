@@ -1,0 +1,101 @@
+// Hierarchical sensing-action control (Sec. I–II: "low-level actions —
+// such as adjusting sensor thresholds — complement higher-level planning
+// decisions, enabling efficient distribution of computational effort").
+//
+// Two tiers over one loop:
+//  * The fast tier runs every tick: a proportional rule adjusts a sensor
+//    parameter (gain/threshold) to hold a setpoint on a cheap statistic
+//    of the observation.
+//  * The slow tier runs every `planning_period` ticks: it re-plans the
+//    setpoint itself from a longer-horizon summary (the "planning"
+//    decision), so expensive reasoning is amortized.
+//
+// Also here: LifSensingPolicy — the neuromorphic unification of Sec. VI
+// applied to the loop's sensing decision: observation activity charges a
+// LIF membrane and the loop *senses when the neuron spikes*, so the
+// sampling rate is event-driven rather than clocked.
+#pragma once
+
+#include <functional>
+
+#include "core/loop.hpp"
+
+namespace s2a::core {
+
+struct HierarchicalControllerConfig {
+  double fast_gain = 0.2;      ///< proportional step of the fast tier
+  int planning_period = 20;    ///< ticks between slow-tier replans
+  double initial_setpoint = 1.0;
+  double parameter_min = 0.0, parameter_max = 10.0;
+};
+
+/// Wraps the two tiers around a scalar sensor parameter. The embedding
+/// application chooses what the parameter *is* (a DVS threshold, a LiDAR
+/// power budget, an AGC gain) by reading parameter() each tick.
+class HierarchicalController {
+ public:
+  /// `summarize` maps an observation to the scalar the fast tier tracks;
+  /// `replan` maps the recent mean of that scalar to a new setpoint.
+  HierarchicalController(HierarchicalControllerConfig config,
+                         std::function<double(const Observation&)> summarize,
+                         std::function<double(double)> replan);
+
+  /// One tick: fast proportional update every call, slow replan every
+  /// `planning_period` calls. Returns the updated parameter.
+  double update(const Observation& obs);
+
+  double parameter() const { return parameter_; }
+  double setpoint() const { return setpoint_; }
+  long replans() const { return replans_; }
+
+ private:
+  HierarchicalControllerConfig cfg_;
+  std::function<double(const Observation&)> summarize_;
+  std::function<double(double)> replan_;
+  double parameter_;
+  double setpoint_;
+  double running_sum_ = 0.0;
+  int ticks_since_plan_ = 0;
+  long replans_ = 0;
+};
+
+/// Event-driven sensing decision: a single LIF neuron integrates the
+/// mean absolute observation value; the loop senses on its spikes.
+/// Idle signals let the membrane leak to rest (few samples); busy signals
+/// charge it every tick (sampling tracks activity) — the spike-based
+/// sensing-rate adaptation neuromorphic loops get for free (Sec. VI).
+class LifSensingPolicy : public SensingPolicy {
+ public:
+  LifSensingPolicy(double leak = 0.8, double threshold = 1.0,
+                   double input_gain = 0.5);
+
+  bool should_sense(double now, const Observation* last, Rng& rng) override;
+
+  double membrane() const { return membrane_; }
+  long spikes() const { return spikes_; }
+
+ private:
+  double leak_, threshold_, gain_;
+  double membrane_ = 0.0;
+  long spikes_ = 0;
+};
+
+/// Confidence-gated actuation (Sec. V future work: "uncertainty-aware
+/// control mechanisms can modulate actions based on confidence levels"):
+/// wraps an actuator and scales action magnitudes by a confidence in
+/// [0, 1] supplied per tick (e.g. 1 − normalized likelihood regret).
+class ConfidenceGatedActuator : public Actuator {
+ public:
+  explicit ConfidenceGatedActuator(Actuator& inner) : inner_(inner) {}
+
+  void set_confidence(double c);
+  double confidence() const { return confidence_; }
+
+  void actuate(const Action& action, Rng& rng) override;
+
+ private:
+  Actuator& inner_;
+  double confidence_ = 1.0;
+};
+
+}  // namespace s2a::core

@@ -1,0 +1,60 @@
+#include "core/loop.hpp"
+
+#include "util/check.hpp"
+
+namespace s2a::core {
+
+SensingActionLoop::SensingActionLoop(Sensor& sensor, Processor& processor,
+                                     Actuator& actuator, SensingPolicy& policy,
+                                     LoopConfig config, TrustMonitor* monitor)
+    : sensor_(sensor),
+      processor_(processor),
+      actuator_(actuator),
+      policy_(policy),
+      cfg_(config),
+      monitor_(monitor) {
+  S2A_CHECK(cfg_.dt > 0.0);
+  S2A_CHECK(cfg_.sensing_latency >= 0.0 && cfg_.processing_latency >= 0.0);
+}
+
+void SensingActionLoop::tick(Rng& rng) {
+  ++metrics_.ticks;
+
+  const Observation* current = has_observation_ ? &last_obs_ : nullptr;
+  if (policy_.should_sense(now_, current, rng)) {
+    Observation obs = sensor_.sense(now_, rng);
+    ++metrics_.senses;
+    metrics_.sensing_energy_j += obs.energy_j;
+    // Acquisition latency: the data describes the world as of now, but it
+    // becomes available `sensing_latency` later; model by backdating.
+    obs.timestamp = now_ - cfg_.sensing_latency;
+
+    if (monitor_ == nullptr || monitor_->trusted(obs, rng)) {
+      last_obs_ = std::move(obs);
+      has_observation_ = true;
+    } else {
+      ++metrics_.vetoed;
+    }
+  }
+
+  if (has_observation_) {
+    Action action;
+    action.data = processor_.process(last_obs_, rng);
+    metrics_.processing_energy_j += processor_.energy_per_call_j();
+    action.based_on_timestamp = last_obs_.timestamp;
+
+    const double act_time = now_ + cfg_.processing_latency;
+    metrics_.total_staleness_s += act_time - last_obs_.timestamp;
+    ++metrics_.actions;
+    actuator_.actuate(action, rng);
+  }
+
+  now_ += cfg_.dt;
+}
+
+void SensingActionLoop::run(int ticks, Rng& rng) {
+  S2A_CHECK(ticks >= 0);
+  for (int i = 0; i < ticks; ++i) tick(rng);
+}
+
+}  // namespace s2a::core

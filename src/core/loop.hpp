@@ -1,0 +1,136 @@
+// The sensing-to-action loop (Fig. 1): sensing → processing → actuation →
+// environment, iterated on a fixed tick. This is the framework the
+// paper's five subsystems plug into; the abstractions here are
+// deliberately value-based (observations and actions are double vectors)
+// so any substrate — LiDAR grids, retinas, event frames, FL embeddings —
+// can be wired in by an adapter.
+//
+// The loop models the two failure axes Sec. I calls out:
+//  * staleness — sensing + processing latency means actions execute on an
+//    environment state that is `latency` old; the loop tracks the age of
+//    the observation behind every action.
+//  * energy — every sense and process step is metered.
+// A sensing policy decides per tick whether to sense (Sec. II's
+// rate/resolution adaptation), and an optional trust monitor can veto
+// acting on an untrusted observation (Sec. V).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace s2a::core {
+
+struct Observation {
+  std::vector<double> data;
+  double timestamp = 0.0;
+  double energy_j = 0.0;  ///< sensing energy spent acquiring it
+};
+
+struct Action {
+  std::vector<double> data;
+  double based_on_timestamp = 0.0;  ///< timestamp of the observation used
+};
+
+/// Sensing front-end: acquire an observation of the environment now.
+class Sensor {
+ public:
+  virtual ~Sensor() = default;
+  virtual Observation sense(double now, Rng& rng) = 0;
+};
+
+/// Perception/decision stage: observation → action vector.
+class Processor {
+ public:
+  virtual ~Processor() = default;
+  virtual std::vector<double> process(const Observation& obs, Rng& rng) = 0;
+  /// Energy of one process() call (metered into the loop totals).
+  virtual double energy_per_call_j() const { return 0.0; }
+};
+
+/// Actuation back-end: apply the action to the environment.
+class Actuator {
+ public:
+  virtual ~Actuator() = default;
+  virtual void actuate(const Action& action, Rng& rng) = 0;
+};
+
+/// Per-tick sensing decision (the sensing-rate knob of Sec. II).
+class SensingPolicy {
+ public:
+  virtual ~SensingPolicy() = default;
+  /// `last` is the most recent observation (nullptr before the first).
+  virtual bool should_sense(double now, const Observation* last, Rng& rng) = 0;
+};
+
+/// Optional reliability gate (STARNet's role in the loop).
+class TrustMonitor {
+ public:
+  virtual ~TrustMonitor() = default;
+  virtual bool trusted(const Observation& obs, Rng& rng) = 0;
+};
+
+struct LoopConfig {
+  double dt = 0.05;               ///< tick period (s)
+  double sensing_latency = 0.0;   ///< acquisition delay (s)
+  double processing_latency = 0.0;
+};
+
+struct LoopMetrics {
+  long ticks = 0;
+  long senses = 0;
+  long actions = 0;
+  long vetoed = 0;  ///< observations rejected by the trust monitor
+  double sensing_energy_j = 0.0;
+  double processing_energy_j = 0.0;
+  double total_staleness_s = 0.0;  ///< summed over actions
+
+  double mean_staleness_s() const {
+    return actions > 0 ? total_staleness_s / actions : 0.0;
+  }
+  double duty_cycle() const {
+    return ticks > 0 ? static_cast<double>(senses) / ticks : 0.0;
+  }
+  double total_energy_j() const {
+    return sensing_energy_j + processing_energy_j;
+  }
+};
+
+/// The loop engine. Owns nothing: components are injected by reference so
+/// callers can inspect them afterwards.
+class SensingActionLoop {
+ public:
+  SensingActionLoop(Sensor& sensor, Processor& processor, Actuator& actuator,
+                    SensingPolicy& policy, LoopConfig config = {},
+                    TrustMonitor* monitor = nullptr);
+
+  /// One iteration: consult the policy, maybe sense (through the trust
+  /// gate), process, actuate. When the policy skips sensing, the last
+  /// trusted observation is reused — its growing age shows up in the
+  /// staleness metric.
+  void tick(Rng& rng);
+  void run(int ticks, Rng& rng);
+
+  double now() const { return now_; }
+  const LoopMetrics& metrics() const { return metrics_; }
+  const Observation* last_observation() const {
+    return has_observation_ ? &last_obs_ : nullptr;
+  }
+
+ private:
+  Sensor& sensor_;
+  Processor& processor_;
+  Actuator& actuator_;
+  SensingPolicy& policy_;
+  LoopConfig cfg_;
+  TrustMonitor* monitor_;
+
+  double now_ = 0.0;
+  Observation last_obs_;
+  bool has_observation_ = false;
+  LoopMetrics metrics_;
+};
+
+}  // namespace s2a::core

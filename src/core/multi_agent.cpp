@@ -1,0 +1,87 @@
+#include "core/multi_agent.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace s2a::core {
+
+bool SensingAgent::can_observe(const Vec3& target) const {
+  return (target - position).norm() <= sensing_range;
+}
+
+double SensingAgent::cost(const Vec3& target) const {
+  const double d = (target - position).norm();
+  // Normalized to the nominal energy at half range.
+  const double half = sensing_range / 2.0;
+  return energy_per_observation_j * (d * d) / (half * half);
+}
+
+CoverageReport independent_sensing(const std::vector<SensingAgent>& agents,
+                                   const std::vector<SensingTarget>& targets) {
+  CoverageReport r;
+  r.targets_total = static_cast<int>(targets.size());
+  for (const auto& t : targets) {
+    int observers = 0;
+    for (const auto& a : agents) {
+      if (!a.can_observe(t.position)) continue;
+      ++observers;
+      ++r.observations;
+      r.energy_j += a.cost(t.position);
+    }
+    if (observers >= t.required_observers) ++r.targets_covered;
+    r.redundant_observations += std::max(0, observers - t.required_observers);
+  }
+  return r;
+}
+
+CoverageReport coordinated_sensing(const std::vector<SensingAgent>& agents,
+                                   const std::vector<SensingTarget>& targets) {
+  CoverageReport r;
+  r.targets_total = static_cast<int>(targets.size());
+  for (const auto& t : targets) {
+    // Rank able agents by cost; take the cheapest `required_observers`.
+    std::vector<std::pair<double, std::size_t>> able;
+    for (std::size_t i = 0; i < agents.size(); ++i)
+      if (agents[i].can_observe(t.position))
+        able.push_back({agents[i].cost(t.position), i});
+    std::sort(able.begin(), able.end());
+
+    const int take =
+        std::min<int>(t.required_observers, static_cast<int>(able.size()));
+    for (int k = 0; k < take; ++k) {
+      r.energy_j += able[static_cast<std::size_t>(k)].first;
+      ++r.observations;
+    }
+    if (take >= t.required_observers) ++r.targets_covered;
+  }
+  return r;
+}
+
+std::vector<SensingAgent> make_agent_fleet(int agents, double arena,
+                                           double range, Rng& rng) {
+  S2A_CHECK(agents > 0 && arena > 0.0 && range > 0.0);
+  std::vector<SensingAgent> fleet;
+  for (int i = 0; i < agents; ++i) {
+    SensingAgent a;
+    a.position = {rng.uniform(-arena, arena), rng.uniform(-arena, arena), 10.0};
+    a.sensing_range = range;
+    fleet.push_back(a);
+  }
+  return fleet;
+}
+
+std::vector<SensingTarget> make_target_field(int targets, double arena,
+                                             Rng& rng) {
+  S2A_CHECK(targets > 0 && arena > 0.0);
+  std::vector<SensingTarget> field;
+  for (int i = 0; i < targets; ++i) {
+    SensingTarget t;
+    t.position = {rng.uniform(-arena, arena), rng.uniform(-arena, arena), 0.0};
+    t.required_observers = rng.bernoulli(0.2) ? 2 : 1;
+    field.push_back(t);
+  }
+  return field;
+}
+
+}  // namespace s2a::core

@@ -1,0 +1,74 @@
+#include "core/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::core {
+
+PeriodicPolicy::PeriodicPolicy(int period) : period_(period) {
+  S2A_CHECK(period >= 1);
+}
+
+bool PeriodicPolicy::should_sense(double, const Observation*, Rng&) {
+  const bool fire = (counter_ % period_) == 0;
+  ++counter_;
+  return fire;
+}
+
+AdaptiveActivityPolicy::AdaptiveActivityPolicy(AdaptiveActivityConfig config)
+    : cfg_(config) {
+  S2A_CHECK(cfg_.base_rate >= 0.0 && cfg_.base_rate <= cfg_.max_rate);
+  S2A_CHECK(cfg_.max_rate <= 1.0);
+  S2A_CHECK(cfg_.activity_saturation > 0.0);
+  S2A_CHECK(cfg_.ema_alpha > 0.0 && cfg_.ema_alpha <= 1.0);
+}
+
+bool AdaptiveActivityPolicy::should_sense(double, const Observation* last,
+                                          Rng& rng) {
+  if (last == nullptr) return true;  // bootstrap
+
+  // Innovation = mean absolute change since the previous observation we
+  // inspected. Updated lazily: only when a new observation arrived.
+  if (!last->data.empty()) {
+    if (prev_data_.size() == last->data.size()) {
+      double innovation = 0.0;
+      bool changed = false;
+      for (std::size_t i = 0; i < prev_data_.size(); ++i) {
+        innovation += std::abs(last->data[i] - prev_data_[i]);
+        changed |= last->data[i] != prev_data_[i];
+      }
+      innovation /= static_cast<double>(prev_data_.size());
+      if (changed)
+        activity_ =
+            (1.0 - cfg_.ema_alpha) * activity_ + cfg_.ema_alpha * innovation;
+    }
+    prev_data_ = last->data;
+  }
+
+  const double frac =
+      std::min(1.0, activity_ / cfg_.activity_saturation);
+  const double rate = cfg_.base_rate + (cfg_.max_rate - cfg_.base_rate) * frac;
+  return rng.bernoulli(rate);
+}
+
+ActionAwarePolicy::ActionAwarePolicy(double base_rate, double max_rate,
+                                     double saturation)
+    : base_(base_rate), max_(max_rate), saturation_(saturation) {
+  S2A_CHECK(0.0 <= base_rate && base_rate <= max_rate && max_rate <= 1.0);
+  S2A_CHECK(saturation > 0.0);
+}
+
+void ActionAwarePolicy::report_action(double magnitude) {
+  smoothed_magnitude_ = 0.7 * smoothed_magnitude_ + 0.3 * std::abs(magnitude);
+}
+
+bool ActionAwarePolicy::should_sense(double, const Observation* last,
+                                     Rng& rng) {
+  if (last == nullptr) return true;
+  const double frac = std::min(1.0, smoothed_magnitude_ / saturation_);
+  return rng.bernoulli(base_ + (max_ - base_) * frac);
+}
+
+}  // namespace s2a::core

@@ -1,0 +1,61 @@
+// Sensing policies (Sec. I–II): when to spend a sample.
+//
+// PeriodicPolicy is the static baseline. AdaptiveActivityPolicy implements
+// the paper's pollutant-surge example: track the innovation (change)
+// between consecutive observations with an EMA; sense at a low base rate
+// in stable periods and ramp toward every-tick sensing when activity
+// spikes. ActionAwarePolicy is an action-to-sensing hook (Sec. IV): the
+// controller's recent action magnitude drives the sensing rate — large
+// corrective actions mean the plant is off-nominal and observability
+// should rise.
+#pragma once
+
+#include "core/loop.hpp"
+
+namespace s2a::core {
+
+/// Sense every `period` ticks (period 1 = every tick).
+class PeriodicPolicy : public SensingPolicy {
+ public:
+  explicit PeriodicPolicy(int period);
+  bool should_sense(double now, const Observation* last, Rng& rng) override;
+
+ private:
+  int period_, counter_ = 0;
+};
+
+struct AdaptiveActivityConfig {
+  double base_rate = 0.1;     ///< sensing probability when fully idle
+  double max_rate = 1.0;      ///< probability at/above activity saturation
+  double activity_saturation = 1.0;  ///< innovation EMA mapping to max rate
+  double ema_alpha = 0.3;     ///< innovation smoothing
+};
+
+class AdaptiveActivityPolicy : public SensingPolicy {
+ public:
+  explicit AdaptiveActivityPolicy(AdaptiveActivityConfig config = {});
+  bool should_sense(double now, const Observation* last, Rng& rng) override;
+
+  double activity() const { return activity_; }
+
+ private:
+  AdaptiveActivityConfig cfg_;
+  std::vector<double> prev_data_;
+  double activity_ = 0.0;
+};
+
+/// Action-to-sensing coupling: the loop's controller reports its action
+/// magnitudes via report_action(); sensing probability interpolates from
+/// base to max with the smoothed magnitude.
+class ActionAwarePolicy : public SensingPolicy {
+ public:
+  ActionAwarePolicy(double base_rate, double max_rate, double saturation);
+  bool should_sense(double now, const Observation* last, Rng& rng) override;
+  void report_action(double magnitude);
+
+ private:
+  double base_, max_, saturation_;
+  double smoothed_magnitude_ = 0.0;
+};
+
+}  // namespace s2a::core

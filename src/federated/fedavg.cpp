@@ -1,0 +1,341 @@
+#include "federated/fedavg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::federated {
+
+const char* strategy_name(FlStrategy s) {
+  switch (s) {
+    case FlStrategy::kStaticFl:
+      return "Static FL";
+    case FlStrategy::kDcNas:
+      return "DC-NAS";
+    case FlStrategy::kHaloFl:
+      return "HaLo-FL";
+  }
+  return "?";
+}
+
+MlpParams init_mlp(int in, int hidden, int classes, Rng& rng) {
+  S2A_CHECK(in > 0 && hidden > 0 && classes > 1);
+  MlpParams p;
+  p.in = in;
+  p.hidden = hidden;
+  p.classes = classes;
+  p.w1 = nn::Tensor::xavier(hidden, in, rng);
+  p.b1 = nn::Tensor({hidden});
+  p.w2 = nn::Tensor::xavier(classes, hidden, rng);
+  p.b2 = nn::Tensor({classes});
+  return p;
+}
+
+std::size_t mlp_macs(const MlpParams& p, int active_hidden) {
+  return static_cast<std::size_t>(active_hidden) * (p.in + p.classes);
+}
+
+namespace {
+
+// Forward for one sample; h and logits are outputs. Applies activation
+// quantization when bits < 32.
+void forward_one(const MlpParams& p, const double* x,
+                 const std::vector<bool>& active, int act_bits,
+                 std::vector<double>& h, std::vector<double>& logits) {
+  h.assign(static_cast<std::size_t>(p.hidden), 0.0);
+  double act_scale = 0.0;
+  for (int j = 0; j < p.hidden; ++j) {
+    if (!active[static_cast<std::size_t>(j)]) continue;
+    double a = p.b1[static_cast<std::size_t>(j)];
+    const double* w = p.w1.data() + static_cast<std::size_t>(j) * p.in;
+    for (int i = 0; i < p.in; ++i) a += w[i] * x[i];
+    h[static_cast<std::size_t>(j)] = a > 0.0 ? a : 0.0;  // ReLU
+    act_scale = std::max(act_scale, std::abs(h[static_cast<std::size_t>(j)]));
+  }
+  if (act_bits < 32 && act_scale > 0.0)
+    for (auto& v : h) v = quantize_value(v, act_scale, act_bits);
+
+  logits.assign(static_cast<std::size_t>(p.classes), 0.0);
+  for (int c = 0; c < p.classes; ++c) {
+    double a = p.b2[static_cast<std::size_t>(c)];
+    const double* w = p.w2.data() + static_cast<std::size_t>(c) * p.hidden;
+    for (int j = 0; j < p.hidden; ++j)
+      if (active[static_cast<std::size_t>(j)]) a += w[j] * h[static_cast<std::size_t>(j)];
+    logits[static_cast<std::size_t>(c)] = a;
+  }
+}
+
+void softmax_inplace(std::vector<double>& v) {
+  double mx = v[0];
+  for (double x : v) mx = std::max(mx, x);
+  double sum = 0.0;
+  for (auto& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (auto& x : v) x /= sum;
+}
+
+}  // namespace
+
+double evaluate_accuracy(const MlpParams& p,
+                         const sim::ClassificationDataset& data,
+                         const std::vector<int>& indices) {
+  std::vector<bool> active(static_cast<std::size_t>(p.hidden), true);
+  std::vector<double> h, logits;
+  int correct = 0, total = 0;
+  auto eval_one = [&](std::size_t i) {
+    forward_one(p, data.features[i].data(), active, 32, h, logits);
+    int best = 0;
+    for (int c = 1; c < p.classes; ++c)
+      if (logits[static_cast<std::size_t>(c)] > logits[static_cast<std::size_t>(best)])
+        best = c;
+    if (best == data.labels[i]) ++correct;
+    ++total;
+  };
+  if (indices.empty())
+    for (std::size_t i = 0; i < data.size(); ++i) eval_one(i);
+  else
+    for (int i : indices) eval_one(static_cast<std::size_t>(i));
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+double local_train(MlpParams& p, const sim::ClassificationDataset& data,
+                   const std::vector<int>& shard,
+                   const std::vector<bool>& active,
+                   const PrecisionConfig& precision, int epochs, int batch,
+                   double lr, Rng& rng) {
+  S2A_CHECK(!shard.empty());
+  S2A_CHECK(static_cast<int>(active.size()) == p.hidden);
+
+  // Quantize weights in place once per round (weights are re-broadcast by
+  // the server each round, so this models quantized local compute).
+  if (precision.weight_bits < 32) {
+    std::vector<double> w(p.w1.data(), p.w1.data() + p.w1.numel());
+    fake_quantize(w, precision.weight_bits);
+    std::copy(w.begin(), w.end(), p.w1.data());
+    w.assign(p.w2.data(), p.w2.data() + p.w2.numel());
+    fake_quantize(w, precision.weight_bits);
+    std::copy(w.begin(), w.end(), p.w2.data());
+  }
+
+  int active_count = 0;
+  for (bool a : active)
+    if (a) ++active_count;
+
+  std::vector<int> order = shard;
+  std::vector<double> h, logits;
+  double macs = 0.0;
+  (void)batch;  // per-sample SGD: batch kept in the signature for clarity
+
+  for (int e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    for (int idx : order) {
+      const auto& x = data.features[static_cast<std::size_t>(idx)];
+      const int y = data.labels[static_cast<std::size_t>(idx)];
+      forward_one(p, x.data(), active, precision.activation_bits, h, logits);
+      macs += 3.0 * static_cast<double>(mlp_macs(p, active_count));
+
+      softmax_inplace(logits);
+      std::vector<double> dlogits = logits;
+      dlogits[static_cast<std::size_t>(y)] -= 1.0;
+      if (precision.gradient_bits < 32)
+        fake_quantize(dlogits, precision.gradient_bits);
+
+      // Backward + SGD update.
+      std::vector<double> dh(static_cast<std::size_t>(p.hidden), 0.0);
+      for (int c = 0; c < p.classes; ++c) {
+        double* w = p.w2.data() + static_cast<std::size_t>(c) * p.hidden;
+        const double g = dlogits[static_cast<std::size_t>(c)];
+        for (int j = 0; j < p.hidden; ++j) {
+          if (!active[static_cast<std::size_t>(j)]) continue;
+          dh[static_cast<std::size_t>(j)] += g * w[j];
+          w[j] -= lr * g * h[static_cast<std::size_t>(j)];
+        }
+        p.b2[static_cast<std::size_t>(c)] -= lr * g;
+      }
+      if (precision.gradient_bits < 32)
+        fake_quantize(dh, precision.gradient_bits);
+      for (int j = 0; j < p.hidden; ++j) {
+        if (!active[static_cast<std::size_t>(j)] ||
+            h[static_cast<std::size_t>(j)] <= 0.0)
+          continue;  // ReLU gate
+        const double g = dh[static_cast<std::size_t>(j)];
+        double* w = p.w1.data() + static_cast<std::size_t>(j) * p.in;
+        for (int i = 0; i < p.in; ++i)
+          w[i] -= lr * g * x[static_cast<std::size_t>(i)];
+        p.b1[static_cast<std::size_t>(j)] -= lr * g;
+      }
+    }
+  }
+  return macs;
+}
+
+int select_width(const HardwareProfile& hw, const FlConfig& cfg,
+                 std::size_t shard_size, int in, int classes) {
+  int best = cfg.width_candidates.front();
+  for (int w : cfg.width_candidates) {
+    const double round_macs = static_cast<double>(cfg.local_epochs) *
+                              static_cast<double>(shard_size) * 3.0 *
+                              static_cast<double>(w) * (in + classes);
+    const RoundCost cost = round_cost(round_macs, hw, PrecisionConfig{});
+    if (cost.latency_s <= hw.latency_budget_s) best = std::max(best, w);
+  }
+  return best;
+}
+
+PrecisionConfig select_precision(const HardwareProfile& hw,
+                                 const FlConfig& cfg, double round_macs) {
+  // Candidates are cheapest-first; HaLo-FL wants the *most precise*
+  // configuration that still meets both budgets (accuracy first, then
+  // efficiency), so scan from the precise end.
+  for (auto it = cfg.precision_candidates.rbegin();
+       it != cfg.precision_candidates.rend(); ++it) {
+    const RoundCost cost = round_cost(round_macs, hw, *it);
+    if (cost.latency_s <= hw.latency_budget_s &&
+        cost.energy_j <= hw.energy_budget_j)
+      return *it;
+  }
+  return cfg.precision_candidates.front();  // nothing fits: cheapest
+}
+
+FlResult run_federated(FlStrategy strategy,
+                       const sim::ClassificationDataset& train,
+                       const sim::ClassificationDataset& test,
+                       const std::vector<std::vector<int>>& shards,
+                       const std::vector<HardwareProfile>& fleet,
+                       const FlConfig& cfg, Rng& rng) {
+  S2A_CHECK(shards.size() == fleet.size());
+  const int clients = static_cast<int>(shards.size());
+  MlpParams global = init_mlp(train.feature_dim, cfg.hidden,
+                              train.num_classes, rng);
+
+  FlResult res;
+  res.client_widths.assign(static_cast<std::size_t>(clients), cfg.hidden);
+  res.client_precisions.assign(static_cast<std::size_t>(clients),
+                               PrecisionConfig{});
+
+  // Per-client adaptation decisions (stable across rounds).
+  for (int c = 0; c < clients; ++c) {
+    const auto& hw = fleet[static_cast<std::size_t>(c)];
+    if (strategy == FlStrategy::kDcNas) {
+      res.client_widths[static_cast<std::size_t>(c)] = select_width(
+          hw, cfg, shards[static_cast<std::size_t>(c)].size(), train.feature_dim,
+          train.num_classes);
+    } else if (strategy == FlStrategy::kHaloFl) {
+      const double round_macs =
+          static_cast<double>(cfg.local_epochs) *
+          static_cast<double>(shards[static_cast<std::size_t>(c)].size()) *
+          3.0 * static_cast<double>(mlp_macs(global, cfg.hidden));
+      res.client_precisions[static_cast<std::size_t>(c)] =
+          select_precision(hw, cfg, round_macs);
+    }
+  }
+
+  double total_area = 0.0;
+  for (int round = 0; round < cfg.rounds; ++round) {
+    std::vector<MlpParams> locals;
+    std::vector<std::vector<bool>> masks;
+    double round_latency = 0.0;
+
+    for (int c = 0; c < clients; ++c) {
+      const auto& hw = fleet[static_cast<std::size_t>(c)];
+      MlpParams local = global;
+
+      // Channel mask: DC-NAS keeps the top-w hidden units by ‖w1 row‖.
+      std::vector<bool> active(static_cast<std::size_t>(cfg.hidden), true);
+      const int width = res.client_widths[static_cast<std::size_t>(c)];
+      if (strategy == FlStrategy::kDcNas && width < cfg.hidden) {
+        std::vector<std::pair<double, int>> norms;
+        for (int j = 0; j < cfg.hidden; ++j) {
+          double n = 0.0;
+          const double* w = global.w1.data() + static_cast<std::size_t>(j) * global.in;
+          for (int i = 0; i < global.in; ++i) n += w[i] * w[i];
+          norms.push_back({n, j});
+        }
+        std::sort(norms.begin(), norms.end(),
+                  [](const auto& a, const auto& b) { return a.first > b.first; });
+        active.assign(static_cast<std::size_t>(cfg.hidden), false);
+        for (int k = 0; k < width; ++k)
+          active[static_cast<std::size_t>(norms[static_cast<std::size_t>(k)].second)] = true;
+      }
+
+      const PrecisionConfig precision =
+          res.client_precisions[static_cast<std::size_t>(c)];
+      Rng client_rng = rng.spawn();
+      const double macs =
+          local_train(local, train, shards[static_cast<std::size_t>(c)], active,
+                      precision, cfg.local_epochs, cfg.batch, cfg.lr, client_rng);
+
+      const double model_fraction =
+          static_cast<double>(width) / cfg.hidden;
+      const RoundCost cost = round_cost(macs, hw, precision, model_fraction);
+      res.total_energy_j += cost.energy_j;
+      round_latency = std::max(round_latency, cost.latency_s);
+      total_area += cost.area_mm2;
+
+      locals.push_back(std::move(local));
+      masks.push_back(std::move(active));
+    }
+    res.total_latency_s += round_latency;
+
+    // Mask-aware weighted aggregation.
+    MlpParams next = global;
+    next.w1.fill(0.0);
+    next.b1.fill(0.0);
+    next.w2.fill(0.0);
+    next.b2.fill(0.0);
+    std::vector<double> unit_weight(static_cast<std::size_t>(cfg.hidden), 0.0);
+    double total_weight = 0.0;
+    for (int c = 0; c < clients; ++c) {
+      const double wgt = static_cast<double>(shards[static_cast<std::size_t>(c)].size());
+      total_weight += wgt;
+      for (int j = 0; j < cfg.hidden; ++j) {
+        if (!masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) continue;
+        unit_weight[static_cast<std::size_t>(j)] += wgt;
+        const auto& l = locals[static_cast<std::size_t>(c)];
+        for (int i = 0; i < global.in; ++i)
+          next.w1[static_cast<std::size_t>(j) * global.in + i] +=
+              wgt * l.w1[static_cast<std::size_t>(j) * global.in + i];
+        next.b1[static_cast<std::size_t>(j)] += wgt * l.b1[static_cast<std::size_t>(j)];
+        for (int k = 0; k < global.classes; ++k)
+          next.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
+              wgt * l.w2[static_cast<std::size_t>(k) * global.hidden + j];
+      }
+      for (int k = 0; k < global.classes; ++k)
+        next.b2[static_cast<std::size_t>(k)] +=
+            wgt * locals[static_cast<std::size_t>(c)].b2[static_cast<std::size_t>(k)];
+    }
+    for (int j = 0; j < cfg.hidden; ++j) {
+      const double uw = unit_weight[static_cast<std::size_t>(j)];
+      if (uw == 0.0) {
+        // No client trained this unit this round: keep the global value.
+        for (int i = 0; i < global.in; ++i)
+          next.w1[static_cast<std::size_t>(j) * global.in + i] =
+              global.w1[static_cast<std::size_t>(j) * global.in + i];
+        next.b1[static_cast<std::size_t>(j)] = global.b1[static_cast<std::size_t>(j)];
+        for (int k = 0; k < global.classes; ++k)
+          next.w2[static_cast<std::size_t>(k) * global.hidden + j] =
+              global.w2[static_cast<std::size_t>(k) * global.hidden + j];
+        continue;
+      }
+      for (int i = 0; i < global.in; ++i)
+        next.w1[static_cast<std::size_t>(j) * global.in + i] /= uw;
+      next.b1[static_cast<std::size_t>(j)] /= uw;
+      for (int k = 0; k < global.classes; ++k)
+        next.w2[static_cast<std::size_t>(k) * global.hidden + j] /= uw;
+    }
+    for (int k = 0; k < global.classes; ++k)
+      next.b2[static_cast<std::size_t>(k)] /= total_weight;
+    global = std::move(next);
+
+    res.accuracy_per_round.push_back(evaluate_accuracy(global, test));
+  }
+
+  res.final_accuracy = res.accuracy_per_round.back();
+  res.mean_area_mm2 = total_area / (static_cast<double>(clients) * cfg.rounds);
+  return res;
+}
+
+}  // namespace s2a::federated

@@ -1,0 +1,94 @@
+// Federated learning with heterogeneity-aware adaptation (Sec. VII).
+//
+// Three strategies over the same FedAvg skeleton:
+//  * kStaticFl — classical FedAvg: every client trains the full model at
+//    fp32 (the baseline Fig. 11 normalizes against).
+//  * kDcNas    — DC-NAS [76]: per-client channel pruning; each client
+//    trains the largest hidden width that fits its latency budget, with
+//    magnitude-based channel selection and mask-aware aggregation.
+//  * kHaloFl   — HaLo-FL [77]: per-client precision selection for
+//    weights/activations/gradients via the precision-reconfigurable cost
+//    model; training uses fake quantization at the chosen widths.
+#pragma once
+
+#include <vector>
+
+#include "federated/hardware.hpp"
+#include "nn/tensor.hpp"
+#include "sim/dataset.hpp"
+
+namespace s2a::federated {
+
+enum class FlStrategy { kStaticFl = 0, kDcNas, kHaloFl };
+const char* strategy_name(FlStrategy s);
+
+/// Two-layer MLP classifier held as plain tensors so aggregation can be
+/// mask-aware and quantization explicit.
+struct MlpParams {
+  nn::Tensor w1, b1;  // [hidden, in], [hidden]
+  nn::Tensor w2, b2;  // [classes, hidden], [classes]
+  int in = 0, hidden = 0, classes = 0;
+};
+
+MlpParams init_mlp(int in, int hidden, int classes, Rng& rng);
+
+/// Forward MACs for one sample restricted to `active_hidden` units.
+std::size_t mlp_macs(const MlpParams& p, int active_hidden);
+
+/// Accuracy over the listed indices (all if empty).
+double evaluate_accuracy(const MlpParams& p,
+                         const sim::ClassificationDataset& data,
+                         const std::vector<int>& indices = {});
+
+/// Local SGD with an active hidden-channel mask and fake quantization.
+/// Returns the training MACs consumed.
+double local_train(MlpParams& p, const sim::ClassificationDataset& data,
+                   const std::vector<int>& shard,
+                   const std::vector<bool>& active_hidden,
+                   const PrecisionConfig& precision, int epochs, int batch,
+                   double lr, Rng& rng);
+
+struct FlConfig {
+  int rounds = 15;
+  int local_epochs = 2;
+  int batch = 16;
+  double lr = 0.08;
+  int hidden = 48;
+  /// DC-NAS candidate widths (largest fitting the latency budget wins).
+  std::vector<int> width_candidates{8, 16, 24, 32, 40, 48};
+  /// HaLo-FL candidate precisions, cheapest-first.
+  std::vector<PrecisionConfig> precision_candidates{
+      {6, 6, 8}, {8, 8, 8}, {8, 8, 16}, {16, 16, 16}, {32, 32, 32}};
+};
+
+struct FlResult {
+  double final_accuracy = 0.0;
+  std::vector<double> accuracy_per_round;
+  double total_energy_j = 0.0;   ///< sum over clients and rounds
+  double total_latency_s = 0.0;  ///< sum over rounds of the slowest client
+  double mean_area_mm2 = 0.0;    ///< mean accelerator config area
+  /// Per-client adaptation choices (width or precision), for reporting.
+  std::vector<int> client_widths;
+  std::vector<PrecisionConfig> client_precisions;
+};
+
+FlResult run_federated(FlStrategy strategy,
+                       const sim::ClassificationDataset& train,
+                       const sim::ClassificationDataset& test,
+                       const std::vector<std::vector<int>>& shards,
+                       const std::vector<HardwareProfile>& fleet,
+                       const FlConfig& config, Rng& rng);
+
+/// DC-NAS width selection: largest candidate whose fp32 round latency
+/// fits the client's budget. Exposed for tests.
+int select_width(const HardwareProfile& hw, const FlConfig& config,
+                 std::size_t shard_size, int in, int classes);
+
+/// HaLo-FL precision selection: cheapest candidate meeting both latency
+/// and energy budgets (falls back to the cheapest overall). Exposed for
+/// tests.
+PrecisionConfig select_precision(const HardwareProfile& hw,
+                                 const FlConfig& config,
+                                 double round_macs);
+
+}  // namespace s2a::federated

@@ -1,0 +1,166 @@
+#include "federated/speculative.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::federated {
+
+MarkovModel::MarkovModel(int vocab, nn::Tensor transitions)
+    : vocab_(vocab), t_(std::move(transitions)) {
+  S2A_CHECK(t_.shape() == (std::vector<int>{vocab, vocab}));
+  for (int i = 0; i < vocab; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < vocab; ++j) {
+      S2A_CHECK(t_.at(i, j) >= 0.0);
+      row += t_.at(i, j);
+    }
+    S2A_CHECK_MSG(std::abs(row - 1.0) < 1e-9, "row " << i << " sums to " << row);
+  }
+}
+
+MarkovModel MarkovModel::random(int vocab, double peakedness, Rng& rng) {
+  S2A_CHECK(vocab > 1 && peakedness > 0.0);
+  nn::Tensor t({vocab, vocab});
+  for (int i = 0; i < vocab; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < vocab; ++j) {
+      // Exponentiated uniform draws: larger peakedness → spikier rows.
+      const double e = std::pow(rng.uniform(), peakedness);
+      t.at(i, j) = e;
+      row += e;
+    }
+    for (int j = 0; j < vocab; ++j) t.at(i, j) /= row;
+  }
+  return MarkovModel(vocab, std::move(t));
+}
+
+MarkovModel MarkovModel::smoothed(double eps) const {
+  S2A_CHECK(eps >= 0.0 && eps <= 1.0);
+  nn::Tensor t = t_;
+  const double u = 1.0 / vocab_;
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = (1.0 - eps) * t[i] + eps * u;
+  return MarkovModel(vocab_, std::move(t));
+}
+
+double MarkovModel::prob(int current, int next) const {
+  S2A_DCHECK(current >= 0 && current < vocab_ && next >= 0 && next < vocab_);
+  return t_.at(current, next);
+}
+
+int MarkovModel::sample(int current, Rng& rng) const {
+  double u = rng.uniform();
+  for (int j = 0; j < vocab_; ++j) {
+    u -= t_.at(current, j);
+    if (u <= 0.0) return j;
+  }
+  return vocab_ - 1;
+}
+
+std::vector<int> autoregressive_decode(const MarkovModel& model,
+                                       int num_tokens, Rng& rng) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(num_tokens));
+  int ctx = 0;
+  for (int i = 0; i < num_tokens; ++i) {
+    ctx = model.sample(ctx, rng);
+    out.push_back(ctx);
+  }
+  return out;
+}
+
+SpeculativeStats speculative_decode(const MarkovModel& target,
+                                    const MarkovModel& draft, int num_tokens,
+                                    const SpeculativeConfig& cfg, Rng& rng,
+                                    std::vector<int>* out) {
+  S2A_CHECK(target.vocab() == draft.vocab());
+  S2A_CHECK(cfg.gamma >= 1);
+  const int vocab = target.vocab();
+
+  SpeculativeStats stats;
+  std::vector<int> seq;
+  int ctx = 0;
+
+  while (stats.tokens_generated < num_tokens) {
+    // Draft proposes gamma tokens autoregressively.
+    std::vector<int> proposal;
+    int dctx = ctx;
+    for (int g = 0; g < cfg.gamma; ++g) {
+      const int tok = draft.sample(dctx, rng);
+      proposal.push_back(tok);
+      dctx = tok;
+      ++stats.draft_tokens;
+    }
+
+    // One (parallel) target pass verifies all proposed positions.
+    ++stats.target_passes;
+    int vctx = ctx;
+    bool rejected = false;
+    for (int g = 0; g < cfg.gamma && stats.tokens_generated < num_tokens; ++g) {
+      const int tok = proposal[static_cast<std::size_t>(g)];
+      const double p = target.prob(vctx, tok);
+      const double q = draft.prob(vctx, tok);
+      if (rng.uniform() < std::min(1.0, p / q)) {
+        seq.push_back(tok);
+        ++stats.tokens_generated;
+        ++stats.accepted;
+        vctx = tok;
+      } else {
+        // Resample from the residual distribution max(0, p−q)/Z.
+        std::vector<double> residual(static_cast<std::size_t>(vocab));
+        double z = 0.0;
+        for (int j = 0; j < vocab; ++j) {
+          residual[static_cast<std::size_t>(j)] =
+              std::max(0.0, target.prob(vctx, j) - draft.prob(vctx, j));
+          z += residual[static_cast<std::size_t>(j)];
+        }
+        int tok2 = vocab - 1;
+        if (z > 0.0) {
+          double u = rng.uniform() * z;
+          for (int j = 0; j < vocab; ++j) {
+            u -= residual[static_cast<std::size_t>(j)];
+            if (u <= 0.0) {
+              tok2 = j;
+              break;
+            }
+          }
+        } else {
+          tok2 = target.sample(vctx, rng);
+        }
+        seq.push_back(tok2);
+        ++stats.tokens_generated;
+        vctx = tok2;
+        rejected = true;
+        break;
+      }
+    }
+    // Bonus token when every proposal was accepted (free: the target pass
+    // already produced the next-position distribution).
+    if (!rejected && stats.tokens_generated < num_tokens) {
+      const int tok = target.sample(vctx, rng);
+      seq.push_back(tok);
+      ++stats.tokens_generated;
+      vctx = tok;
+    }
+    ctx = vctx;
+  }
+
+  if (out != nullptr) *out = std::move(seq);
+  return stats;
+}
+
+std::vector<double> unigram_distribution(const std::vector<int>& tokens,
+                                         int vocab) {
+  std::vector<double> dist(static_cast<std::size_t>(vocab), 0.0);
+  if (tokens.empty()) return dist;
+  for (int t : tokens) {
+    S2A_CHECK(t >= 0 && t < vocab);
+    dist[static_cast<std::size_t>(t)] += 1.0;
+  }
+  for (auto& d : dist) d /= static_cast<double>(tokens.size());
+  return dist;
+}
+
+}  // namespace s2a::federated

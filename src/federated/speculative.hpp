@@ -1,0 +1,88 @@
+// Edge-cloud speculative decoding (Sec. VII, [78]): a small edge "draft"
+// model proposes γ tokens autoregressively; the cloud "target" model
+// verifies them in one parallel pass, accepting each with probability
+// min(1, p/q) and resampling from the residual on the first rejection.
+// The construction provably preserves the target distribution while
+// amortizing expensive target passes over multiple tokens.
+//
+// Models are first-order Markov chains over a small vocabulary — enough
+// structure for nontrivial acceptance dynamics while keeping the exact
+// token probabilities (and thus the correctness property) testable.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace s2a::federated {
+
+/// Row-stochastic first-order Markov model: P(next | current).
+class MarkovModel {
+ public:
+  MarkovModel(int vocab, nn::Tensor transitions);
+
+  /// Random peaked transition table; higher `peakedness` concentrates
+  /// mass on fewer successors (more predictable → higher acceptance).
+  static MarkovModel random(int vocab, double peakedness, Rng& rng);
+  /// Draft-model surrogate: (1−eps)·P + eps·uniform.
+  MarkovModel smoothed(double eps) const;
+
+  int vocab() const { return vocab_; }
+  double prob(int current, int next) const;
+  int sample(int current, Rng& rng) const;
+
+ private:
+  int vocab_;
+  nn::Tensor t_;  // [vocab, vocab]
+};
+
+struct SpeculativeConfig {
+  int gamma = 4;                   ///< draft tokens per verification pass
+  double target_pass_latency = 1.0;///< cloud round trip (arbitrary units)
+  double draft_token_latency = 0.05;
+};
+
+struct SpeculativeStats {
+  long tokens_generated = 0;
+  long target_passes = 0;
+  long draft_tokens = 0;
+  long accepted = 0;
+
+  double acceptance_rate() const {
+    return draft_tokens > 0 ? static_cast<double>(accepted) / draft_tokens : 0.0;
+  }
+  /// Tokens per target pass: 1.0 for plain autoregressive decoding.
+  double tokens_per_pass() const {
+    return target_passes > 0
+               ? static_cast<double>(tokens_generated) / target_passes
+               : 0.0;
+  }
+  double latency(const SpeculativeConfig& cfg) const {
+    return target_passes * cfg.target_pass_latency +
+           draft_tokens * cfg.draft_token_latency;
+  }
+  /// Wall-clock speedup over one-token-per-pass target decoding.
+  double speedup(const SpeculativeConfig& cfg) const {
+    const double baseline = tokens_generated * cfg.target_pass_latency;
+    const double l = latency(cfg);
+    return l > 0.0 ? baseline / l : 0.0;
+  }
+};
+
+/// Generates `num_tokens` with speculative decoding; returns the sequence
+/// via `out` (optional) and the pass/acceptance statistics.
+SpeculativeStats speculative_decode(const MarkovModel& target,
+                                    const MarkovModel& draft, int num_tokens,
+                                    const SpeculativeConfig& config, Rng& rng,
+                                    std::vector<int>* out = nullptr);
+
+/// Plain autoregressive sampling from a model.
+std::vector<int> autoregressive_decode(const MarkovModel& model,
+                                       int num_tokens, Rng& rng);
+
+/// Empirical unigram distribution of a sequence (for correctness tests).
+std::vector<double> unigram_distribution(const std::vector<int>& tokens,
+                                         int vocab);
+
+}  // namespace s2a::federated

@@ -1,0 +1,398 @@
+#include "koopman/agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "util/check.hpp"
+
+namespace s2a::koopman {
+
+std::vector<double> stack_frames(const std::vector<double>& prev,
+                                 const std::vector<double>& cur) {
+  std::vector<double> out;
+  out.reserve(prev.size() + cur.size());
+  out.insert(out.end(), prev.begin(), prev.end());
+  out.insert(out.end(), cur.begin(), cur.end());
+  return out;
+}
+
+std::vector<Transition> collect_transitions(int episodes, int max_steps,
+                                            int retina_width,
+                                            const sim::CartPoleConfig& env_cfg,
+                                            Rng& rng) {
+  std::vector<Transition> data;
+  for (int ep = 0; ep < episodes; ++ep) {
+    sim::CartPole env(env_cfg);
+    env.reset(rng);
+    bool first = true;
+    std::vector<double> prev = env.render_retina(retina_width);
+    for (int t = 0; t < max_steps && !env.failed(); ++t) {
+      Transition tr;
+      tr.episode_start = first;
+      first = false;
+      const std::vector<double> cur = env.render_retina(retina_width);
+      // Velocities are unobservable from one frame: observations stack the
+      // previous and current retinas, as pixel-based RL does.
+      tr.obs = stack_frames(prev, cur);
+      const auto s = env.state_vector();
+      std::copy(s.begin(), s.end(), tr.state.begin());
+      // Exploration: random action with a weak stabilizing bias so
+      // trajectories stay near the upright manifold long enough to cover it.
+      tr.action = std::clamp(
+          rng.uniform(-1.0, 1.0) + 0.5 * env.state().theta * 10.0, -1.0, 1.0);
+      env.step(tr.action, rng);
+      const std::vector<double> next = env.render_retina(retina_width);
+      tr.next_obs = stack_frames(cur, next);
+      const auto sn = env.state_vector();
+      std::copy(sn.begin(), sn.end(), tr.next_state.begin());
+      prev = cur;
+      data.push_back(std::move(tr));
+    }
+  }
+  return data;
+}
+
+ControlAgent::ControlAgent(ModelKind kind, AgentConfig config, Rng& rng)
+    : cfg_(config),
+      decoder_(config.latent_dim, 4, rng, /*bias=*/false) {
+  // Observation = 2 stacked frames × 2 retina strips of `retina_width`.
+  encoder_.emplace<nn::Dense>(4 * cfg_.retina_width, cfg_.encoder_hidden, rng);
+  encoder_.emplace<nn::ReLU>();
+  encoder_.emplace<nn::Dense>(cfg_.encoder_hidden, cfg_.latent_dim, rng);
+  model_ = make_model(kind, cfg_.latent_dim, 1, cfg_.dt, rng);
+
+  optimizer_ = std::make_unique<nn::Adam>(cfg_.lr);
+  auto params = encoder_.params();
+  auto grads = encoder_.grads();
+  for (auto* p : decoder_.params()) params.push_back(p);
+  for (auto* g : decoder_.grads()) grads.push_back(g);
+  for (auto* p : model_->params()) params.push_back(p);
+  for (auto* g : model_->grads()) grads.push_back(g);
+  optimizer_->attach(std::move(params), std::move(grads));
+  ctx_ = model_->initial_context();
+}
+
+nn::Tensor ControlAgent::encode(const std::vector<double>& obs) {
+  S2A_CHECK_MSG(static_cast<int>(obs.size()) == 4 * cfg_.retina_width,
+                "expected a 2-frame stack of 2-strip retinas");
+  nn::Tensor x({1, 4 * cfg_.retina_width},
+               std::vector<double>(obs.begin(), obs.end()));
+  return encoder_.forward(x);
+}
+
+std::vector<double> ControlAgent::augment(const std::vector<double>& obs,
+                                          Rng& rng) const {
+  // Circular pixel shift within each retina strip (the 1-D analogue of
+  // random crop; one shared shift keeps strips consistent) plus noise.
+  const int w = cfg_.retina_width;
+  const int shift = rng.uniform_int(-2, 2);
+  std::vector<double> out(obs.size());
+  const int strips = static_cast<int>(obs.size()) / w;
+  for (int sidx = 0; sidx < strips; ++sidx)
+    for (int i = 0; i < w; ++i)
+      out[static_cast<std::size_t>(sidx) * w + i] =
+          obs[static_cast<std::size_t>(sidx) * w +
+              static_cast<std::size_t>(((i + shift) % w + w) % w)] +
+          rng.normal(0.0, 0.01);
+  return out;
+}
+
+void ControlAgent::train_batch_stateless(
+    const std::vector<const Transition*>& batch, double& pred_loss, Rng& rng) {
+  const int n = static_cast<int>(batch.size());
+  const int w = 4 * cfg_.retina_width;  // 2 frames × 2 strips
+  const int m = cfg_.latent_dim;
+
+  auto to_tensor = [&](auto getter) {
+    nn::Tensor t({n, w});
+    for (int i = 0; i < n; ++i) {
+      const auto& v = getter(*batch[static_cast<std::size_t>(i)]);
+      for (int j = 0; j < w; ++j) t.at(i, j) = v[static_cast<std::size_t>(j)];
+    }
+    return t;
+  };
+
+  optimizer_->zero_grad();
+
+  // Targets first (the encoder caches its last input for backward).
+  const nn::Tensor z_next =
+      encoder_.forward(to_tensor([](const Transition& t) -> const std::vector<double>& {
+        return t.next_obs;
+      }));
+
+  const nn::Tensor z =
+      encoder_.forward(to_tensor([](const Transition& t) -> const std::vector<double>& {
+        return t.obs;
+      }));
+
+  nn::Tensor actions({n, 1});
+  nn::Tensor states({n, 4});
+  for (int i = 0; i < n; ++i) {
+    actions.at(i, 0) = batch[static_cast<std::size_t>(i)]->action;
+    for (int j = 0; j < 4; ++j)
+      states.at(i, j) = batch[static_cast<std::size_t>(i)]->state[static_cast<std::size_t>(j)];
+  }
+
+  // Prediction loss through the dynamics model.
+  const nn::Tensor zp = model_->forward(z, actions, RolloutContext{});
+  auto pred = nn::mse_loss(zp, z_next);
+  pred_loss += pred.value;
+  nn::Tensor dz = model_->backward(pred.grad);
+
+  // Linear state decoding loss.
+  const nn::Tensor s_hat = decoder_.forward(z);
+  auto dec = nn::mse_loss(s_hat, states);
+  nn::Tensor ddec = dec.grad;
+  for (std::size_t i = 0; i < ddec.numel(); ++i) ddec[i] *= cfg_.decode_weight;
+  dz.add_scaled(decoder_.backward(ddec), 1.0);
+
+  encoder_.backward(dz);
+
+  // Contrastive InfoNCE on augmented views (spectral Koopman encoder only,
+  // as in RoboKoop).
+  if (model_->kind() == ModelKind::kSpectralKoopman &&
+      cfg_.contrastive_weight > 0.0 && n > 1) {
+    nn::Tensor keys({n, m});
+    {
+      nn::Tensor aug2({n, w});
+      for (int i = 0; i < n; ++i) {
+        const auto v = augment(batch[static_cast<std::size_t>(i)]->obs, rng);
+        for (int j = 0; j < w; ++j) aug2.at(i, j) = v[static_cast<std::size_t>(j)];
+      }
+      keys = encoder_.forward(aug2);  // no-grad branch: grads not propagated
+    }
+    nn::Tensor aug1({n, w});
+    for (int i = 0; i < n; ++i) {
+      const auto v = augment(batch[static_cast<std::size_t>(i)]->obs, rng);
+      for (int j = 0; j < w; ++j) aug1.at(i, j) = v[static_cast<std::size_t>(j)];
+    }
+    const nn::Tensor queries = encoder_.forward(aug1);
+
+    // logits[i][j] = q_i · k_j / τ; labels are the diagonal.
+    const double inv_tau = 1.0 / cfg_.contrastive_temperature;
+    nn::Tensor logits = nn::matmul_nt(queries, keys);
+    for (std::size_t i = 0; i < logits.numel(); ++i) logits[i] *= inv_tau;
+    std::vector<int> labels(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) labels[static_cast<std::size_t>(i)] = i;
+    auto nce = nn::softmax_cross_entropy(logits, labels);
+    // dq = (softmax − onehot)·K / τ (per row, already averaged over batch).
+    nn::Tensor dq = nn::matmul(nce.grad, keys);
+    for (std::size_t i = 0; i < dq.numel(); ++i)
+      dq[i] *= inv_tau * cfg_.contrastive_weight;
+    encoder_.backward(dq);
+  }
+
+  nn::clip_grad_norm(model_->grads(), 5.0);
+  optimizer_->step();
+}
+
+void ControlAgent::train_window_stateful(const std::vector<Transition>& data,
+                                         std::size_t end_index,
+                                         double& pred_loss) {
+  // Build context from the preceding steps of the same episode.
+  const int max_ctx = 3;
+  std::size_t begin = end_index;
+  while (begin > 0 && !data[begin].episode_start &&
+         end_index - begin < static_cast<std::size_t>(max_ctx))
+    --begin;
+
+  RolloutContext ctx = model_->initial_context();
+  for (std::size_t i = begin; i < end_index; ++i) {
+    const nn::Tensor zi = encode(data[i].obs);
+    nn::Tensor ai({1, 1});
+    ai[0] = data[i].action;
+    ctx = model_->advance(std::move(ctx), zi, ai);
+  }
+
+  const Transition& tr = data[end_index];
+  optimizer_->zero_grad();
+  const nn::Tensor z_next = encode(tr.next_obs);
+  const nn::Tensor z = encode(tr.obs);
+  nn::Tensor a({1, 1});
+  a[0] = tr.action;
+
+  const nn::Tensor zp = model_->forward(z, a, ctx);
+  auto pred = nn::mse_loss(zp, z_next);
+  pred_loss += pred.value;
+  nn::Tensor dz = model_->backward(pred.grad);
+
+  nn::Tensor states({1, 4});
+  for (int j = 0; j < 4; ++j) states[static_cast<std::size_t>(j)] = tr.state[static_cast<std::size_t>(j)];
+  const nn::Tensor s_hat = decoder_.forward(z);
+  auto dec = nn::mse_loss(s_hat, states);
+  nn::Tensor ddec = dec.grad;
+  for (std::size_t i = 0; i < ddec.numel(); ++i) ddec[i] *= cfg_.decode_weight;
+  dz.add_scaled(decoder_.backward(ddec), 1.0);
+
+  encoder_.backward(dz);
+  nn::clip_grad_norm(model_->grads(), 5.0);
+  optimizer_->step();
+}
+
+double ControlAgent::train(const std::vector<Transition>& data, Rng& rng) {
+  S2A_CHECK(!data.empty());
+  const bool stateful = model_->kind() == ModelKind::kTransformer ||
+                        model_->kind() == ModelKind::kRecurrent;
+  double final_epoch_loss = 0.0;
+  std::vector<int> order(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) order[i] = static_cast<int>(i);
+
+  for (int epoch = 0; epoch < cfg_.train_epochs; ++epoch) {
+    rng.shuffle(order);
+    double pred_loss = 0.0;
+    int updates = 0;
+    if (stateful) {
+      // One window per update; cap work per epoch to keep epochs balanced
+      // with the batched stateless path.
+      const int per_epoch =
+          std::max(8, static_cast<int>(data.size()) / cfg_.batch_size * 4);
+      for (int u = 0; u < per_epoch; ++u) {
+        train_window_stateful(
+            data, static_cast<std::size_t>(order[static_cast<std::size_t>(u % order.size())]),
+            pred_loss);
+        ++updates;
+      }
+    } else {
+      for (std::size_t start = 0; start + cfg_.batch_size <= data.size();
+           start += cfg_.batch_size) {
+        std::vector<const Transition*> batch;
+        for (int i = 0; i < cfg_.batch_size; ++i)
+          batch.push_back(&data[static_cast<std::size_t>(
+              order[start + static_cast<std::size_t>(i)])]);
+        train_batch_stateless(batch, pred_loss, rng);
+        ++updates;
+      }
+    }
+    final_epoch_loss = pred_loss / std::max(1, updates);
+  }
+  prepare_controller();
+  return final_epoch_loss;
+}
+
+void ControlAgent::prepare_controller() {
+  // Goal latent: the upright, centered configuration (a static stack).
+  sim::CartPole goal_env;
+  goal_env.set_state(sim::CartPoleState{});
+  const auto goal_frame = goal_env.render_retina(cfg_.retina_width);
+  z_goal_ = encode(stack_frames(goal_frame, goal_frame));
+
+  if (model_->kind() != ModelKind::kSpectralKoopman) return;
+  auto& spectral = static_cast<SpectralKoopmanModel&>(*model_).spectral();
+  const nn::Tensor a = spectral.a_matrix();
+  const nn::Tensor b = spectral.b_matrix();
+
+  // Q = Cᵀ·diag(q)·C with C the linear state decoder: latent cost equals
+  // decoded-state cost.
+  const nn::Tensor& c = decoder_.weight();  // [4, 2m]
+  nn::Tensor qc = c;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < cfg_.latent_dim; ++j)
+      qc.at(i, j) *= cfg_.state_cost[static_cast<std::size_t>(i)];
+  const nn::Tensor q = nn::matmul_tn(c, qc);
+  nn::Tensor r({1, 1});
+  r[0] = cfg_.action_cost;
+
+  const LqrResult res = solve_lqr(a, b, q, r);
+  lqr_gain_ = res.gain;
+}
+
+void ControlAgent::reset_episode() { ctx_ = model_->initial_context(); }
+
+double ControlAgent::act_lqr(const nn::Tensor& z) {
+  S2A_CHECK_MSG(!lqr_gain_.empty(), "controller not prepared — train first");
+  double u = 0.0;
+  for (int i = 0; i < cfg_.latent_dim; ++i)
+    u -= lqr_gain_.at(0, i) * (z[static_cast<std::size_t>(i)] -
+                               z_goal_[static_cast<std::size_t>(i)]);
+  return std::clamp(u, -1.0, 1.0);
+}
+
+double ControlAgent::act_mpc(const nn::Tensor& z, Rng& rng) {
+  double best_cost = std::numeric_limits<double>::infinity();
+  double best_first = 0.0;
+  for (int s = 0; s < cfg_.mpc_samples; ++s) {
+    RolloutContext ctx = ctx_;
+    nn::Tensor zc = z;
+    double cost = 0.0;
+    double first = 0.0;
+    for (int h = 0; h < cfg_.mpc_horizon; ++h) {
+      const double a_val = rng.uniform(-1.0, 1.0);
+      if (h == 0) first = a_val;
+      nn::Tensor a({1, 1});
+      a[0] = a_val;
+      const nn::Tensor zn = model_->forward(zc, a, ctx);
+      ctx = model_->advance(std::move(ctx), zc, a);
+      const nn::Tensor s_hat = decoder_.forward(zn);
+      for (int i = 0; i < 4; ++i)
+        cost += cfg_.state_cost[static_cast<std::size_t>(i)] *
+                s_hat[static_cast<std::size_t>(i)] *
+                s_hat[static_cast<std::size_t>(i)];
+      cost += cfg_.action_cost * a_val * a_val;
+      zc = zn;
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_first = first;
+    }
+  }
+  return std::clamp(best_first, -1.0, 1.0);
+}
+
+double ControlAgent::act(const std::vector<double>& retina, Rng& rng) {
+  const nn::Tensor z = encode(retina);
+  double u;
+  if (model_->kind() == ModelKind::kSpectralKoopman) {
+    u = act_lqr(z);
+  } else {
+    u = act_mpc(z, rng);
+    // The real (z, action) pair extends the live context.
+    nn::Tensor a({1, 1});
+    a[0] = u;
+    ctx_ = model_->advance(std::move(ctx_), z, a);
+  }
+  return u;
+}
+
+std::size_t ControlAgent::control_macs() const {
+  const std::size_t enc = encoder_.macs_per_sample();
+  if (model_->kind() == ModelKind::kSpectralKoopman)
+    return enc + static_cast<std::size_t>(cfg_.latent_dim);  // gain dot product
+  const std::size_t per_step =
+      model_->macs_per_step() + decoder_.macs_per_sample();
+  return enc + static_cast<std::size_t>(cfg_.mpc_samples) *
+                   static_cast<std::size_t>(cfg_.mpc_horizon) * per_step;
+}
+
+std::size_t ControlAgent::param_count() {
+  return encoder_.param_count() + decoder_.param_count() +
+         model_->param_count();
+}
+
+double evaluate_agent(ControlAgent& agent, double disturb_prob, int episodes,
+                      int max_steps, const sim::CartPoleConfig& env_cfg,
+                      Rng& rng) {
+  sim::CartPoleConfig cfg = env_cfg;
+  cfg.disturb_prob = disturb_prob;
+  double total = 0.0;
+  for (int ep = 0; ep < episodes; ++ep) {
+    sim::CartPole env(cfg);
+    env.reset(rng);
+    agent.reset_episode();
+    std::vector<double> prev = env.render_retina(agent.retina_width());
+    int t = 0;
+    while (t < max_steps && !env.failed()) {
+      const std::vector<double> cur = env.render_retina(agent.retina_width());
+      const double a = agent.act(stack_frames(prev, cur), rng);
+      env.step(a, rng);
+      prev = cur;
+      ++t;
+    }
+    total += t;
+  }
+  return total / episodes;
+}
+
+}  // namespace s2a::koopman

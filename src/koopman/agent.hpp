@@ -1,0 +1,116 @@
+// Training and control harness for the RoboKoop comparison (Sec. IV,
+// Fig. 5): every dynamics model gets the same visual encoder (retina →
+// latent) and linear state decoder; the spectral Koopman model is
+// additionally trained with a contrastive (InfoNCE) loss on augmented
+// views — the contrastive spectral Koopman encoder of Fig. 4 — and
+// controlled by LQR on its linear latent dynamics, while the baselines
+// use sampling-based MPC through their learned models.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "koopman/lqr.hpp"
+#include "koopman/models.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "sim/cartpole.hpp"
+
+namespace s2a::koopman {
+
+/// One environment transition with the rendered observation and the
+/// ground-truth state (used only to supervise the linear state decoder,
+/// mirroring RoboKoop's access to reward/goal signals).
+struct Transition {
+  std::vector<double> obs, next_obs;
+  double action = 0.0;
+  std::array<double, 4> state{}, next_state{};
+  bool episode_start = false;
+};
+
+/// Concatenates two consecutive retina frames into one observation
+/// (velocities are unobservable from a single frame).
+std::vector<double> stack_frames(const std::vector<double>& prev,
+                                 const std::vector<double>& cur);
+
+/// Rolls `episodes` exploration episodes (random actions with a weak
+/// stabilizing bias so data covers the near-upright region). Observations
+/// are 2-frame stacks of 2-strip retinas (4·retina_width values).
+std::vector<Transition> collect_transitions(int episodes, int max_steps,
+                                            int retina_width,
+                                            const sim::CartPoleConfig& env_cfg,
+                                            Rng& rng);
+
+struct AgentConfig {
+  int retina_width = 32;
+  int latent_dim = 16;  ///< 8 complex Koopman modes
+  int encoder_hidden = 64;
+  double dt = 0.02;
+  int train_epochs = 25;
+  int batch_size = 32;
+  double lr = 1e-3;
+  int mpc_samples = 48;
+  int mpc_horizon = 8;
+  double contrastive_weight = 0.2;
+  double contrastive_temperature = 0.2;
+  double decode_weight = 1.0;
+  std::array<double, 4> state_cost{1.0, 0.1, 10.0, 0.2};
+  double action_cost = 0.1;
+};
+
+class ControlAgent {
+ public:
+  ControlAgent(ModelKind kind, AgentConfig config, Rng& rng);
+
+  /// Joint encoder/decoder/dynamics training; returns final-epoch mean
+  /// prediction loss.
+  double train(const std::vector<Transition>& data, Rng& rng);
+
+  /// Clears rollout context at episode boundaries.
+  void reset_episode();
+  /// Control decision in [-1, 1] from the visual observation.
+  double act(const std::vector<double>& retina, Rng& rng);
+
+  ModelKind kind() const { return model_->kind(); }
+  int retina_width() const { return cfg_.retina_width; }
+  /// MACs per control decision (encoder + controller, including MPC
+  /// rollouts where applicable) — the Fig. 5a "control" series.
+  std::size_t control_macs() const;
+  /// MACs per one-step latent prediction — the Fig. 5a "prediction" series.
+  std::size_t prediction_macs() const { return model_->macs_per_step(); }
+  std::size_t param_count();
+
+  DynamicsModel& model() { return *model_; }
+  /// The LQR gain (spectral Koopman only; empty otherwise).
+  const nn::Tensor& lqr_gain() const { return lqr_gain_; }
+
+ private:
+  nn::Tensor encode(const std::vector<double>& obs);
+  nn::Tensor decode_state(const nn::Tensor& z) { return decoder_.forward(z); }
+  std::vector<double> augment(const std::vector<double>& obs, Rng& rng) const;
+  void train_batch_stateless(const std::vector<const Transition*>& batch,
+                             double& pred_loss, Rng& rng);
+  void train_window_stateful(const std::vector<Transition>& data,
+                             std::size_t end_index, double& pred_loss);
+  void prepare_controller();
+  double act_lqr(const nn::Tensor& z);
+  double act_mpc(const nn::Tensor& z, Rng& rng);
+
+  AgentConfig cfg_;
+  nn::Sequential encoder_;
+  nn::Dense decoder_;  // latent -> 4-d state, linear, no bias
+  std::unique_ptr<DynamicsModel> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  nn::Tensor lqr_gain_;
+  nn::Tensor z_goal_;
+  RolloutContext ctx_;
+};
+
+/// Mean episode return (balanced steps, max `max_steps`) under external
+/// force disturbances with per-step probability `disturb_prob` (Fig. 5b).
+double evaluate_agent(ControlAgent& agent, double disturb_prob, int episodes,
+                      int max_steps, const sim::CartPoleConfig& env_cfg,
+                      Rng& rng);
+
+}  // namespace s2a::koopman

@@ -1,0 +1,91 @@
+#include "koopman/lqr.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::koopman {
+
+nn::Tensor invert(const nn::Tensor& m) {
+  S2A_CHECK(m.shape().size() == 2 && m.dim(0) == m.dim(1));
+  const int n = m.dim(0);
+  // Augmented [M | I], reduced in place.
+  nn::Tensor a = m;
+  nn::Tensor inv({n, n});
+  for (int i = 0; i < n; ++i) inv.at(i, i) = 1.0;
+
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row)
+      if (std::abs(a.at(row, col)) > std::abs(a.at(pivot, col))) pivot = row;
+    S2A_CHECK_MSG(std::abs(a.at(pivot, col)) > 1e-12, "singular matrix");
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) {
+        std::swap(a.at(col, j), a.at(pivot, j));
+        std::swap(inv.at(col, j), inv.at(pivot, j));
+      }
+    }
+    const double d = a.at(col, col);
+    for (int j = 0; j < n; ++j) {
+      a.at(col, j) /= d;
+      inv.at(col, j) /= d;
+    }
+    for (int row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const double f = a.at(row, col);
+      if (f == 0.0) continue;
+      for (int j = 0; j < n; ++j) {
+        a.at(row, j) -= f * a.at(col, j);
+        inv.at(row, j) -= f * inv.at(col, j);
+      }
+    }
+  }
+  return inv;
+}
+
+LqrResult solve_lqr(const nn::Tensor& a, const nn::Tensor& b,
+                    const nn::Tensor& q, const nn::Tensor& r,
+                    int max_iterations, double tolerance) {
+  const int n = a.dim(0);
+  const int m = b.dim(1);
+  S2A_CHECK(a.dim(1) == n && b.dim(0) == n);
+  S2A_CHECK(q.dim(0) == n && q.dim(1) == n);
+  S2A_CHECK(r.dim(0) == m && r.dim(1) == m);
+
+  LqrResult res;
+  nn::Tensor p = q;
+  for (int it = 0; it < max_iterations; ++it) {
+    // K = (R + BᵀPB)⁻¹ BᵀPA
+    const nn::Tensor pb = nn::matmul(p, b);                 // [n,m]
+    const nn::Tensor btpb = nn::matmul_tn(b, pb);           // [m,m]
+    nn::Tensor gram = btpb;
+    gram.add_scaled(r, 1.0);
+    const nn::Tensor gram_inv = invert(gram);
+    const nn::Tensor pa = nn::matmul(p, a);                 // [n,n]
+    const nn::Tensor btpa = nn::matmul_tn(b, pa);           // [m,n]
+    const nn::Tensor k = nn::matmul(gram_inv, btpa);        // [m,n]
+
+    // P' = Q + Kᵀ R K + (A - BK)ᵀ P (A - BK)
+    nn::Tensor acl = a;
+    acl.add_scaled(nn::matmul(b, k), -1.0);
+    nn::Tensor p_next = q;
+    p_next.add_scaled(nn::matmul_tn(k, nn::matmul(r, k)), 1.0);
+    p_next.add_scaled(nn::matmul_tn(acl, nn::matmul(p, acl)), 1.0);
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i < p.numel(); ++i)
+      delta = std::max(delta, std::abs(p_next[i] - p[i]));
+    p = p_next;
+    res.gain = k;
+    res.iterations = it + 1;
+    if (delta < tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.cost_to_go = p;
+  return res;
+}
+
+}  // namespace s2a::koopman

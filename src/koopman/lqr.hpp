@@ -1,0 +1,34 @@
+// Discrete-time Linear Quadratic Regulator.
+//
+// RoboKoop (Sec. IV) derives optimal control from the learned spectral
+// Koopman embedding by solving an LQR problem over the linear latent
+// dynamics z' = A z + B a with quadratic cost zᵀQz + aᵀRa. The solver
+// iterates the discrete Riccati recursion to the fixed point and returns
+// the stationary gain K, so the runtime controller is a = -K z — a dot
+// product, which is where the Fig. 5a MAC advantage comes from.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace s2a::koopman {
+
+struct LqrResult {
+  nn::Tensor gain;        ///< K: [action_dim, state_dim]
+  nn::Tensor cost_to_go;  ///< P: [state_dim, state_dim]
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Solves the infinite-horizon discrete LQR. `a`: [n,n], `b`: [n,m],
+/// `q`: [n,n] (PSD), `r`: [m,m] (PD). Iterates up to `max_iterations`
+/// Riccati steps, stopping when P changes by less than `tolerance`
+/// (max-abs).
+LqrResult solve_lqr(const nn::Tensor& a, const nn::Tensor& b,
+                    const nn::Tensor& q, const nn::Tensor& r,
+                    int max_iterations = 500, double tolerance = 1e-9);
+
+/// Gauss–Jordan inverse of a small square matrix (throws CheckError if
+/// singular). Exposed for tests.
+nn::Tensor invert(const nn::Tensor& m);
+
+}  // namespace s2a::koopman

@@ -1,0 +1,289 @@
+#include "koopman/models.hpp"
+
+#include "nn/activations.hpp"
+#include "util/check.hpp"
+
+namespace s2a::koopman {
+
+const char* model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kSpectralKoopman:
+      return "Spectral Koopman";
+    case ModelKind::kDenseKoopman:
+      return "Dense Koopman";
+    case ModelKind::kMlp:
+      return "MLP";
+    case ModelKind::kTransformer:
+      return "Transformer";
+    case ModelKind::kRecurrent:
+      return "Recurrent (GRU)";
+  }
+  return "?";
+}
+
+std::vector<ModelKind> all_model_kinds() {
+  return {ModelKind::kSpectralKoopman, ModelKind::kDenseKoopman,
+          ModelKind::kMlp, ModelKind::kTransformer, ModelKind::kRecurrent};
+}
+
+// ---------------------------------------------------------------- dense
+
+DenseKoopmanModel::DenseKoopmanModel(int latent_dim, int action_dim, Rng& rng)
+    : dim_(latent_dim),
+      a_(latent_dim, latent_dim, rng, /*bias=*/false),
+      b_(action_dim, latent_dim, rng, /*bias=*/false) {
+  // Initialize A near identity so early rollouts don't explode.
+  nn::Tensor& w = a_.weight();
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] *= 0.1;
+  for (int i = 0; i < dim_; ++i) w.at(i, i) += 1.0;
+}
+
+nn::Tensor DenseKoopmanModel::forward(const nn::Tensor& z, const nn::Tensor& a,
+                                      const RolloutContext&) {
+  nn::Tensor out = a_.forward(z);
+  out.add_scaled(b_.forward(a), 1.0);
+  return out;
+}
+
+nn::Tensor DenseKoopmanModel::backward(const nn::Tensor& grad_out) {
+  b_.backward(grad_out);
+  return a_.backward(grad_out);
+}
+
+std::vector<nn::Tensor*> DenseKoopmanModel::params() {
+  auto p = a_.params();
+  for (auto* q : b_.params()) p.push_back(q);
+  return p;
+}
+
+std::vector<nn::Tensor*> DenseKoopmanModel::grads() {
+  auto g = a_.grads();
+  for (auto* q : b_.grads()) g.push_back(q);
+  return g;
+}
+
+std::size_t DenseKoopmanModel::macs_per_step() const {
+  return a_.macs_per_sample() + b_.macs_per_sample();
+}
+
+// ------------------------------------------------------------------ mlp
+
+MlpDynamicsModel::MlpDynamicsModel(int latent_dim, int action_dim, int hidden,
+                                   Rng& rng)
+    : dim_(latent_dim), action_dim_(action_dim) {
+  net_.emplace<nn::Dense>(latent_dim + action_dim, hidden, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dense>(hidden, hidden, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dense>(hidden, latent_dim, rng);
+}
+
+nn::Tensor MlpDynamicsModel::forward(const nn::Tensor& z, const nn::Tensor& a,
+                                     const RolloutContext&) {
+  S2A_CHECK(z.dim(0) == a.dim(0));
+  const int n = z.dim(0);
+  nn::Tensor za({n, dim_ + action_dim_});
+  for (int b = 0; b < n; ++b) {
+    for (int i = 0; i < dim_; ++i) za.at(b, i) = z.at(b, i);
+    for (int i = 0; i < action_dim_; ++i) za.at(b, dim_ + i) = a.at(b, i);
+  }
+  return net_.forward(za);
+}
+
+nn::Tensor MlpDynamicsModel::backward(const nn::Tensor& grad_out) {
+  const nn::Tensor dza = net_.backward(grad_out);
+  const int n = dza.dim(0);
+  nn::Tensor dz({n, dim_});
+  for (int b = 0; b < n; ++b)
+    for (int i = 0; i < dim_; ++i) dz.at(b, i) = dza.at(b, i);
+  return dz;
+}
+
+std::size_t MlpDynamicsModel::macs_per_step() const {
+  return net_.macs_per_sample();
+}
+
+// ---------------------------------------------------------- transformer
+
+TransformerDynamicsModel::TransformerDynamicsModel(int latent_dim,
+                                                   int action_dim, int window,
+                                                   Rng& rng)
+    : dim_(latent_dim),
+      action_dim_(action_dim),
+      window_(window),
+      token_proj_(latent_dim + action_dim, latent_dim, rng),
+      attn_(latent_dim, rng),
+      out_(latent_dim, latent_dim, rng) {
+  S2A_CHECK(window >= 1);
+}
+
+nn::Tensor TransformerDynamicsModel::forward(const nn::Tensor& z,
+                                             const nn::Tensor& a,
+                                             const RolloutContext& ctx) {
+  S2A_CHECK_MSG(z.dim(0) == 1, "transformer dynamics is per-sequence");
+  // Assemble tokens: up to window_-1 most recent context pairs + current.
+  std::vector<std::pair<const nn::Tensor*, const nn::Tensor*>> toks;
+  const std::size_t take =
+      std::min(ctx.window.size(), static_cast<std::size_t>(window_ - 1));
+  for (std::size_t i = ctx.window.size() - take; i < ctx.window.size(); ++i)
+    toks.push_back({&ctx.window[i].first, &ctx.window[i].second});
+  toks.push_back({&z, &a});
+
+  const int t = static_cast<int>(toks.size());
+  last_tokens_ = t;
+  nn::Tensor za({t, dim_ + action_dim_});
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < dim_; ++j) za.at(i, j) = (*toks[static_cast<std::size_t>(i)].first)[static_cast<std::size_t>(j)];
+    for (int j = 0; j < action_dim_; ++j)
+      za.at(i, dim_ + j) = (*toks[static_cast<std::size_t>(i)].second)[static_cast<std::size_t>(j)];
+  }
+  const nn::Tensor tokens = token_proj_.forward(za);   // [t, d]
+  const nn::Tensor mixed = attn_.forward(tokens);      // [t, d]
+  const nn::Tensor preds = out_.forward(mixed);        // [t, 2m]
+  // Prediction = last token's output.
+  nn::Tensor zp({1, dim_});
+  for (int j = 0; j < dim_; ++j) zp[static_cast<std::size_t>(j)] = preds.at(t - 1, j);
+  return zp;
+}
+
+nn::Tensor TransformerDynamicsModel::backward(const nn::Tensor& grad_out) {
+  const int t = last_tokens_;
+  S2A_CHECK(t >= 1);
+  nn::Tensor dpreds({t, dim_});
+  for (int j = 0; j < dim_; ++j) dpreds.at(t - 1, j) = grad_out[static_cast<std::size_t>(j)];
+  const nn::Tensor dmixed = out_.backward(dpreds);
+  const nn::Tensor dtokens = attn_.backward(dmixed);
+  const nn::Tensor dza = token_proj_.backward(dtokens);
+  // Gradient w.r.t. the *current* z (last token); context is constant.
+  nn::Tensor dz({1, dim_});
+  for (int j = 0; j < dim_; ++j) dz[static_cast<std::size_t>(j)] = dza.at(t - 1, j);
+  return dz;
+}
+
+RolloutContext TransformerDynamicsModel::advance(RolloutContext ctx,
+                                                 const nn::Tensor& z,
+                                                 const nn::Tensor& a) const {
+  ctx.window.push_back({z, a});
+  while (static_cast<int>(ctx.window.size()) > window_ - 1)
+    ctx.window.erase(ctx.window.begin());
+  return ctx;
+}
+
+std::vector<nn::Tensor*> TransformerDynamicsModel::params() {
+  auto p = token_proj_.params();
+  for (auto* q : attn_.params()) p.push_back(q);
+  for (auto* q : out_.params()) p.push_back(q);
+  return p;
+}
+
+std::vector<nn::Tensor*> TransformerDynamicsModel::grads() {
+  auto g = token_proj_.grads();
+  for (auto* q : attn_.grads()) g.push_back(q);
+  for (auto* q : out_.grads()) g.push_back(q);
+  return g;
+}
+
+std::size_t TransformerDynamicsModel::macs_per_step() const {
+  const std::size_t t = static_cast<std::size_t>(window_);
+  const std::size_t d = static_cast<std::size_t>(dim_);
+  // Token projections + attention + output head for a full window.
+  return t * (d + action_dim_) * d + 4 * t * d * d + 2 * t * t * d +
+         t * d * d;
+}
+
+// ------------------------------------------------------------- recurrent
+
+RecurrentDynamicsModel::RecurrentDynamicsModel(int latent_dim, int action_dim,
+                                               int hidden, Rng& rng)
+    : dim_(latent_dim),
+      action_dim_(action_dim),
+      hidden_(hidden),
+      cell_(latent_dim + action_dim, hidden, rng),
+      out_(hidden, latent_dim, rng) {}
+
+RolloutContext RecurrentDynamicsModel::initial_context() const {
+  RolloutContext ctx;
+  ctx.hidden = nn::Tensor({1, hidden_});
+  return ctx;
+}
+
+nn::Tensor RecurrentDynamicsModel::concat_za(const nn::Tensor& z,
+                                             const nn::Tensor& a) const {
+  const int n = z.dim(0);
+  nn::Tensor za({n, dim_ + action_dim_});
+  for (int b = 0; b < n; ++b) {
+    for (int i = 0; i < dim_; ++i) za.at(b, i) = z.at(b, i);
+    for (int i = 0; i < action_dim_; ++i) za.at(b, dim_ + i) = a.at(b, i);
+  }
+  return za;
+}
+
+nn::Tensor RecurrentDynamicsModel::forward(const nn::Tensor& z,
+                                           const nn::Tensor& a,
+                                           const RolloutContext& ctx) {
+  S2A_CHECK(z.dim(0) == 1);
+  nn::Tensor h = ctx.hidden.empty() ? nn::Tensor({1, hidden_}) : ctx.hidden;
+  const nn::Tensor h_new = cell_.step(concat_za(z, a), h);
+  return out_.forward(h_new);
+}
+
+nn::Tensor RecurrentDynamicsModel::backward(const nn::Tensor& grad_out) {
+  const nn::Tensor dh = out_.backward(grad_out);
+  const auto [dza, dh0] = cell_.backward(dh);
+  (void)dh0;  // context hidden is treated as constant
+  nn::Tensor dz({1, dim_});
+  for (int i = 0; i < dim_; ++i) dz[static_cast<std::size_t>(i)] = dza.at(0, i);
+  return dz;
+}
+
+RolloutContext RecurrentDynamicsModel::advance(RolloutContext ctx,
+                                               const nn::Tensor& z,
+                                               const nn::Tensor& a) const {
+  nn::Tensor h = ctx.hidden.empty() ? nn::Tensor({1, hidden_}) : ctx.hidden;
+  ctx.hidden = cell_.step(concat_za(z, a), h);
+  return ctx;
+}
+
+std::vector<nn::Tensor*> RecurrentDynamicsModel::params() {
+  auto p = cell_.params();
+  for (auto* q : out_.params()) p.push_back(q);
+  return p;
+}
+
+std::vector<nn::Tensor*> RecurrentDynamicsModel::grads() {
+  auto g = cell_.grads();
+  for (auto* q : out_.grads()) g.push_back(q);
+  return g;
+}
+
+std::size_t RecurrentDynamicsModel::macs_per_step() const {
+  return cell_.macs_per_sample() + out_.macs_per_sample();
+}
+
+// --------------------------------------------------------------- factory
+
+std::unique_ptr<DynamicsModel> make_model(ModelKind kind, int latent_dim,
+                                          int action_dim, double dt,
+                                          Rng& rng) {
+  S2A_CHECK_MSG(latent_dim % 2 == 0, "latent dim must be even (complex modes)");
+  switch (kind) {
+    case ModelKind::kSpectralKoopman:
+      return std::make_unique<SpectralKoopmanModel>(latent_dim / 2, action_dim,
+                                                    dt, rng);
+    case ModelKind::kDenseKoopman:
+      return std::make_unique<DenseKoopmanModel>(latent_dim, action_dim, rng);
+    case ModelKind::kMlp:
+      return std::make_unique<MlpDynamicsModel>(latent_dim, action_dim, 64,
+                                                rng);
+    case ModelKind::kTransformer:
+      return std::make_unique<TransformerDynamicsModel>(latent_dim, action_dim,
+                                                        4, rng);
+    case ModelKind::kRecurrent:
+      return std::make_unique<RecurrentDynamicsModel>(latent_dim, action_dim,
+                                                      32, rng);
+  }
+  S2A_CHECK_MSG(false, "unknown model kind");
+  return nullptr;
+}
+
+}  // namespace s2a::koopman

@@ -1,0 +1,196 @@
+// The dynamics-model zoo compared in Fig. 5: spectral Koopman (ours),
+// dense Koopman, MLP, single-block Transformer, and GRU recurrent —
+// structurally faithful, scaled-down versions of the models RoboKoop
+// benchmarks against (CURL-style MLP [26], dense Koopman [27],
+// Decision-Transformer-style [28,29], Dreamer-style recurrent [30]).
+//
+// All models share one interface: predict the next latent state from the
+// current latent + action, optionally conditioned on a rollout context
+// (token window for the Transformer, hidden state for the GRU). Contexts
+// are value types so MPC can fork rollouts cheaply.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "koopman/spectral.hpp"
+#include "nn/attention.hpp"
+#include "nn/dense.hpp"
+#include "nn/gru.hpp"
+#include "nn/sequential.hpp"
+
+namespace s2a::koopman {
+
+enum class ModelKind {
+  kSpectralKoopman = 0,
+  kDenseKoopman,
+  kMlp,
+  kTransformer,
+  kRecurrent,
+};
+const char* model_kind_name(ModelKind kind);
+std::vector<ModelKind> all_model_kinds();
+
+/// Value-type rollout context: window of past (z, a) pairs (Transformer)
+/// and/or a recurrent hidden state (GRU). Stateless models ignore it.
+struct RolloutContext {
+  std::vector<std::pair<nn::Tensor, nn::Tensor>> window;
+  nn::Tensor hidden;
+};
+
+class DynamicsModel {
+ public:
+  virtual ~DynamicsModel() = default;
+  virtual ModelKind kind() const = 0;
+  virtual int latent_dim() const = 0;
+
+  virtual RolloutContext initial_context() const { return {}; }
+
+  /// One-step prediction z' given z [1, 2m], a [1, da], and context.
+  /// Caches activations for backward().
+  virtual nn::Tensor forward(const nn::Tensor& z, const nn::Tensor& a,
+                             const RolloutContext& ctx) = 0;
+  /// Backward through the last forward(); returns dL/dz for the *current*
+  /// step (context entries are treated as constants). Parameter gradients
+  /// accumulate.
+  virtual nn::Tensor backward(const nn::Tensor& grad_out) = 0;
+
+  /// Context after observing (z, a) — call before predicting the step
+  /// after this one.
+  virtual RolloutContext advance(RolloutContext ctx, const nn::Tensor& z,
+                                 const nn::Tensor& a) const {
+    (void)z;
+    (void)a;
+    return ctx;
+  }
+
+  virtual std::vector<nn::Tensor*> params() = 0;
+  virtual std::vector<nn::Tensor*> grads() = 0;
+  void zero_grad() {
+    for (auto* g : grads()) g->fill(0.0);
+  }
+  std::size_t param_count() {
+    std::size_t n = 0;
+    for (auto* p : params()) n += p->numel();
+    return n;
+  }
+  /// MACs for one latent prediction step (Fig. 5a's "prediction" axis).
+  virtual std::size_t macs_per_step() const = 0;
+};
+
+/// Wraps SpectralDynamics in the common interface.
+class SpectralKoopmanModel : public DynamicsModel {
+ public:
+  SpectralKoopmanModel(int modes, int action_dim, double dt, Rng& rng)
+      : dyn_(modes, action_dim, dt, rng) {}
+  ModelKind kind() const override { return ModelKind::kSpectralKoopman; }
+  int latent_dim() const override { return dyn_.latent_dim(); }
+  nn::Tensor forward(const nn::Tensor& z, const nn::Tensor& a,
+                     const RolloutContext&) override {
+    return dyn_.step(z, a);
+  }
+  nn::Tensor backward(const nn::Tensor& grad_out) override {
+    return dyn_.backward(grad_out);
+  }
+  std::vector<nn::Tensor*> params() override { return dyn_.params(); }
+  std::vector<nn::Tensor*> grads() override { return dyn_.grads(); }
+  std::size_t macs_per_step() const override { return dyn_.macs_per_step(); }
+  SpectralDynamics& spectral() { return dyn_; }
+
+ private:
+  SpectralDynamics dyn_;
+};
+
+/// z' = A·z + B·a with a full (dense) learnable Koopman matrix [27].
+class DenseKoopmanModel : public DynamicsModel {
+ public:
+  DenseKoopmanModel(int latent_dim, int action_dim, Rng& rng);
+  ModelKind kind() const override { return ModelKind::kDenseKoopman; }
+  int latent_dim() const override { return dim_; }
+  nn::Tensor forward(const nn::Tensor& z, const nn::Tensor& a,
+                     const RolloutContext&) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  std::vector<nn::Tensor*> params() override;
+  std::vector<nn::Tensor*> grads() override;
+  std::size_t macs_per_step() const override;
+  /// Dense A for LQR-style analysis.
+  const nn::Tensor& a_matrix() { return a_.weight(); }
+
+ private:
+  int dim_;
+  nn::Dense a_, b_;
+};
+
+/// MLP over [z; a] (CURL-style latent dynamics [26]).
+class MlpDynamicsModel : public DynamicsModel {
+ public:
+  MlpDynamicsModel(int latent_dim, int action_dim, int hidden, Rng& rng);
+  ModelKind kind() const override { return ModelKind::kMlp; }
+  int latent_dim() const override { return dim_; }
+  nn::Tensor forward(const nn::Tensor& z, const nn::Tensor& a,
+                     const RolloutContext&) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  std::vector<nn::Tensor*> params() override { return net_.params(); }
+  std::vector<nn::Tensor*> grads() override { return net_.grads(); }
+  std::size_t macs_per_step() const override;
+
+ private:
+  int dim_, action_dim_;
+  nn::Sequential net_;
+};
+
+/// Single-head attention over a window of (z, a) tokens [28, 29].
+class TransformerDynamicsModel : public DynamicsModel {
+ public:
+  TransformerDynamicsModel(int latent_dim, int action_dim, int window,
+                           Rng& rng);
+  ModelKind kind() const override { return ModelKind::kTransformer; }
+  int latent_dim() const override { return dim_; }
+  nn::Tensor forward(const nn::Tensor& z, const nn::Tensor& a,
+                     const RolloutContext& ctx) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  RolloutContext advance(RolloutContext ctx, const nn::Tensor& z,
+                         const nn::Tensor& a) const override;
+  std::vector<nn::Tensor*> params() override;
+  std::vector<nn::Tensor*> grads() override;
+  std::size_t macs_per_step() const override;
+  int window() const { return window_; }
+
+ private:
+  int dim_, action_dim_, window_;
+  nn::Dense token_proj_;     // [z; a] -> d
+  nn::SelfAttention attn_;   // over up to `window_` tokens
+  nn::Dense out_;            // d -> 2m
+  int last_tokens_ = 0;
+};
+
+/// GRU latent dynamics (Dreamer-style recurrent model [30]).
+class RecurrentDynamicsModel : public DynamicsModel {
+ public:
+  RecurrentDynamicsModel(int latent_dim, int action_dim, int hidden, Rng& rng);
+  ModelKind kind() const override { return ModelKind::kRecurrent; }
+  int latent_dim() const override { return dim_; }
+  RolloutContext initial_context() const override;
+  nn::Tensor forward(const nn::Tensor& z, const nn::Tensor& a,
+                     const RolloutContext& ctx) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  RolloutContext advance(RolloutContext ctx, const nn::Tensor& z,
+                         const nn::Tensor& a) const override;
+  std::vector<nn::Tensor*> params() override;
+  std::vector<nn::Tensor*> grads() override;
+  std::size_t macs_per_step() const override;
+
+ private:
+  nn::Tensor concat_za(const nn::Tensor& z, const nn::Tensor& a) const;
+  int dim_, action_dim_, hidden_;
+  mutable nn::GRUCell cell_;  // advance() steps it for inference
+  nn::Dense out_;
+};
+
+/// Factory used by the training harness and benches.
+std::unique_ptr<DynamicsModel> make_model(ModelKind kind, int latent_dim,
+                                          int action_dim, double dt, Rng& rng);
+
+}  // namespace s2a::koopman

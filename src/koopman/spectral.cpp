@@ -1,0 +1,117 @@
+#include "koopman/spectral.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::koopman {
+
+SpectralDynamics::SpectralDynamics(int modes, int action_dim, double dt,
+                                   Rng& rng)
+    : m_(modes),
+      action_dim_(action_dim),
+      dt_(dt),
+      mu_({modes}),
+      omega_({modes}),
+      gmu_({modes}),
+      gomega_({modes}),
+      b_(action_dim, 2 * modes, rng, /*bias=*/false) {
+  S2A_CHECK(modes > 0 && action_dim > 0 && dt > 0.0);
+  for (int i = 0; i < m_; ++i) {
+    mu_[static_cast<std::size_t>(i)] = -0.1 + rng.normal(0.0, 0.05);
+    // Spread initial frequencies so modes differentiate.
+    omega_[static_cast<std::size_t>(i)] =
+        (i + 1) * 0.5 + rng.normal(0.0, 0.1);
+  }
+}
+
+nn::Tensor SpectralDynamics::step(const nn::Tensor& z, const nn::Tensor& a) {
+  S2A_CHECK(z.shape().size() == 2 && z.dim(1) == 2 * m_);
+  S2A_CHECK(a.shape().size() == 2 && a.dim(1) == action_dim_ &&
+            a.dim(0) == z.dim(0));
+  last_z_ = z;
+  last_a_ = a;
+
+  nn::Tensor out = b_.forward(a);  // control injection
+  const int n = z.dim(0);
+  for (int i = 0; i < m_; ++i) {
+    const double g = std::exp(mu_[static_cast<std::size_t>(i)] * dt_);
+    const double c = std::cos(omega_[static_cast<std::size_t>(i)] * dt_);
+    const double s = std::sin(omega_[static_cast<std::size_t>(i)] * dt_);
+    for (int b = 0; b < n; ++b) {
+      const std::size_t re = static_cast<std::size_t>(b) * 2 * m_ + 2 * i;
+      const std::size_t im = re + 1;
+      out[re] += g * (c * z[re] - s * z[im]);
+      out[im] += g * (s * z[re] + c * z[im]);
+    }
+  }
+  return out;
+}
+
+nn::Tensor SpectralDynamics::backward(const nn::Tensor& grad_out) {
+  S2A_CHECK(!last_z_.empty());
+  S2A_CHECK(grad_out.same_shape(last_z_));
+  // Control path (also accumulates B's gradient).
+  b_.backward(grad_out);
+
+  nn::Tensor dz(last_z_.shape());
+  const int n = last_z_.dim(0);
+  for (int i = 0; i < m_; ++i) {
+    const double mu = mu_[static_cast<std::size_t>(i)];
+    const double om = omega_[static_cast<std::size_t>(i)];
+    const double g = std::exp(mu * dt_);
+    const double c = std::cos(om * dt_);
+    const double s = std::sin(om * dt_);
+    double dmu = 0.0, domega = 0.0;
+    for (int b = 0; b < n; ++b) {
+      const std::size_t re = static_cast<std::size_t>(b) * 2 * m_ + 2 * i;
+      const std::size_t im = re + 1;
+      const double zr = last_z_[re], zi = last_z_[im];
+      const double gr = grad_out[re], gi = grad_out[im];
+      // out_re = g(c·zr − s·zi); out_im = g(s·zr + c·zi)
+      dz[re] = g * (c * gr + s * gi);
+      dz[im] = g * (-s * gr + c * gi);
+      // ∂/∂µ = dt · out (same expression × dt)
+      dmu += dt_ * (gr * g * (c * zr - s * zi) + gi * g * (s * zr + c * zi));
+      // ∂/∂ω: c→−s·dt, s→c·dt
+      domega += dt_ * (gr * g * (-s * zr - c * zi) + gi * g * (c * zr - s * zi));
+    }
+    gmu_[static_cast<std::size_t>(i)] += dmu;
+    gomega_[static_cast<std::size_t>(i)] += domega;
+  }
+  return dz;
+}
+
+nn::Tensor SpectralDynamics::a_matrix() const {
+  nn::Tensor a({2 * m_, 2 * m_});
+  for (int i = 0; i < m_; ++i) {
+    const double g = std::exp(mu_[static_cast<std::size_t>(i)] * dt_);
+    const double c = std::cos(omega_[static_cast<std::size_t>(i)] * dt_);
+    const double s = std::sin(omega_[static_cast<std::size_t>(i)] * dt_);
+    a.at(2 * i, 2 * i) = g * c;
+    a.at(2 * i, 2 * i + 1) = -g * s;
+    a.at(2 * i + 1, 2 * i) = g * s;
+    a.at(2 * i + 1, 2 * i + 1) = g * c;
+  }
+  return a;
+}
+
+std::vector<nn::Tensor*> SpectralDynamics::params() {
+  auto p = b_.params();
+  p.push_back(&mu_);
+  p.push_back(&omega_);
+  return p;
+}
+
+std::vector<nn::Tensor*> SpectralDynamics::grads() {
+  auto g = b_.grads();
+  g.push_back(&gmu_);
+  g.push_back(&gomega_);
+  return g;
+}
+
+void SpectralDynamics::zero_grad() {
+  for (auto* g : grads()) g->fill(0.0);
+}
+
+}  // namespace s2a::koopman

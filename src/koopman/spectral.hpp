@@ -1,0 +1,65 @@
+// Spectral Koopman latent dynamics (RoboKoop, Sec. IV / Fig. 4).
+//
+// The latent state holds m complex Koopman modes stored as 2m reals
+// (real/imag interleaved per mode). The dynamics matrix is parameterized
+// directly by learnable eigenvalues λ_i = µ_i + jω_i: one step advances
+// each mode by the 2×2 rotation-scaling block
+//   e^{µ·dt} [cos(ω·dt) −sin(ω·dt); sin(ω·dt) cos(ω·dt)],
+// plus a learned control injection B·a. Compared to a dense Koopman
+// matrix this is O(m) dynamics parameters instead of O(m²) — the source
+// of the Fig. 5a compute advantage — and exposes the spectrum for
+// stability-aware control.
+#pragma once
+
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/tensor.hpp"
+
+namespace s2a::koopman {
+
+class SpectralDynamics {
+ public:
+  /// `modes` complex modes (latent dim = 2·modes), `action_dim` inputs.
+  /// Eigenvalues initialize to lightly damped (µ ≈ −0.1) with spread
+  /// frequencies.
+  SpectralDynamics(int modes, int action_dim, double dt, Rng& rng);
+
+  /// One-step prediction: z' = A(µ,ω)·z + B·a for a batch.
+  /// z: [N, 2m], a: [N, action_dim].
+  nn::Tensor step(const nn::Tensor& z, const nn::Tensor& a);
+
+  /// Backward through the last step(). Returns dL/dz; accumulates
+  /// gradients on µ, ω, and B. (dL/da is not needed by any caller.)
+  nn::Tensor backward(const nn::Tensor& grad_out);
+
+  /// Dense [2m, 2m] realization of A — used by the LQR solver.
+  nn::Tensor a_matrix() const;
+  /// Control matrix B: [2m, action_dim].
+  const nn::Tensor& b_matrix() const { return b_.weight(); }
+
+  std::vector<nn::Tensor*> params();
+  std::vector<nn::Tensor*> grads();
+  void zero_grad();
+
+  int modes() const { return m_; }
+  int latent_dim() const { return 2 * m_; }
+  /// Dynamics MACs for one prediction step: 4 per mode (2×2 block) plus
+  /// the control injection — O(m), vs O(m²) for a dense Koopman matrix.
+  std::size_t macs_per_step() const {
+    return 4u * static_cast<std::size_t>(m_) +
+           static_cast<std::size_t>(2 * m_) * action_dim_;
+  }
+
+  const nn::Tensor& mu() const { return mu_; }
+  const nn::Tensor& omega() const { return omega_; }
+
+ private:
+  int m_, action_dim_;
+  double dt_;
+  nn::Tensor mu_, omega_, gmu_, gomega_;
+  nn::Dense b_;  // action -> latent injection (no bias)
+  nn::Tensor last_z_, last_a_;
+};
+
+}  // namespace s2a::koopman

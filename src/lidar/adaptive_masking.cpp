@@ -1,0 +1,104 @@
+#include "lidar/adaptive_masking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace s2a::lidar {
+
+TaskAwareMasker::TaskAwareMasker(TaskAwareMaskerConfig config)
+    : cfg_(config),
+      interest_(static_cast<std::size_t>(config.base.angular_segments), 0.0) {
+  S2A_CHECK(cfg_.base.angular_segments > 0);
+  S2A_CHECK(cfg_.interest_decay >= 0.0 && cfg_.interest_decay < 1.0);
+}
+
+int TaskAwareMasker::segment_of(double azimuth) const {
+  double a = std::fmod(azimuth, 2.0 * std::numbers::pi);
+  if (a < 0.0) a += 2.0 * std::numbers::pi;
+  return std::min(cfg_.base.angular_segments - 1,
+                  static_cast<int>(a / (2.0 * std::numbers::pi) *
+                                   cfg_.base.angular_segments));
+}
+
+void TaskAwareMasker::observe_detections(
+    const std::vector<Detection>& detections) {
+  for (auto& v : interest_) v *= cfg_.interest_decay;
+  for (const auto& d : detections) {
+    const double az = std::atan2(d.box.center.y, d.box.center.x);
+    const int seg = segment_of(az);
+    interest_[static_cast<std::size_t>(seg)] = 1.0;
+    // Objects straddle segment boundaries; bleed into neighbours.
+    const int n = cfg_.base.angular_segments;
+    interest_[static_cast<std::size_t>((seg + 1) % n)] =
+        std::max(interest_[static_cast<std::size_t>((seg + 1) % n)], 0.5);
+    interest_[static_cast<std::size_t>((seg + n - 1) % n)] =
+        std::max(interest_[static_cast<std::size_t>((seg + n - 1) % n)], 0.5);
+  }
+}
+
+double TaskAwareMasker::segment_keep_probability(int segment) const {
+  return std::min(1.0, cfg_.base.segment_keep_fraction +
+                           cfg_.interest_boost *
+                               interest_[static_cast<std::size_t>(segment)]);
+}
+
+std::vector<bool> TaskAwareMasker::voxel_mask(const VoxelGrid& grid,
+                                              Rng& rng) const {
+  const auto& g = grid.config();
+  std::vector<bool> kept_segments(
+      static_cast<std::size_t>(cfg_.base.angular_segments));
+  for (int s = 0; s < cfg_.base.angular_segments; ++s)
+    kept_segments[static_cast<std::size_t>(s)] =
+        rng.bernoulli(segment_keep_probability(s));
+
+  std::vector<bool> visible(static_cast<std::size_t>(g.nx) * g.ny * g.nz,
+                            false);
+  for (int iy = 0; iy < g.ny; ++iy)
+    for (int ix = 0; ix < g.nx; ++ix) {
+      const int seg = segment_of(grid.voxel_azimuth(ix, iy));
+      if (!kept_segments[static_cast<std::size_t>(seg)]) continue;
+      if (!rng.bernoulli(cfg_.base.in_segment_keep)) continue;
+      for (int iz = 0; iz < g.nz; ++iz)
+        visible[(static_cast<std::size_t>(iz) * g.ny + iy) * g.nx + ix] = true;
+    }
+  return visible;
+}
+
+std::vector<sim::BeamCommand> TaskAwareMasker::beam_plan(
+    const sim::LidarConfig& lidar, Rng& rng) const {
+  std::vector<bool> kept_segments(
+      static_cast<std::size_t>(cfg_.base.angular_segments));
+  for (int s = 0; s < cfg_.base.angular_segments; ++s)
+    kept_segments[static_cast<std::size_t>(s)] =
+        rng.bernoulli(segment_keep_probability(s));
+
+  std::vector<sim::BeamCommand> plan;
+  for (int az = 0; az < lidar.azimuth_steps; ++az) {
+    const int seg = std::min(
+        cfg_.base.angular_segments - 1,
+        az * cfg_.base.angular_segments / lidar.azimuth_steps);
+    if (!kept_segments[static_cast<std::size_t>(seg)]) continue;
+    const bool interesting = interest_[static_cast<std::size_t>(seg)] > 0.25;
+    for (int el = 0; el < lidar.elevation_steps; ++el) {
+      if (!rng.bernoulli(cfg_.base.in_segment_keep)) continue;
+      sim::BeamCommand cmd;
+      cmd.azimuth_idx = az;
+      cmd.elevation_idx = el;
+      const double far_fraction = interesting
+                                      ? cfg_.far_pulse_fraction_interesting
+                                      : cfg_.base.far_pulse_fraction;
+      cmd.target_range =
+          rng.bernoulli(far_fraction)
+              ? lidar.max_range
+              : lidar.max_range * rng.uniform(cfg_.base.near_reach_lo,
+                                              cfg_.base.near_reach_hi);
+      plan.push_back(cmd);
+    }
+  }
+  return plan;
+}
+
+}  // namespace s2a::lidar

@@ -1,0 +1,50 @@
+// Adaptive, task-informed masking — the Sec. III future-work direction
+// ("future work could explore adaptive masking"): instead of a fixed
+// radial pattern, the masker maintains a per-segment interest map fed by
+// the previous frame's detections (an action-to-sensing feedback path)
+// and spends its beam budget preferentially on segments that recently
+// contained objects, at full-range pulse power.
+#pragma once
+
+#include <vector>
+
+#include "lidar/detector.hpp"
+#include "lidar/masking.hpp"
+
+namespace s2a::lidar {
+
+struct TaskAwareMaskerConfig {
+  RadialMaskerConfig base;
+  /// Added to a segment's keep probability when fully interesting.
+  double interest_boost = 0.6;
+  /// Per-frame multiplicative decay of interest (objects move / disappear).
+  double interest_decay = 0.7;
+  /// Interesting segments fire full-range pulses at this rate (they hold
+  /// confirmed objects whose range matters).
+  double far_pulse_fraction_interesting = 0.5;
+};
+
+class TaskAwareMasker : public Masker {
+ public:
+  explicit TaskAwareMasker(TaskAwareMaskerConfig config = {});
+
+  std::string name() const override { return "task-aware R-MAE"; }
+  std::vector<bool> voxel_mask(const VoxelGrid& grid, Rng& rng) const override;
+  std::vector<sim::BeamCommand> beam_plan(const sim::LidarConfig& lidar,
+                                          Rng& rng) const override;
+
+  /// Feedback: fold the latest detections into the interest map. Call once
+  /// per frame with whatever the downstream detector produced.
+  void observe_detections(const std::vector<Detection>& detections);
+  /// Interest in [0, 1] per angular segment (exposed for tests/benches).
+  const std::vector<double>& interest() const { return interest_; }
+
+ private:
+  int segment_of(double azimuth) const;
+  double segment_keep_probability(int segment) const;
+
+  TaskAwareMaskerConfig cfg_;
+  std::vector<double> interest_;
+};
+
+}  // namespace s2a::lidar

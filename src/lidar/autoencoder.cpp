@@ -1,0 +1,128 @@
+#include "lidar/autoencoder.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/loss.hpp"
+#include "util/check.hpp"
+
+namespace s2a::lidar {
+
+OccupancyAutoencoder::OccupancyAutoencoder(AutoencoderConfig config, Rng& rng)
+    : cfg_(config) {
+  const int nz = cfg_.grid.nz;
+  S2A_CHECK_MSG(cfg_.grid.nx % 4 == 0 && cfg_.grid.ny % 4 == 0,
+                "grid must be divisible by the encoder stride (4)");
+  conv1_ = &encoder_.emplace<nn::Conv2D>(nz, cfg_.c1, 3, 2, 1, rng);
+  encoder_.emplace<nn::ReLU>();
+  conv2_ = &encoder_.emplace<nn::Conv2D>(cfg_.c1, cfg_.c2, 3, 2, 1, rng);
+  encoder_.emplace<nn::ReLU>();
+
+  decoder_.emplace<nn::ConvTranspose2D>(cfg_.c2, cfg_.c1, 4, 2, 1, rng);
+  decoder_.emplace<nn::ReLU>();
+  decoder_.emplace<nn::ConvTranspose2D>(cfg_.c1, nz, 4, 2, 1, rng);
+}
+
+nn::Tensor OccupancyAutoencoder::encode(const nn::Tensor& grid) {
+  return encoder_.forward(grid);
+}
+
+nn::Tensor OccupancyAutoencoder::decode(const nn::Tensor& latent) {
+  return decoder_.forward(latent);
+}
+
+nn::Tensor OccupancyAutoencoder::reconstruct(const nn::Tensor& masked_grid) {
+  nn::Tensor logits = decode(encode(masked_grid));
+  for (std::size_t i = 0; i < logits.numel(); ++i)
+    logits[i] = 1.0 / (1.0 + std::exp(-logits[i]));
+  return logits;
+}
+
+std::vector<double> surface_weights(const nn::Tensor& target,
+                                    const VoxelGridConfig& g,
+                                    double far_weight) {
+  S2A_CHECK(target.shape() == (std::vector<int>{1, g.nz, g.ny, g.nx}));
+  std::vector<double> w(target.numel(), far_weight);
+  const auto idx = [&](int z, int y, int x) {
+    return (static_cast<std::size_t>(z) * g.ny + y) * g.nx + x;
+  };
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        if (target[idx(z, y, x)] <= 0.5) continue;
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int yy = y + dy, xx = x + dx;
+            if (yy < 0 || yy >= g.ny || xx < 0 || xx >= g.nx) continue;
+            w[idx(z, yy, xx)] = 1.0;
+          }
+      }
+  return w;
+}
+
+double OccupancyAutoencoder::train_step(const nn::Tensor& masked,
+                                        const nn::Tensor& target,
+                                        nn::Optimizer& opt,
+                                        PretrainObjective objective) {
+  opt.zero_grad();
+  nn::Tensor logits = decode(encode(masked));
+  auto loss = nn::bce_with_logits(logits, target);
+
+  // Counteract occupancy sparsity (see AutoencoderConfig::pos_weight).
+  for (std::size_t i = 0; i < loss.grad.numel(); ++i)
+    if (target[i] > 0.5) loss.grad[i] *= cfg_.pos_weight;
+
+  if (objective == PretrainObjective::kSurfaceWeighted) {
+    const auto w = surface_weights(target, cfg_.grid);
+    double weighted = 0.0, wsum = 0.0;
+    for (std::size_t i = 0; i < loss.grad.numel(); ++i) {
+      loss.grad[i] *= w[i];
+      wsum += w[i];
+    }
+    // Rescale so the gradient magnitude is comparable across objectives.
+    const double scale = static_cast<double>(loss.grad.numel()) / std::max(1.0, wsum);
+    for (std::size_t i = 0; i < loss.grad.numel(); ++i) loss.grad[i] *= scale;
+    weighted = loss.value;  // reported loss stays the plain BCE
+    (void)weighted;
+  }
+
+  const nn::Tensor dlatent = decoder_.backward(loss.grad);
+  encoder_.backward(dlatent);
+  opt.step();
+  return loss.value;
+}
+
+std::vector<double> OccupancyAutoencoder::embedding(const nn::Tensor& grid) {
+  const nn::Tensor z = encode(grid);
+  const int c = z.dim(1), h = z.dim(2), w = z.dim(3);
+  std::vector<double> e(static_cast<std::size_t>(c), 0.0);
+  for (int ci = 0; ci < c; ++ci) {
+    double s = 0.0;
+    for (int i = 0; i < h * w; ++i)
+      s += z[static_cast<std::size_t>(ci) * h * w + i];
+    e[static_cast<std::size_t>(ci)] = s / (h * w);
+  }
+  return e;
+}
+
+std::vector<nn::Tensor*> OccupancyAutoencoder::params() {
+  auto p = encoder_.params();
+  for (auto* q : decoder_.params()) p.push_back(q);
+  return p;
+}
+
+std::vector<nn::Tensor*> OccupancyAutoencoder::grads() {
+  auto g = encoder_.grads();
+  for (auto* q : decoder_.grads()) g.push_back(q);
+  return g;
+}
+
+std::size_t OccupancyAutoencoder::param_count() {
+  return encoder_.param_count() + decoder_.param_count();
+}
+
+std::size_t OccupancyAutoencoder::macs_per_scan() {
+  return encoder_.macs_per_sample() + decoder_.macs_per_sample();
+}
+
+}  // namespace s2a::lidar

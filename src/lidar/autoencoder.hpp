@@ -1,0 +1,87 @@
+// Occupancy autoencoder for generative sensing (Fig. 3): a convolutional
+// encoder over the (masked) BEV occupancy grid and a deconvolutional
+// occupancy decoder trained with binary cross-entropy, reconstructing the
+// full scene from a <10% sensed subset.
+//
+// The paper's encoder is a 3-D spatially sparse convolution network; here
+// the nz height slices are channels of a dense 2-D convolution, which
+// preserves the encode-masked/decode-full structure at in-process scale
+// (see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "lidar/masking.hpp"
+#include "lidar/voxel_grid.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace s2a::lidar {
+
+/// Pre-training objective flavors (Table I rows):
+///  kOccupancyFull   — reconstruct every voxel (R-MAE, OccMAE).
+///  kSurfaceWeighted — loss concentrated on voxels near observed surfaces
+///                     (ALSO-style occupancy self-supervision).
+enum class PretrainObjective { kOccupancyFull, kSurfaceWeighted };
+
+struct AutoencoderConfig {
+  VoxelGridConfig grid;
+  int c1 = 16;  ///< first encoder channel width (stride 2)
+  int c2 = 32;  ///< latent channel width (stride 4 overall)
+  /// BCE weight on occupied target voxels. Occupancy grids are sparse
+  /// (<5% positive); without upweighting, the decoder collapses to the
+  /// all-empty prediction.
+  double pos_weight = 12.0;
+};
+
+class OccupancyAutoencoder {
+ public:
+  OccupancyAutoencoder(AutoencoderConfig config, Rng& rng);
+
+  /// Latent features [1, c2, ny/4, nx/4] of a (masked) occupancy tensor.
+  nn::Tensor encode(const nn::Tensor& grid);
+  /// Occupancy logits [1, nz, ny, nx] from a latent tensor.
+  nn::Tensor decode(const nn::Tensor& latent);
+  /// Full forward pass returning occupancy probabilities in [0, 1].
+  nn::Tensor reconstruct(const nn::Tensor& masked_grid);
+
+  /// One optimization step on (masked input → full target); returns the
+  /// BCE loss. The optimizer must be attached via attach_optimizer().
+  double train_step(const nn::Tensor& masked, const nn::Tensor& target,
+                    nn::Optimizer& opt,
+                    PretrainObjective objective = PretrainObjective::kOccupancyFull);
+
+  /// Pools the latent over space: a fixed-size scene embedding [c2] used
+  /// by the reliability monitor (STARNet ingests task-network features).
+  std::vector<double> embedding(const nn::Tensor& grid);
+
+  std::vector<nn::Tensor*> params();
+  std::vector<nn::Tensor*> grads();
+  std::size_t param_count();
+  /// Forward MACs for one scan (encoder + decoder) — the Table II
+  /// "FLOPs per 360° scan" quantity is 2× this.
+  std::size_t macs_per_scan();
+
+  /// Encoder conv layers, exposed for weight transfer into detector
+  /// backbones (the Table I pre-training experiment).
+  nn::Conv2D& encoder_conv1() { return *conv1_; }
+  nn::Conv2D& encoder_conv2() { return *conv2_; }
+  const AutoencoderConfig& config() const { return cfg_; }
+
+ private:
+  AutoencoderConfig cfg_;
+  nn::Sequential encoder_;
+  nn::Sequential decoder_;
+  nn::Conv2D* conv1_ = nullptr;
+  nn::Conv2D* conv2_ = nullptr;
+};
+
+/// Surface weighting for the ALSO-style objective: weight 1 for voxels
+/// within one cell of an occupied voxel in `target`, `far_weight`
+/// elsewhere. Exposed for tests.
+std::vector<double> surface_weights(const nn::Tensor& target,
+                                    const VoxelGridConfig& grid,
+                                    double far_weight = 0.1);
+
+}  // namespace s2a::lidar

@@ -1,0 +1,110 @@
+#include "lidar/masking.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace s2a::lidar {
+
+nn::Tensor Masker::apply_mask(const VoxelGrid& grid,
+                              const std::vector<bool>& visible) {
+  const auto& cfg = grid.config();
+  S2A_CHECK(visible.size() ==
+            static_cast<std::size_t>(cfg.nx) * cfg.ny * cfg.nz);
+  nn::Tensor t = grid.to_tensor();
+  for (std::size_t i = 0; i < visible.size(); ++i)
+    if (!visible[i]) t[i] = 0.0;
+  return t;
+}
+
+std::vector<bool> RadialMasker::pick_segments(Rng& rng) const {
+  const int keep =
+      std::max(1, static_cast<int>(cfg_.angular_segments *
+                                   cfg_.segment_keep_fraction));
+  std::vector<bool> kept(static_cast<std::size_t>(cfg_.angular_segments), false);
+  for (int s : rng.sample_without_replacement(cfg_.angular_segments, keep))
+    kept[static_cast<std::size_t>(s)] = true;
+  return kept;
+}
+
+std::vector<bool> RadialMasker::voxel_mask(const VoxelGrid& grid,
+                                           Rng& rng) const {
+  const auto& g = grid.config();
+  const auto kept_segments = pick_segments(rng);
+  std::vector<bool> visible(
+      static_cast<std::size_t>(g.nx) * g.ny * g.nz, false);
+
+  for (int iy = 0; iy < g.ny; ++iy)
+    for (int ix = 0; ix < g.nx; ++ix) {
+      const double azimuth = grid.voxel_azimuth(ix, iy);
+      const int seg = std::min(
+          cfg_.angular_segments - 1,
+          static_cast<int>(azimuth / (2.0 * std::numbers::pi) *
+                           cfg_.angular_segments));
+      if (!kept_segments[static_cast<std::size_t>(seg)]) continue;
+      // Stage 2: range-dependent probabilistic keep, shared across the
+      // column (a beam either reaches this column or it does not).
+      const double r = grid.voxel_range(ix, iy);
+      const double p =
+          cfg_.in_segment_keep * std::exp(-cfg_.range_decay * r / g.extent);
+      const bool keep_column = rng.bernoulli(std::min(1.0, p / cfg_.in_segment_keep) *
+                                             cfg_.in_segment_keep);
+      if (!keep_column) continue;
+      for (int iz = 0; iz < g.nz; ++iz)
+        visible[(static_cast<std::size_t>(iz) * g.ny + iy) * g.nx + ix] = true;
+    }
+  return visible;
+}
+
+std::vector<sim::BeamCommand> RadialMasker::beam_plan(
+    const sim::LidarConfig& lidar, Rng& rng) const {
+  const auto kept_segments = pick_segments(rng);
+  std::vector<sim::BeamCommand> plan;
+  for (int az = 0; az < lidar.azimuth_steps; ++az) {
+    const int seg =
+        std::min(cfg_.angular_segments - 1,
+                 az * cfg_.angular_segments / lidar.azimuth_steps);
+    if (!kept_segments[static_cast<std::size_t>(seg)]) continue;
+    for (int el = 0; el < lidar.elevation_steps; ++el) {
+      if (!rng.bernoulli(cfg_.in_segment_keep)) continue;
+      sim::BeamCommand cmd;
+      cmd.azimuth_idx = az;
+      cmd.elevation_idx = el;
+      cmd.target_range =
+          rng.bernoulli(cfg_.far_pulse_fraction)
+              ? lidar.max_range
+              : lidar.max_range *
+                    rng.uniform(cfg_.near_reach_lo, cfg_.near_reach_hi);
+      plan.push_back(cmd);
+    }
+  }
+  return plan;
+}
+
+std::vector<bool> UniformMasker::voxel_mask(const VoxelGrid& grid,
+                                            Rng& rng) const {
+  const auto& g = grid.config();
+  std::vector<bool> visible(
+      static_cast<std::size_t>(g.nx) * g.ny * g.nz, false);
+  // Column-wise, matching the beam-level granularity of the radial masker.
+  for (int iy = 0; iy < g.ny; ++iy)
+    for (int ix = 0; ix < g.nx; ++ix) {
+      if (!rng.bernoulli(keep_)) continue;
+      for (int iz = 0; iz < g.nz; ++iz)
+        visible[(static_cast<std::size_t>(iz) * g.ny + iy) * g.nx + ix] = true;
+    }
+  return visible;
+}
+
+std::vector<sim::BeamCommand> UniformMasker::beam_plan(
+    const sim::LidarConfig& lidar, Rng& rng) const {
+  std::vector<sim::BeamCommand> plan;
+  for (int az = 0; az < lidar.azimuth_steps; ++az)
+    for (int el = 0; el < lidar.elevation_steps; ++el)
+      if (rng.bernoulli(keep_))
+        plan.push_back({az, el, lidar.max_range});
+  return plan;
+}
+
+}  // namespace s2a::lidar

@@ -1,0 +1,97 @@
+// Masking strategies for generative sensing (Sec. III).
+//
+// A masker plays two roles:
+//  1. Pre-training: choose which voxels of a full occupancy grid stay
+//     visible; the autoencoder learns to reconstruct the rest.
+//  2. Active sensing: emit the beam firing plan (which beams pulse, and at
+//     what reach) that realizes the same sampling pattern on the physical
+//     sensor, which is where the energy saving comes from.
+//
+// RadialMasker is R-MAE's two-stage scheme: angular segments are sampled
+// first, then a range-dependent keep probability thins distant beams —
+// countering the R⁴ pulse-energy law. UniformMasker is the OccMAE-style
+// baseline (range-agnostic), and SurfaceMasker approximates ALSO's
+// surface-occupancy objective (light masking, loss concentrated near
+// observed surfaces — see PretrainObjective in autoencoder.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lidar/voxel_grid.hpp"
+#include "sim/lidar_sim.hpp"
+#include "util/rng.hpp"
+
+namespace s2a::lidar {
+
+class Masker {
+ public:
+  virtual ~Masker() = default;
+  virtual std::string name() const = 0;
+
+  /// Per-voxel visibility for pre-training: true = voxel is sensed (its
+  /// occupancy is shown to the encoder), false = masked (to reconstruct).
+  virtual std::vector<bool> voxel_mask(const VoxelGrid& grid,
+                                       Rng& rng) const = 0;
+
+  /// Beam plan for an active scan realizing this strategy on the sensor.
+  virtual std::vector<sim::BeamCommand> beam_plan(
+      const sim::LidarConfig& lidar, Rng& rng) const = 0;
+
+  /// Applies a voxel mask: masked voxels are zeroed in the returned
+  /// [1,nz,ny,nx] tensor.
+  static nn::Tensor apply_mask(const VoxelGrid& grid,
+                               const std::vector<bool>& visible);
+};
+
+struct RadialMaskerConfig {
+  int angular_segments = 24;          ///< stage-1 groups over 360°
+  double segment_keep_fraction = 0.25;///< fraction of segments sensed
+  double in_segment_keep = 0.36;      ///< stage-2 base keep probability
+  double range_decay = 2.0;           ///< keep prob decays exp(-decay·r/r_max)
+  /// Active sensing: fraction of fired beams that pulse at full rated
+  /// range; the rest pulse at a cheap short reach.
+  double far_pulse_fraction = 0.08;
+  double near_reach_lo = 0.25, near_reach_hi = 0.5;  ///< × max range
+};
+
+class RadialMasker : public Masker {
+ public:
+  explicit RadialMasker(RadialMaskerConfig config = {}) : cfg_(config) {}
+  std::string name() const override { return "R-MAE"; }
+  std::vector<bool> voxel_mask(const VoxelGrid& grid, Rng& rng) const override;
+  std::vector<sim::BeamCommand> beam_plan(const sim::LidarConfig& lidar,
+                                          Rng& rng) const override;
+  const RadialMaskerConfig& config() const { return cfg_; }
+
+ private:
+  std::vector<bool> pick_segments(Rng& rng) const;
+  RadialMaskerConfig cfg_;
+};
+
+/// Range-agnostic uniform random masking (OccMAE-style). Fired beams pulse
+/// at full power because a uniform sampler has no range structure to
+/// exploit.
+class UniformMasker : public Masker {
+ public:
+  explicit UniformMasker(double keep_fraction = 0.09, std::string name = "OccMAE")
+      : keep_(keep_fraction), name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  std::vector<bool> voxel_mask(const VoxelGrid& grid, Rng& rng) const override;
+  std::vector<sim::BeamCommand> beam_plan(const sim::LidarConfig& lidar,
+                                          Rng& rng) const override;
+
+ private:
+  double keep_;
+  std::string name_;
+};
+
+/// Light uniform masking used with the surface-weighted objective to
+/// approximate ALSO's occupancy self-supervision.
+class SurfaceMasker : public UniformMasker {
+ public:
+  SurfaceMasker() : UniformMasker(0.7, "ALSO") {}
+};
+
+}  // namespace s2a::lidar

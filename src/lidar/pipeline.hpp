@@ -1,0 +1,52 @@
+// End-to-end generative sensing pipeline (Sec. III): radial-masked active
+// scan → voxelize → autoencoder reconstruction → energy report. This is
+// the "sense 8–10% of the scene and dream out the rest" loop, packaged as
+// one object the examples and benchmarks drive.
+#pragma once
+
+#include <memory>
+
+#include "lidar/autoencoder.hpp"
+#include "lidar/energy.hpp"
+#include "lidar/masking.hpp"
+#include "lidar/voxel_grid.hpp"
+#include "sim/lidar_sim.hpp"
+
+namespace s2a::lidar {
+
+struct SensedScene {
+  sim::PointCloud cloud;       ///< the partial active scan
+  VoxelGrid sensed;            ///< voxelized partial observation
+  VoxelGrid reconstructed;     ///< autoencoder-completed occupancy
+  EnergyReport energy;
+};
+
+class GenerativeSensingPipeline {
+ public:
+  GenerativeSensingPipeline(sim::LidarConfig lidar_config,
+                            AutoencoderConfig ae_config,
+                            RadialMaskerConfig masker_config, Rng& rng);
+
+  /// Pre-trains the autoencoder on `num_scenes` randomly generated scenes:
+  /// full scans are voxelized, radially masked, and reconstructed.
+  /// Returns the final-epoch mean BCE loss.
+  double pretrain(int num_scenes, int epochs, double lr, Rng& rng,
+                  const sim::SceneConfig& scene_config = {});
+
+  /// Active-scan + reconstruct one scene.
+  SensedScene sense(const sim::Scene& scene, Rng& rng);
+
+  /// Conventional full-power scan of the same scene, for comparison.
+  SensedScene sense_conventional(const sim::Scene& scene, Rng& rng);
+
+  OccupancyAutoencoder& autoencoder() { return ae_; }
+  const sim::LidarSimulator& lidar() { return lidar_; }
+  const RadialMasker& masker() const { return masker_; }
+
+ private:
+  sim::LidarSimulator lidar_;
+  RadialMasker masker_;
+  OccupancyAutoencoder ae_;
+};
+
+}  // namespace s2a::lidar

@@ -1,0 +1,65 @@
+// Occupancy voxelization of LiDAR point clouds.
+//
+// The grid covers a square [-extent, extent]² footprint and [ground,
+// z_max] in height, stored as nz BEV channels — the layout the occupancy
+// autoencoder (Fig. 3) and the BEV detectors consume directly as a
+// [1, nz, ny, nx] tensor.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "sim/lidar_sim.hpp"
+
+namespace s2a::lidar {
+
+struct VoxelGridConfig {
+  int nx = 48, ny = 48, nz = 4;
+  double extent = 50.0;  ///< metres from the sensor in x and y
+  double z_min = 0.0, z_max = 4.0;
+
+  double cell_x() const { return 2.0 * extent / nx; }
+  double cell_y() const { return 2.0 * extent / ny; }
+  double cell_z() const { return (z_max - z_min) / nz; }
+};
+
+class VoxelGrid {
+ public:
+  explicit VoxelGrid(VoxelGridConfig config = {});
+
+  /// Marks every voxel containing at least one LiDAR hit. Ground returns
+  /// (z within `ground_tolerance` of z_min) are excluded so occupancy
+  /// reflects objects, not the road surface.
+  static VoxelGrid from_cloud(const sim::PointCloud& cloud,
+                              const VoxelGridConfig& config,
+                              double ground_tolerance = 0.3);
+
+  const VoxelGridConfig& config() const { return cfg_; }
+  bool occupied(int ix, int iy, int iz) const;
+  void set(int ix, int iy, int iz, bool value);
+  std::size_t occupied_count() const;
+  std::size_t voxel_count() const;
+
+  /// Voxel center in sensor-frame coordinates.
+  Vec3 voxel_center(int ix, int iy, int iz) const;
+  /// Horizontal range and azimuth (radians in [0, 2π)) of a voxel center.
+  double voxel_range(int ix, int iy) const;
+  double voxel_azimuth(int ix, int iy) const;
+
+  /// [1, nz, ny, nx] occupancy tensor (values 0/1) for the networks.
+  nn::Tensor to_tensor() const;
+  /// Inverse of to_tensor with thresholding at 0.5.
+  static VoxelGrid from_tensor(const nn::Tensor& t,
+                               const VoxelGridConfig& config);
+
+  /// Intersection-over-union of occupied voxel sets (reconstruction metric).
+  double iou(const VoxelGrid& other) const;
+
+ private:
+  std::size_t index(int ix, int iy, int iz) const;
+
+  VoxelGridConfig cfg_;
+  std::vector<bool> occ_;
+};
+
+}  // namespace s2a::lidar

@@ -1,0 +1,56 @@
+// Trust-gated LiDAR + camera fusion (the Fig. 7 experiment): when STARNet
+// flags the LiDAR stream as untrustworthy, the loop falls back to the
+// camera channel instead of acting on corrupted geometry.
+//
+// The camera detector is simulated from scene ground truth with a
+// configurable miss rate, localization noise and false positives —
+// cameras lack LiDAR's depth precision but degrade far more gracefully in
+// snow, which is exactly the asymmetry the experiment exercises.
+#pragma once
+
+#include <vector>
+
+#include "lidar/detector.hpp"
+#include "sim/scene.hpp"
+#include "util/rng.hpp"
+
+namespace s2a::monitor {
+
+struct CameraDetectorConfig {
+  double miss_prob = 0.25;
+  double center_noise = 0.8;      ///< 1σ localization error (m)
+  double false_positives_mean = 0.7;  ///< Poisson-ish FP count per scene
+  /// Additional miss probability per snow severity level (cameras degrade
+  /// too, just less than LiDAR).
+  double miss_per_severity = 0.03;
+};
+
+/// Simulated monocular detections of `scene` under weather `severity`.
+std::vector<lidar::Detection> simulate_camera_detections(
+    const sim::Scene& scene, int severity, const CameraDetectorConfig& config,
+    Rng& rng);
+
+/// Gate + merge: when the LiDAR stream is trusted the two sets are merged
+/// with IoU-based de-duplication (keep the higher score); when it is not,
+/// only camera detections pass.
+std::vector<lidar::Detection> trust_gated_fuse(
+    const std::vector<lidar::Detection>& lidar_dets,
+    const std::vector<lidar::Detection>& camera_dets, bool lidar_trusted,
+    double dedup_iou = 0.5);
+
+/// Continuous variant (Sec. V future work: "adaptive fusion to adjust
+/// sensor weights based on reliability"): instead of a binary gate, LiDAR
+/// detection scores are scaled by `lidar_reliability` in [0, 1] before the
+/// same de-duplicating merge, so a degrading stream fades out of the
+/// ranking gradually rather than being cut off at a threshold.
+std::vector<lidar::Detection> reliability_weighted_fuse(
+    const std::vector<lidar::Detection>& lidar_dets,
+    const std::vector<lidar::Detection>& camera_dets,
+    double lidar_reliability, double dedup_iou = 0.5);
+
+/// Maps a STARNet regret score to a reliability weight via a soft-knee:
+/// 1 at/below the calibrated threshold, decaying as score/threshold grows
+/// (reliability = threshold / max(threshold, score)).
+double regret_to_reliability(double score, double threshold);
+
+}  // namespace s2a::monitor

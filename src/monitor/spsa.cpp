@@ -1,0 +1,51 @@
+#include "monitor/spsa.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::monitor {
+
+SpsaResult spsa_minimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> theta0, const SpsaConfig& cfg, Rng& rng) {
+  S2A_CHECK(!theta0.empty());
+  S2A_CHECK(cfg.iterations > 0);
+
+  std::vector<double> theta = std::move(theta0);
+  SpsaResult res;
+  res.best_theta = theta;
+  res.best_value = objective(theta);
+  res.function_evaluations = 1;
+
+  const std::size_t dim = theta.size();
+  std::vector<double> delta(dim), plus(dim), minus(dim);
+  for (int k = 0; k < cfg.iterations; ++k) {
+    const double ak =
+        cfg.a / std::pow(k + 1 + cfg.stability, cfg.alpha);
+    const double ck = cfg.c / std::pow(k + 1, cfg.gamma);
+
+    for (std::size_t i = 0; i < dim; ++i) {
+      delta[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;  // Rademacher
+      plus[i] = theta[i] + ck * delta[i];
+      minus[i] = theta[i] - ck * delta[i];
+    }
+    const double fp = objective(plus);
+    const double fm = objective(minus);
+    res.function_evaluations += 2;
+
+    const double diff = (fp - fm) / (2.0 * ck);
+    for (std::size_t i = 0; i < dim; ++i)
+      theta[i] -= ak * diff / delta[i];
+
+    const double f = objective(theta);
+    res.function_evaluations += 1;
+    if (f < res.best_value) {
+      res.best_value = f;
+      res.best_theta = theta;
+    }
+  }
+  return res;
+}
+
+}  // namespace s2a::monitor

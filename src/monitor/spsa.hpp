@@ -1,0 +1,36 @@
+// Simultaneous Perturbation Stochastic Approximation (Sec. V):
+// gradient-free minimization that estimates the full gradient from TWO
+// function evaluations per iteration regardless of dimension — the
+// property that makes per-sample likelihood-regret computation affordable
+// on low-power edge devices.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace s2a::monitor {
+
+struct SpsaConfig {
+  int iterations = 60;
+  double a = 0.1;       ///< step-size numerator
+  double c = 0.05;      ///< perturbation magnitude numerator
+  double alpha = 0.602; ///< step-size decay exponent (standard Spall values)
+  double gamma = 0.101; ///< perturbation decay exponent
+  double stability = 10.0;  ///< A: step-size stabilizer
+};
+
+struct SpsaResult {
+  std::vector<double> best_theta;
+  double best_value = 0.0;
+  int function_evaluations = 0;
+};
+
+/// Minimizes `objective` starting from `theta0`. Keeps the best iterate
+/// seen (SPSA iterates are noisy).
+SpsaResult spsa_minimize(const std::function<double(const std::vector<double>&)>& objective,
+                         std::vector<double> theta0, const SpsaConfig& config,
+                         Rng& rng);
+
+}  // namespace s2a::monitor

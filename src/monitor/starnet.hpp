@@ -1,0 +1,54 @@
+// STARNet (Sec. V, Fig. 6): sensor-trustworthiness monitoring for
+// sensing-to-action loops. A VAE models the distribution of clean task-
+// network feature embeddings; at inference, likelihood regret (computed
+// gradient-free with SPSA) scores how far the current embedding has
+// drifted, and a threshold calibrated on clean data gates whether the
+// stream is trusted.
+#pragma once
+
+#include <vector>
+
+#include "monitor/likelihood_regret.hpp"
+#include "monitor/vae.hpp"
+
+namespace s2a::monitor {
+
+struct StarNetConfig {
+  VaeConfig vae;
+  RegretConfig regret;
+  /// Trust threshold = this percentile of clean-data regret scores.
+  double threshold_percentile = 95.0;
+  int vae_epochs = 80;
+  int vae_batch = 16;
+  double vae_lr = 5e-3;
+};
+
+class StarNet {
+ public:
+  StarNet(StarNetConfig config, Rng& rng);
+
+  /// Trains the VAE on clean embeddings and calibrates the trust
+  /// threshold. Embeddings are standardized per dimension internally.
+  void fit(const std::vector<std::vector<double>>& clean_embeddings,
+           Rng& rng);
+
+  /// Likelihood-regret anomaly score (higher = less trustworthy).
+  double score(const std::vector<double>& embedding, Rng& rng);
+  /// True when the embedding's score falls below the calibrated threshold.
+  bool trusted(const std::vector<double>& embedding, Rng& rng);
+
+  double threshold() const { return threshold_; }
+  bool fitted() const { return fitted_; }
+  Vae& vae() { return vae_; }
+
+ private:
+  std::vector<double> standardize(const std::vector<double>& x) const;
+
+  StarNetConfig cfg_;
+  Vae vae_;
+  std::vector<double> mean_, stddev_;
+  double threshold_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace s2a::monitor

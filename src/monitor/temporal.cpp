@@ -1,0 +1,65 @@
+#include "monitor/temporal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::monitor {
+
+TemporalConsistencyMonitor::TemporalConsistencyMonitor(
+    TemporalMonitorConfig config)
+    : cfg_(config) {
+  S2A_CHECK(cfg_.ema_alpha > 0.0 && cfg_.ema_alpha <= 1.0);
+  S2A_CHECK(cfg_.z_threshold > 0.0);
+}
+
+void TemporalConsistencyMonitor::calibrate(
+    const std::vector<std::vector<double>>& clean) {
+  S2A_CHECK_MSG(clean.size() >= 4, "need several clean samples");
+  const std::size_t dim = clean[0].size();
+  baseline_mean_.assign(dim, 0.0);
+  baseline_std_.assign(dim, 0.0);
+  for (const auto& x : clean) {
+    S2A_CHECK(x.size() == dim);
+    for (std::size_t i = 0; i < dim; ++i) baseline_mean_[i] += x[i];
+  }
+  for (auto& m : baseline_mean_) m /= static_cast<double>(clean.size());
+  for (const auto& x : clean)
+    for (std::size_t i = 0; i < dim; ++i)
+      baseline_std_[i] += (x[i] - baseline_mean_[i]) * (x[i] - baseline_mean_[i]);
+  for (auto& s : baseline_std_)
+    s = std::max(1e-9, std::sqrt(s / static_cast<double>(clean.size())));
+  calibrated_ = true;
+  reset();
+}
+
+void TemporalConsistencyMonitor::reset() {
+  ema_.clear();
+  has_ema_ = false;
+  drift_ = 0.0;
+}
+
+double TemporalConsistencyMonitor::update(const std::vector<double>& x) {
+  S2A_CHECK_MSG(calibrated_, "calibrate() before update()");
+  S2A_CHECK(x.size() == baseline_mean_.size());
+
+  if (!has_ema_) {
+    ema_ = x;
+    has_ema_ = true;
+  } else {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      ema_[i] = (1.0 - cfg_.ema_alpha) * ema_[i] + cfg_.ema_alpha * x[i];
+  }
+
+  // The EMA of n≈2/alpha samples has standard error σ·sqrt(alpha/2); score
+  // the deviation in those units so a stable stream hovers near ~1.
+  const double se_factor = std::sqrt(cfg_.ema_alpha / 2.0);
+  double z = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    z += std::abs(ema_[i] - baseline_mean_[i]) / (baseline_std_[i] * se_factor);
+  drift_ = z / static_cast<double>(x.size());
+  return drift_;
+}
+
+}  // namespace s2a::monitor

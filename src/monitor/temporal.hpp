@@ -1,0 +1,47 @@
+// Temporal consistency monitoring — the Sec. V future-enhancement
+// ("temporal consistency checks for detecting gradual sensor
+// degradation"). Per-sample likelihood regret catches abrupt corruption;
+// slow drift (lens fouling, thermal bias, aging lasers) stays inside the
+// per-sample envelope while the *running mean* of the feature stream
+// walks away from the calibration distribution. This monitor tracks an
+// EMA of embeddings and scores its Mahalanobis-style distance from the
+// clean baseline, in units of the baseline's standard error.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace s2a::monitor {
+
+struct TemporalMonitorConfig {
+  double ema_alpha = 0.1;   ///< smoothing of the running embedding mean
+  double z_threshold = 4.0; ///< drift alarm threshold (per-dim z, averaged)
+};
+
+class TemporalConsistencyMonitor {
+ public:
+  explicit TemporalConsistencyMonitor(TemporalMonitorConfig config = {});
+
+  /// Learns the clean per-dimension mean/std baseline.
+  void calibrate(const std::vector<std::vector<double>>& clean_embeddings);
+
+  /// Folds one embedding into the running mean and returns the drift
+  /// score: mean over dimensions of |EMA − baseline| / baseline σ.
+  double update(const std::vector<double>& embedding);
+
+  double drift_score() const { return drift_; }
+  bool drifting() const { return drift_ > cfg_.z_threshold; }
+  bool calibrated() const { return calibrated_; }
+  /// Resets the running state (keeps calibration).
+  void reset();
+
+ private:
+  TemporalMonitorConfig cfg_;
+  std::vector<double> baseline_mean_, baseline_std_, ema_;
+  double drift_ = 0.0;
+  bool calibrated_ = false;
+  bool has_ema_ = false;
+};
+
+}  // namespace s2a::monitor

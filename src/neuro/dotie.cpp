@@ -1,0 +1,77 @@
+#include "neuro/dotie.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace s2a::neuro {
+
+std::vector<double> DotieDetector::spike_map(
+    const std::vector<sim::EventFrame>& frames, int* width,
+    int* height) const {
+  S2A_CHECK(!frames.empty());
+  const int w = frames[0].width, h = frames[0].height;
+  if (width != nullptr) *width = w;
+  if (height != nullptr) *height = h;
+
+  const std::size_t n = static_cast<std::size_t>(w) * h;
+  std::vector<double> membrane(n, 0.0), spikes(n, 0.0);
+  for (const auto& f : frames) {
+    S2A_CHECK(f.width == w && f.height == h);
+    for (std::size_t i = 0; i < n; ++i) {
+      membrane[i] = cfg_.leak * membrane[i] + f.pos[i] + f.neg[i];
+      if (membrane[i] >= cfg_.threshold) {
+        spikes[i] += 1.0;
+        membrane[i] -= cfg_.threshold;  // reset by subtraction
+      }
+    }
+  }
+  return spikes;
+}
+
+std::vector<EventBox> DotieDetector::detect(
+    const std::vector<sim::EventFrame>& frames) const {
+  int w = 0, h = 0;
+  const std::vector<double> spikes = spike_map(frames, &w, &h);
+
+  std::vector<bool> visited(spikes.size(), false);
+  std::vector<EventBox> boxes;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t start = static_cast<std::size_t>(y) * w + x;
+      if (visited[start] || spikes[start] <= 0.0) continue;
+
+      // BFS over the 4-connected spiking component.
+      EventBox box{x, y, x, y, 0.0};
+      int size = 0;
+      std::queue<std::pair<int, int>> frontier;
+      frontier.push({x, y});
+      visited[start] = true;
+      while (!frontier.empty()) {
+        const auto [cx, cy] = frontier.front();
+        frontier.pop();
+        const std::size_t ci = static_cast<std::size_t>(cy) * w + cx;
+        box.spike_mass += spikes[ci];
+        box.x0 = std::min(box.x0, cx);
+        box.x1 = std::max(box.x1, cx);
+        box.y0 = std::min(box.y0, cy);
+        box.y1 = std::max(box.y1, cy);
+        ++size;
+        const int dx[4] = {1, -1, 0, 0};
+        const int dy[4] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          const int nx = cx + dx[d], ny = cy + dy[d];
+          if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+          const std::size_t ni = static_cast<std::size_t>(ny) * w + nx;
+          if (visited[ni] || spikes[ni] <= 0.0) continue;
+          visited[ni] = true;
+          frontier.push({nx, ny});
+        }
+      }
+      if (size >= cfg_.min_cluster_size) boxes.push_back(box);
+    }
+  }
+  return boxes;
+}
+
+}  // namespace s2a::neuro

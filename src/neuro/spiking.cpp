@@ -1,0 +1,179 @@
+#include "neuro/spiking.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::neuro {
+
+double surrogate_grad(double v_minus_theta, double width) {
+  const double a = std::abs(v_minus_theta) / width;
+  return a >= 1.0 ? 0.0 : (1.0 - a) / width;
+}
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double softplus(double x) {
+  return x > 20.0 ? x : std::log1p(std::exp(x));
+}
+double inv_sigmoid(double y) { return std::log(y / (1.0 - y)); }
+double inv_softplus(double y) {
+  return y > 20.0 ? y : std::log(std::expm1(y));
+}
+}  // namespace
+
+SpikingConv2D::SpikingConv2D(int in_channels, int out_channels, int kernel,
+                             int stride, int padding, Rng& rng,
+                             bool learnable_dynamics, double init_leak,
+                             double init_threshold)
+    : conv_(in_channels, out_channels, kernel, stride, padding, rng),
+      learnable_(learnable_dynamics),
+      p_leak_({1}),
+      p_threshold_({1}),
+      g_leak_({1}),
+      g_threshold_({1}) {
+  S2A_CHECK(init_leak > 0.0 && init_leak < 1.0);
+  S2A_CHECK(init_threshold > 0.0);
+  p_leak_[0] = inv_sigmoid(init_leak);
+  p_threshold_[0] = inv_softplus(init_threshold);
+}
+
+double SpikingConv2D::leak() const { return sigmoid(p_leak_[0]); }
+double SpikingConv2D::threshold() const { return softplus(p_threshold_[0]); }
+
+void SpikingConv2D::begin_sequence() {
+  membrane_ = nn::Tensor();
+  inputs_.clear();
+  pre_membranes_.clear();
+  spikes_.clear();
+  total_spikes_ = 0.0;
+}
+
+nn::Tensor SpikingConv2D::step(const nn::Tensor& x) {
+  inputs_.push_back(x);
+  const nn::Tensor c = conv_.forward(x);
+  nn::Tensor u = c;
+  const double lambda = leak();
+  if (!membrane_.empty()) u.add_scaled(membrane_, lambda);
+  pre_membranes_.push_back(u);
+
+  const double theta = threshold();
+  nn::Tensor s(u.shape());
+  nn::Tensor v = u;
+  for (std::size_t i = 0; i < u.numel(); ++i) {
+    if (u[i] >= theta) {
+      s[i] = 1.0;
+      v[i] = u[i] - theta;
+      total_spikes_ += 1.0;
+    }
+  }
+  membrane_ = v;
+  spikes_.push_back(s);
+  return s;
+}
+
+std::vector<nn::Tensor> SpikingConv2D::backward(
+    const std::vector<nn::Tensor>& grad_spikes) {
+  return backward_impl(grad_spikes, /*membrane_target=*/false);
+}
+
+std::vector<nn::Tensor> SpikingConv2D::backward_membrane(
+    const std::vector<nn::Tensor>& grad_membranes) {
+  return backward_impl(grad_membranes, /*membrane_target=*/true);
+}
+
+std::vector<nn::Tensor> SpikingConv2D::backward_impl(
+    const std::vector<nn::Tensor>& grad_out, bool membrane_target) {
+  const int t_steps = static_cast<int>(inputs_.size());
+  S2A_CHECK(static_cast<int>(grad_out.size()) == t_steps);
+  S2A_CHECK(t_steps > 0);
+
+  const double lambda = leak();
+  const double theta = threshold();
+  const double d_lambda_dp = lambda * (1.0 - lambda);          // sigmoid'
+  const double d_theta_dp = sigmoid(p_threshold_[0]);          // softplus'
+
+  std::vector<nn::Tensor> grad_inputs(static_cast<std::size_t>(t_steps));
+  nn::Tensor dv;  // dL/dv_t flowing backward through the membrane chain
+  double acc_dlambda = 0.0, acc_dtheta = 0.0;
+
+  for (int t = t_steps - 1; t >= 0; --t) {
+    const nn::Tensor& u = pre_membranes_[static_cast<std::size_t>(t)];
+    const nn::Tensor& s = spikes_[static_cast<std::size_t>(t)];
+    const nn::Tensor& gs = grad_out[static_cast<std::size_t>(t)];
+    S2A_CHECK(gs.same_shape(u));
+
+    nn::Tensor du(u.shape());
+    for (std::size_t i = 0; i < u.numel(); ++i) {
+      const double dvi = dv.empty() ? 0.0 : dv[i];
+      if (membrane_target) {
+        // Readout is u_t itself: no surrogate at this layer's output.
+        du[i] = gs[i] + dvi;
+        acc_dtheta += dvi * (-s[i]);
+      } else {
+        const double g = surrogate_grad(u[i] - theta);
+        // Reset path detached (standard surrogate-gradient practice): the
+        // spike indicator in v_t = u_t − θ·s_t is treated as a constant.
+        du[i] = gs[i] * g + dvi;
+        acc_dtheta += gs[i] * (-g) + dvi * (-s[i]);
+      }
+    }
+
+    // λ enters u_t = λ·v_{t−1} + c_t (only for t > 0).
+    if (t > 0) {
+      // v_{t−1} = membrane after step t−1: recompute from stored tensors.
+      const nn::Tensor& u_prev = pre_membranes_[static_cast<std::size_t>(t - 1)];
+      const nn::Tensor& s_prev = spikes_[static_cast<std::size_t>(t - 1)];
+      nn::Tensor dv_prev(u.shape());
+      for (std::size_t i = 0; i < u.numel(); ++i) {
+        const double v_prev = u_prev[i] - theta * s_prev[i];
+        acc_dlambda += du[i] * v_prev;
+        dv_prev[i] = du[i] * lambda;
+      }
+      dv = dv_prev;
+    }
+
+    // Through the convolution for this step (recompute-forward to restore
+    // the layer's cached input, then backprop).
+    conv_.forward(inputs_[static_cast<std::size_t>(t)]);
+    grad_inputs[static_cast<std::size_t>(t)] = conv_.backward(du);
+  }
+
+  if (learnable_) {
+    g_leak_[0] += acc_dlambda * d_lambda_dp;
+    g_threshold_[0] += acc_dtheta * d_theta_dp;
+  }
+  return grad_inputs;
+}
+
+std::vector<nn::Tensor*> SpikingConv2D::params() {
+  auto p = conv_.params();
+  if (learnable_) {
+    p.push_back(&p_leak_);
+    p.push_back(&p_threshold_);
+  }
+  return p;
+}
+
+std::vector<nn::Tensor*> SpikingConv2D::grads() {
+  auto g = conv_.grads();
+  if (learnable_) {
+    g.push_back(&g_leak_);
+    g.push_back(&g_threshold_);
+  }
+  return g;
+}
+
+void SpikingConv2D::zero_grad() {
+  for (auto* g : grads()) g->fill(0.0);
+}
+
+std::size_t SpikingConv2D::fanout() const {
+  // Each *output* spike implies the neuron integrated Cin·k·k synaptic
+  // accumulates that step; we charge AC energy per output-neuron update,
+  // the convention of the Spike-FlowNet energy model.
+  return static_cast<std::size_t>(conv_.in_channels()) * conv_.kernel() *
+         conv_.kernel();
+}
+
+}  // namespace s2a::neuro

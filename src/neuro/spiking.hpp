@@ -1,0 +1,85 @@
+// Spiking (LIF) convolution layers with surrogate-gradient BPTT
+// (Sec. VI). Neurons integrate leaky membrane potential, emit a spike
+// when it crosses threshold, and reset by subtraction:
+//   u_t = λ·v_{t−1} + c_t,   s_t = H(u_t − θ),   v_t = u_t − θ·s_t.
+// Backward uses a triangular surrogate for H' (Neftci et al. [62]).
+// Adaptive-SpikeNet's contribution — learnable neuronal dynamics [49] —
+// is the `learnable_dynamics` flag: λ and θ become trainable parameters
+// (through sigmoid/softplus transforms that keep them in range).
+#pragma once
+
+#include <vector>
+
+#include "nn/conv2d.hpp"
+
+namespace s2a::neuro {
+
+/// Triangular surrogate derivative of the Heaviside spike function,
+/// centred on the threshold: max(0, 1 − |x|/width) / width.
+double surrogate_grad(double v_minus_theta, double width = 1.0);
+
+/// Energy constants at 45 nm (Horowitz; standard in the SNN literature):
+/// a 32-bit MAC costs 4.6 pJ, an accumulate (AC) 0.9 pJ. SNN layers pay
+/// AC per *spike-driven* synaptic op; ANN layers pay MAC per synaptic op.
+inline constexpr double kEnergyPerMac = 4.6e-12;
+inline constexpr double kEnergyPerAc = 0.9e-12;
+
+/// Conv2D wrapped in LIF dynamics, unrolled over a spike-train sequence.
+/// Drive with begin_sequence() then step(x_t) for t = 0..T−1; backward
+/// takes dL/d(spikes_t) for every step and returns dL/d(input_t).
+class SpikingConv2D {
+ public:
+  SpikingConv2D(int in_channels, int out_channels, int kernel, int stride,
+                int padding, Rng& rng, bool learnable_dynamics = false,
+                double init_leak = 0.9, double init_threshold = 1.0);
+
+  void begin_sequence();
+  /// One timestep: returns the binary spike map for this step.
+  nn::Tensor step(const nn::Tensor& x);
+  /// BPTT through all recorded steps. grad_spikes[t] is dL/d(spikes_t);
+  /// returns dL/d(input_t) per step. Parameter gradients accumulate.
+  std::vector<nn::Tensor> backward(const std::vector<nn::Tensor>& grad_spikes);
+
+  /// BPTT when the readout is the pre-threshold membrane u_t instead of
+  /// the spike train (Spike-FlowNet reads accumulated membrane potential
+  /// at the final encoder layer): grad_membranes[t] is dL/du_t.
+  std::vector<nn::Tensor> backward_membrane(
+      const std::vector<nn::Tensor>& grad_membranes);
+
+  /// Pre-threshold membrane recorded at step t (valid after step()).
+  const nn::Tensor& pre_membrane(int t) const { return pre_membranes_[static_cast<std::size_t>(t)]; }
+
+  std::vector<nn::Tensor*> params();
+  std::vector<nn::Tensor*> grads();
+  void zero_grad();
+
+  double leak() const;
+  double threshold() const;
+  bool learnable_dynamics() const { return learnable_; }
+
+  /// Spike statistics since the last begin_sequence() — the quantity the
+  /// AC-energy model integrates.
+  double total_output_spikes() const { return total_spikes_; }
+  /// Synaptic fan-out per input spike (Cout·k·k): one AC op each.
+  std::size_t fanout() const;
+  /// Dense MAC count per step (what an ANN layer of this shape would pay).
+  std::size_t dense_macs_per_step() const { return conv_.macs_per_sample(); }
+
+  nn::Conv2D& conv() { return conv_; }
+  int steps_recorded() const { return static_cast<int>(inputs_.size()); }
+
+ private:
+  std::vector<nn::Tensor> backward_impl(const std::vector<nn::Tensor>& grad_out,
+                                        bool membrane_target);
+
+  nn::Conv2D conv_;
+  bool learnable_;
+  // Raw dynamics parameters; leak = sigmoid(p_leak), threshold =
+  // softplus(p_threshold) keep them in valid ranges while trainable.
+  nn::Tensor p_leak_, p_threshold_, g_leak_, g_threshold_;
+  nn::Tensor membrane_;
+  std::vector<nn::Tensor> inputs_, pre_membranes_, spikes_;
+  double total_spikes_ = 0.0;
+};
+
+}  // namespace s2a::neuro

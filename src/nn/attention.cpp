@@ -1,0 +1,106 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::nn {
+
+SelfAttention::SelfAttention(int dim, Rng& rng)
+    : d_(dim),
+      wq_(Tensor::xavier(dim, dim, rng)),
+      wk_(Tensor::xavier(dim, dim, rng)),
+      wv_(Tensor::xavier(dim, dim, rng)),
+      wo_(Tensor::xavier(dim, dim, rng)),
+      gq_({dim, dim}),
+      gk_({dim, dim}),
+      gv_({dim, dim}),
+      go_({dim, dim}) {
+  S2A_CHECK(dim > 0);
+}
+
+Tensor SelfAttention::forward(const Tensor& x) {
+  S2A_CHECK_MSG(x.shape().size() == 2 && x.dim(1) == d_,
+                "SelfAttention expects [T," << d_ << "]");
+  x_ = x;
+  const int t = x.dim(0);
+  last_t_ = static_cast<std::size_t>(t);
+
+  q_ = matmul_nt(x, wq_);
+  k_ = matmul_nt(x, wk_);
+  v_ = matmul_nt(x, wv_);
+
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_));
+  Tensor s = matmul_nt(q_, k_);  // [T, T]
+  for (std::size_t i = 0; i < s.numel(); ++i) s[i] *= scale;
+
+  // Row-wise softmax with max subtraction.
+  p_ = s;
+  for (int i = 0; i < t; ++i) {
+    double mx = p_[static_cast<std::size_t>(i) * t];
+    for (int j = 1; j < t; ++j)
+      mx = std::max(mx, p_[static_cast<std::size_t>(i) * t + j]);
+    double sum = 0.0;
+    for (int j = 0; j < t; ++j) {
+      double& e = p_[static_cast<std::size_t>(i) * t + j];
+      e = std::exp(e - mx);
+      sum += e;
+    }
+    for (int j = 0; j < t; ++j) p_[static_cast<std::size_t>(i) * t + j] /= sum;
+  }
+
+  att_ = matmul(p_, v_);
+  return matmul_nt(att_, wo_);
+}
+
+Tensor SelfAttention::backward(const Tensor& grad_out) {
+  S2A_CHECK(!x_.empty());
+  const int t = x_.dim(0);
+  S2A_CHECK(grad_out.shape().size() == 2 && grad_out.dim(0) == t &&
+            grad_out.dim(1) == d_);
+
+  // y = att·Woᵀ
+  go_.add_scaled(matmul_tn(grad_out, att_), 1.0);
+  const Tensor datt = matmul(grad_out, wo_);
+
+  // att = P·V
+  Tensor dp = matmul_nt(datt, v_);        // [T, T]
+  const Tensor dv = matmul_tn(p_, datt);  // [T, d]
+
+  // Softmax rows: dS = P ⊙ (dP − rowdot(dP, P)).
+  Tensor ds = dp;
+  for (int i = 0; i < t; ++i) {
+    double rowdot = 0.0;
+    for (int j = 0; j < t; ++j)
+      rowdot += dp[static_cast<std::size_t>(i) * t + j] *
+                p_[static_cast<std::size_t>(i) * t + j];
+    for (int j = 0; j < t; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i) * t + j;
+      ds[idx] = p_[idx] * (dp[idx] - rowdot);
+    }
+  }
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_));
+  for (std::size_t i = 0; i < ds.numel(); ++i) ds[i] *= scale;
+
+  // S = Q·Kᵀ (after scaling handled above).
+  const Tensor dq = matmul(ds, k_);
+  const Tensor dk = matmul_tn(ds, q_);
+
+  // Projections: q = x·Wqᵀ etc.
+  gq_.add_scaled(matmul_tn(dq, x_), 1.0);
+  gk_.add_scaled(matmul_tn(dk, x_), 1.0);
+  gv_.add_scaled(matmul_tn(dv, x_), 1.0);
+
+  Tensor dx = matmul(dq, wq_);
+  dx.add_scaled(matmul(dk, wk_), 1.0);
+  dx.add_scaled(matmul(dv, wv_), 1.0);
+  return dx;
+}
+
+std::size_t SelfAttention::macs_per_sample() const {
+  const std::size_t d = static_cast<std::size_t>(d_);
+  const std::size_t t = last_t_ == 0 ? 1 : last_t_;
+  return 4 * t * d * d + 2 * t * t * d;
+}
+
+}  // namespace s2a::nn

@@ -1,0 +1,31 @@
+// Single-head scaled dot-product self-attention over a token sequence.
+//
+// Backs the "Transformer model" baseline of the RoboKoop comparison
+// (Fig. 5a/5b): a context window of past (state, action) tokens is encoded,
+// attended over, and the last token's output predicts the next latent state.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace s2a::nn {
+
+/// Input and output are [T, d] — one sequence per forward call.
+class SelfAttention : public Layer {
+ public:
+  SelfAttention(int dim, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&wq_, &wk_, &wv_, &wo_}; }
+  std::vector<Tensor*> grads() override { return {&gq_, &gk_, &gv_, &go_}; }
+  std::size_t macs_per_sample() const override;
+
+ private:
+  int d_;
+  Tensor wq_, wk_, wv_, wo_;  // each [d, d], applied as y = x·Wᵀ
+  Tensor gq_, gk_, gv_, go_;
+  Tensor x_, q_, k_, v_, p_, att_;  // caches: P = softmax rows, att = P·V
+  mutable std::size_t last_t_ = 0;
+};
+
+}  // namespace s2a::nn

@@ -1,0 +1,196 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::nn {
+
+namespace {
+Tensor conv_weight_init(int c0, int c1, int k, Rng& rng) {
+  const int fan_in = c1 * k * k;
+  Tensor w({c0, c1, k, k});
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.normal(0.0, stddev);
+  return w;
+}
+
+inline std::size_t idx4(int a, int b, int c, int d, int db, int dc, int dd) {
+  return ((static_cast<std::size_t>(a) * db + b) * dc + c) * dd + d;
+}
+}  // namespace
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride,
+               int padding, Rng& rng)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      w_(conv_weight_init(out_channels, in_channels, kernel, rng)),
+      b_({out_channels}),
+      gw_({out_channels, in_channels, kernel, kernel}),
+      gb_({out_channels}) {
+  S2A_CHECK(kernel > 0 && stride > 0 && padding >= 0);
+}
+
+Tensor Conv2D::forward(const Tensor& x) {
+  S2A_CHECK_MSG(x.shape().size() == 4 && x.dim(1) == cin_,
+                "Conv2D expects [N," << cin_ << ",H,W]");
+  last_x_ = x;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_size(h), ow = out_size(w);
+  S2A_CHECK_MSG(oh > 0 && ow > 0, "conv output collapsed to zero");
+  last_out_hw_ = static_cast<std::size_t>(oh) * ow;
+
+  Tensor y({n, cout_, oh, ow});
+  for (int b = 0; b < n; ++b)
+    for (int oc = 0; oc < cout_; ++oc)
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox) {
+          double acc = b_[static_cast<std::size_t>(oc)];
+          for (int ic = 0; ic < cin_; ++ic)
+            for (int ky = 0; ky < k_; ++ky) {
+              const int iy = oy * stride_ + ky - pad_;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k_; ++kx) {
+                const int ix = ox * stride_ + kx - pad_;
+                if (ix < 0 || ix >= w) continue;
+                acc += x[idx4(b, ic, iy, ix, cin_, h, w)] *
+                       w_[idx4(oc, ic, ky, kx, cin_, k_, k_)];
+              }
+            }
+          y[idx4(b, oc, oy, ox, cout_, oh, ow)] = acc;
+        }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  S2A_CHECK(!last_x_.empty());
+  const int n = last_x_.dim(0), h = last_x_.dim(2), w = last_x_.dim(3);
+  const int oh = out_size(h), ow = out_size(w);
+  S2A_CHECK(grad_out.shape().size() == 4 && grad_out.dim(1) == cout_ &&
+            grad_out.dim(2) == oh && grad_out.dim(3) == ow);
+
+  Tensor dx({n, cin_, h, w});
+  for (int b = 0; b < n; ++b)
+    for (int oc = 0; oc < cout_; ++oc)
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox) {
+          const double g = grad_out[idx4(b, oc, oy, ox, cout_, oh, ow)];
+          if (g == 0.0) continue;
+          gb_[static_cast<std::size_t>(oc)] += g;
+          for (int ic = 0; ic < cin_; ++ic)
+            for (int ky = 0; ky < k_; ++ky) {
+              const int iy = oy * stride_ + ky - pad_;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k_; ++kx) {
+                const int ix = ox * stride_ + kx - pad_;
+                if (ix < 0 || ix >= w) continue;
+                gw_[idx4(oc, ic, ky, kx, cin_, k_, k_)] +=
+                    g * last_x_[idx4(b, ic, iy, ix, cin_, h, w)];
+                dx[idx4(b, ic, iy, ix, cin_, h, w)] +=
+                    g * w_[idx4(oc, ic, ky, kx, cin_, k_, k_)];
+              }
+            }
+        }
+  return dx;
+}
+
+std::size_t Conv2D::macs_per_sample() const {
+  return static_cast<std::size_t>(cout_) * cin_ * k_ * k_ * last_out_hw_;
+}
+
+ConvTranspose2D::ConvTranspose2D(int in_channels, int out_channels, int kernel,
+                                 int stride, int padding, Rng& rng)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      w_(conv_weight_init(in_channels, out_channels, kernel, rng)),
+      b_({out_channels}),
+      gw_({in_channels, out_channels, kernel, kernel}),
+      gb_({out_channels}) {
+  S2A_CHECK(kernel > 0 && stride > 0 && padding >= 0);
+}
+
+Tensor ConvTranspose2D::forward(const Tensor& x) {
+  S2A_CHECK(x.shape().size() == 4 && x.dim(1) == cin_);
+  last_x_ = x;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_size(h), ow = out_size(w);
+  S2A_CHECK(oh > 0 && ow > 0);
+  last_in_hw_ = static_cast<std::size_t>(h) * w;
+
+  Tensor y({n, cout_, oh, ow});
+  for (int b = 0; b < n; ++b)
+    for (int oc = 0; oc < cout_; ++oc)
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox)
+          y[idx4(b, oc, oy, ox, cout_, oh, ow)] = b_[static_cast<std::size_t>(oc)];
+
+  for (int b = 0; b < n; ++b)
+    for (int ic = 0; ic < cin_; ++ic)
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < w; ++ix) {
+          const double v = x[idx4(b, ic, iy, ix, cin_, h, w)];
+          if (v == 0.0) continue;
+          for (int oc = 0; oc < cout_; ++oc)
+            for (int ky = 0; ky < k_; ++ky) {
+              const int oy = iy * stride_ + ky - pad_;
+              if (oy < 0 || oy >= oh) continue;
+              for (int kx = 0; kx < k_; ++kx) {
+                const int ox = ix * stride_ + kx - pad_;
+                if (ox < 0 || ox >= ow) continue;
+                y[idx4(b, oc, oy, ox, cout_, oh, ow)] +=
+                    v * w_[idx4(ic, oc, ky, kx, cout_, k_, k_)];
+              }
+            }
+        }
+  return y;
+}
+
+Tensor ConvTranspose2D::backward(const Tensor& grad_out) {
+  S2A_CHECK(!last_x_.empty());
+  const int n = last_x_.dim(0), h = last_x_.dim(2), w = last_x_.dim(3);
+  const int oh = out_size(h), ow = out_size(w);
+  S2A_CHECK(grad_out.shape().size() == 4 && grad_out.dim(1) == cout_ &&
+            grad_out.dim(2) == oh && grad_out.dim(3) == ow);
+
+  for (int b = 0; b < n; ++b)
+    for (int oc = 0; oc < cout_; ++oc)
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox)
+          gb_[static_cast<std::size_t>(oc)] +=
+              grad_out[idx4(b, oc, oy, ox, cout_, oh, ow)];
+
+  Tensor dx({n, cin_, h, w});
+  for (int b = 0; b < n; ++b)
+    for (int ic = 0; ic < cin_; ++ic)
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < w; ++ix) {
+          const double v = last_x_[idx4(b, ic, iy, ix, cin_, h, w)];
+          double acc = 0.0;
+          for (int oc = 0; oc < cout_; ++oc)
+            for (int ky = 0; ky < k_; ++ky) {
+              const int oy = iy * stride_ + ky - pad_;
+              if (oy < 0 || oy >= oh) continue;
+              for (int kx = 0; kx < k_; ++kx) {
+                const int ox = ix * stride_ + kx - pad_;
+                if (ox < 0 || ox >= ow) continue;
+                const double g = grad_out[idx4(b, oc, oy, ox, cout_, oh, ow)];
+                acc += g * w_[idx4(ic, oc, ky, kx, cout_, k_, k_)];
+                gw_[idx4(ic, oc, ky, kx, cout_, k_, k_)] += g * v;
+              }
+            }
+          dx[idx4(b, ic, iy, ix, cin_, h, w)] = acc;
+        }
+  return dx;
+}
+
+std::size_t ConvTranspose2D::macs_per_sample() const {
+  return static_cast<std::size_t>(cin_) * cout_ * k_ * k_ * last_in_hw_;
+}
+
+}  // namespace s2a::nn

@@ -1,0 +1,62 @@
+// 2-D convolution and transposed convolution over NCHW tensors.
+//
+// These back the BEV detector backbones (lidar), the occupancy decoder's
+// upsampling stages, and the optical-flow networks (neuro). Implementations
+// are direct loops — the networks are small and the hot path is measured,
+// not raced.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace s2a::nn {
+
+class Conv2D : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, int stride,
+         int padding, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;  ///< x: [N, Cin, H, W]
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&gw_, &gb_}; }
+  std::size_t macs_per_sample() const override;
+
+  int out_size(int in_size) const {
+    return (in_size + 2 * pad_ - k_) / stride_ + 1;
+  }
+  int in_channels() const { return cin_; }
+  int out_channels() const { return cout_; }
+  int kernel() const { return k_; }
+
+ private:
+  int cin_, cout_, k_, stride_, pad_;
+  Tensor w_, b_, gw_, gb_;  // w: [Cout, Cin, k, k]
+  Tensor last_x_;
+  mutable std::size_t last_out_hw_ = 0;  // set by forward, used by macs
+};
+
+/// Transposed convolution (a.k.a. deconvolution) for decoder upsampling.
+/// Output spatial size: (in-1)*stride - 2*pad + kernel.
+class ConvTranspose2D : public Layer {
+ public:
+  ConvTranspose2D(int in_channels, int out_channels, int kernel, int stride,
+                  int padding, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&gw_, &gb_}; }
+  std::size_t macs_per_sample() const override;
+
+  int out_size(int in_size) const {
+    return (in_size - 1) * stride_ - 2 * pad_ + k_;
+  }
+
+ private:
+  int cin_, cout_, k_, stride_, pad_;
+  Tensor w_, b_, gw_, gb_;  // w: [Cin, Cout, k, k]
+  Tensor last_x_;
+  mutable std::size_t last_in_hw_ = 0;
+};
+
+}  // namespace s2a::nn

@@ -1,0 +1,46 @@
+// Single-step GRU cell with explicit backward.
+//
+// Used as the "recurrent model" baseline in the RoboKoop dynamics-model
+// comparison (Fig. 5a/5b). The cell is trained on one-step latent
+// prediction, so a single-step backward (no BPTT) is all the training
+// loop needs; inference can still roll the cell forward arbitrarily far.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace s2a::nn {
+
+class GRUCell {
+ public:
+  GRUCell(int input_size, int hidden_size, Rng& rng);
+
+  /// One step: returns h' given x [N, in] and h [N, hidden].
+  Tensor step(const Tensor& x, const Tensor& h);
+
+  /// Backward through the last step(). Returns {dL/dx, dL/dh}; parameter
+  /// gradients accumulate.
+  std::pair<Tensor, Tensor> backward(const Tensor& grad_h_new);
+
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+  void zero_grad();
+
+  std::size_t macs_per_sample() const {
+    // Three gates, each an input and a hidden matmul.
+    return 3u * (static_cast<std::size_t>(in_) * hid_ +
+                 static_cast<std::size_t>(hid_) * hid_);
+  }
+  int hidden_size() const { return hid_; }
+
+ private:
+  int in_, hid_;
+  // w*: [hid, in] input weights; u*: [hid, hid] recurrent weights.
+  Tensor wz_, wr_, wc_, uz_, ur_, uc_, bz_, br_, bc_;
+  Tensor gwz_, gwr_, gwc_, guz_, gur_, guc_, gbz_, gbr_, gbc_;
+  // Cached activations from the last step.
+  Tensor x_, h_, z_, r_, c_, rh_;
+};
+
+}  // namespace s2a::nn

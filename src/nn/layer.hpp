@@ -1,0 +1,47 @@
+// Layer interface for the library's networks.
+//
+// Layers are stateful trainers: forward() caches whatever backward() needs,
+// backward() accumulates parameter gradients and returns the gradient with
+// respect to the layer input. This matches how the training loops in each
+// subsystem drive them (single-threaded, one batch in flight).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace s2a::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  /// grad_out is dL/d(output); returns dL/d(input). Parameter gradients
+  /// accumulate until zero_grad().
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters and their gradient buffers, index-aligned.
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  void zero_grad() {
+    for (Tensor* g : grads()) g->fill(0.0);
+  }
+
+  /// Multiply-accumulate operations for one forward pass of a single sample.
+  /// Used by the Fig. 5a / Table II compute-cost instrumentation.
+  virtual std::size_t macs_per_sample() const { return 0; }
+
+  std::size_t param_count() {
+    std::size_t n = 0;
+    for (Tensor* p : params()) n += p->numel();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace s2a::nn

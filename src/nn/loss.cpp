@@ -1,0 +1,98 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::nn {
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  S2A_CHECK(pred.same_shape(target));
+  S2A_CHECK(pred.numel() > 0);
+  LossResult r;
+  r.grad = pred;
+  const double inv_n = 1.0 / static_cast<double>(pred.numel());
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = pred[i] - target[i];
+    r.value += d * d;
+    r.grad[i] = 2.0 * d * inv_n;
+  }
+  r.value *= inv_n;
+  return r;
+}
+
+LossResult bce_with_logits(const Tensor& logits, const Tensor& target) {
+  S2A_CHECK(logits.same_shape(target));
+  S2A_CHECK(logits.numel() > 0);
+  LossResult r;
+  r.grad = logits;
+  const double inv_n = 1.0 / static_cast<double>(logits.numel());
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const double x = logits[i], t = target[i];
+    S2A_DCHECK(t >= 0.0 && t <= 1.0);
+    // loss = max(x,0) - x*t + log(1 + exp(-|x|))
+    r.value += std::max(x, 0.0) - x * t + std::log1p(std::exp(-std::abs(x)));
+    const double sig = 1.0 / (1.0 + std::exp(-x));
+    r.grad[i] = (sig - t) * inv_n;
+  }
+  r.value *= inv_n;
+  return r;
+}
+
+Tensor softmax(const Tensor& logits) {
+  S2A_CHECK(logits.shape().size() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  Tensor p = logits;
+  for (int i = 0; i < n; ++i) {
+    double mx = p[static_cast<std::size_t>(i) * c];
+    for (int j = 1; j < c; ++j)
+      mx = std::max(mx, p[static_cast<std::size_t>(i) * c + j]);
+    double sum = 0.0;
+    for (int j = 0; j < c; ++j) {
+      double& e = p[static_cast<std::size_t>(i) * c + j];
+      e = std::exp(e - mx);
+      sum += e;
+    }
+    for (int j = 0; j < c; ++j) p[static_cast<std::size_t>(i) * c + j] /= sum;
+  }
+  return p;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  S2A_CHECK(logits.shape().size() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  S2A_CHECK(static_cast<int>(labels.size()) == n);
+  LossResult r;
+  r.grad = softmax(logits);
+  const double inv_n = 1.0 / n;
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    S2A_CHECK_MSG(0 <= y && y < c, "label " << y << " out of range");
+    const std::size_t idx = static_cast<std::size_t>(i) * c + y;
+    r.value += -std::log(std::max(r.grad[idx], 1e-12));
+    r.grad[idx] -= 1.0;
+  }
+  for (std::size_t i = 0; i < r.grad.numel(); ++i) r.grad[i] *= inv_n;
+  r.value *= inv_n;
+  return r;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  S2A_CHECK(logits.shape().size() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  S2A_CHECK(static_cast<int>(labels.size()) == n);
+  if (n == 0) return 0.0;
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    int best = 0;
+    for (int j = 1; j < c; ++j)
+      if (logits[static_cast<std::size_t>(i) * c + j] >
+          logits[static_cast<std::size_t>(i) * c + best])
+        best = j;
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / n;
+}
+
+}  // namespace s2a::nn

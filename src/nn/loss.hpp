@@ -1,0 +1,34 @@
+// Loss functions. Each returns the scalar loss (mean over the batch) and
+// the gradient with respect to the prediction, ready to feed backward().
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace s2a::nn {
+
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;  ///< dL/d(pred), same shape as pred
+};
+
+/// Mean squared error, averaged over all elements.
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Numerically stable sigmoid + binary cross-entropy, averaged over all
+/// elements. `target` entries must be in [0, 1].
+LossResult bce_with_logits(const Tensor& logits, const Tensor& target);
+
+/// Softmax + cross-entropy over logits [N, C] with integer labels.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Row-wise softmax probabilities of logits [N, C].
+Tensor softmax(const Tensor& logits);
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace s2a::nn

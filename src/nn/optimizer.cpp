@@ -1,0 +1,79 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::nn {
+
+void Optimizer::attach(std::vector<Tensor*> params, std::vector<Tensor*> grads) {
+  S2A_CHECK(params.size() == grads.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    S2A_CHECK_MSG(params[i]->same_shape(*grads[i]),
+                  "param/grad shape mismatch at index " << i);
+  params_ = std::move(params);
+  grads_ = std::move(grads);
+}
+
+void Optimizer::zero_grad() {
+  for (Tensor* g : grads_) g->fill(0.0);
+}
+
+void SGD::step() {
+  if (momentum_ != 0.0 && velocity_.empty())
+    for (Tensor* p : params_) velocity_.emplace_back(p->shape());
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    if (momentum_ != 0.0) {
+      Tensor& v = velocity_[i];
+      for (std::size_t j = 0; j < p.numel(); ++j) {
+        v[j] = momentum_ * v[j] + g[j];
+        p[j] -= lr_ * v[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < p.numel(); ++j) p[j] -= lr_ * g[j];
+    }
+  }
+}
+
+void Adam::step() {
+  if (m_.empty()) {
+    for (Tensor* p : params_) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Tensor*>& grads, double max_norm) {
+  S2A_CHECK(max_norm > 0.0);
+  double sq = 0.0;
+  for (const Tensor* g : grads) sq += g->squared_norm();
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (Tensor* g : grads)
+      for (std::size_t i = 0; i < g->numel(); ++i) (*g)[i] *= scale;
+  }
+  return norm;
+}
+
+}  // namespace s2a::nn

@@ -1,0 +1,53 @@
+// First-order optimizers over (param, grad) tensor pairs.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace s2a::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Registers parameters with their gradient buffers (index-aligned).
+  void attach(std::vector<Tensor*> params, std::vector<Tensor*> grads);
+  virtual void step() = 0;
+  void zero_grad();
+
+ protected:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+};
+
+class SGD : public Optimizer {
+ public:
+  explicit SGD(double lr, double momentum = 0.0)
+      : lr_(lr), momentum_(momentum) {}
+  void step() override;
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step() override;
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Tensor*>& grads, double max_norm);
+
+}  // namespace s2a::nn

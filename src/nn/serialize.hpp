@@ -1,0 +1,32 @@
+// Parameter serialization: save and load the trainable state of any
+// model that exposes params() as a vector<Tensor*>. A downstream user
+// trains once (autoencoder pre-training, detector fine-tuning, flow
+// networks) and redeploys the weights without retraining — table stakes
+// for an adoptable library.
+//
+// Format: a small text header ("s2a-params v1", tensor count), then per
+// tensor its rank, dims, and values in hex-exact %a formatting (loads are
+// bit-identical, unlike decimal round-trips).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace s2a::nn {
+
+/// Writes the tensors to the stream. Order defines identity: load with
+/// the same params() ordering.
+void save_params(const std::vector<Tensor*>& params, std::ostream& os);
+void save_params_file(const std::vector<Tensor*>& params,
+                      const std::string& path);
+
+/// Loads into the given tensors; shapes must match exactly (CheckError
+/// otherwise — a model-architecture mismatch should never be silent).
+void load_params(const std::vector<Tensor*>& params, std::istream& is);
+void load_params_file(const std::vector<Tensor*>& params,
+                      const std::string& path);
+
+}  // namespace s2a::nn

@@ -1,0 +1,136 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::nn {
+
+namespace {
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    S2A_CHECK_MSG(d >= 0, "negative dimension " << d);
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0) {}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  S2A_CHECK_MSG(data_.size() == shape_numel(shape_),
+                "data size " << data_.size() << " does not match shape");
+}
+
+Tensor Tensor::full(std::vector<int> shape, double value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, double stddev) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.normal(0.0, stddev);
+  return t;
+}
+
+Tensor Tensor::xavier(int fan_out, int fan_in, Rng& rng) {
+  Tensor t({fan_out, fan_in});
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = rng.uniform(-limit, limit);
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  S2A_DCHECK(i >= 0 && static_cast<std::size_t>(i) < shape_.size());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+double& Tensor::at(int r, int c) {
+  S2A_DCHECK(shape_.size() == 2);
+  S2A_DCHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+
+double Tensor::at(int r, int c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  S2A_CHECK(shape_numel(shape) == numel());
+  return Tensor(std::move(shape), data_);
+}
+
+void Tensor::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::add_scaled(const Tensor& other, double scale) {
+  S2A_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other[i];
+}
+
+double Tensor::squared_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return s;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  S2A_CHECK(a.shape().size() == 2 && b.shape().size() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  S2A_CHECK_MSG(b.dim(0) == k, "matmul: " << k << " vs " << b.dim(0));
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const double av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0) continue;
+      const double* brow = b.data() + static_cast<std::size_t>(p) * n;
+      double* orow = out.data() + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  S2A_CHECK(a.shape().size() == 2 && b.shape().size() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  S2A_CHECK(b.dim(1) == k);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a.data() + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const double* brow = b.data() + static_cast<std::size_t>(j) * k;
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+      out[static_cast<std::size_t>(i) * n + j] = s;
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  S2A_CHECK(a.shape().size() == 2 && b.shape().size() == 2);
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  S2A_CHECK(b.dim(0) == k);
+  Tensor out({m, n});
+  for (int p = 0; p < k; ++p) {
+    const double* arow = a.data() + static_cast<std::size_t>(p) * m;
+    const double* brow = b.data() + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.data() + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace s2a::nn

@@ -1,0 +1,65 @@
+// Dense row-major tensor of doubles.
+//
+// Deliberately minimal: the library's networks are small enough that a
+// contiguous buffer + shape vector covers every need, and double precision
+// keeps analytic gradient checks tight. All layers operate batch-first.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace s2a::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::vector<int> shape, std::vector<double> data);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, double value);
+  /// I.i.d. normal entries with the given standard deviation.
+  static Tensor randn(std::vector<int> shape, Rng& rng, double stddev = 1.0);
+  /// Xavier/Glorot-uniform initialization for a [fan_out, fan_in] matrix.
+  static Tensor xavier(int fan_out, int fan_in, Rng& rng);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const;
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D indexed access (checked in debug builds).
+  double& at(int r, int c);
+  double at(int r, int c) const;
+
+  /// Same data, new shape; total element count must match.
+  Tensor reshaped(std::vector<int> shape) const;
+
+  void fill(double v);
+  void add_scaled(const Tensor& other, double scale);  ///< *this += scale*other
+  double squared_norm() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<double> data_;
+};
+
+/// out = a * b for 2-D tensors: [m,k] x [k,n] -> [m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// out = a * b^T: [m,k] x [n,k] -> [m,n].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// out = a^T * b: [k,m] x [k,n] -> [m,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+}  // namespace s2a::nn

@@ -1,0 +1,77 @@
+#include "sim/cartpole.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::sim {
+
+void CartPole::reset(Rng& rng) {
+  s_.x = rng.uniform(-0.05, 0.05);
+  s_.x_dot = rng.uniform(-0.05, 0.05);
+  s_.theta = rng.uniform(-0.05, 0.05);
+  s_.theta_dot = rng.uniform(-0.05, 0.05);
+}
+
+double CartPole::step(double action, Rng& rng) {
+  action = std::clamp(action, -1.0, 1.0);
+  double force = action * cfg_.force_mag;
+  if (cfg_.disturb_prob > 0.0 && rng.bernoulli(cfg_.disturb_prob)) {
+    const double f = rng.uniform(cfg_.disturb_min, cfg_.disturb_max);
+    force += rng.bernoulli(0.5) ? f : -f;
+  }
+
+  // Standard cart-pole dynamics (Barto, Sutton & Anderson 1983).
+  const double total_mass = cfg_.cart_mass + cfg_.pole_mass;
+  const double pml = cfg_.pole_mass * cfg_.pole_half_length;
+  const double cos_t = std::cos(s_.theta);
+  const double sin_t = std::sin(s_.theta);
+  const double temp =
+      (force + pml * s_.theta_dot * s_.theta_dot * sin_t) / total_mass;
+  const double theta_acc =
+      (cfg_.gravity * sin_t - cos_t * temp) /
+      (cfg_.pole_half_length *
+       (4.0 / 3.0 - cfg_.pole_mass * cos_t * cos_t / total_mass));
+  const double x_acc = temp - pml * theta_acc * cos_t / total_mass;
+
+  s_.x += cfg_.dt * s_.x_dot;
+  s_.x_dot += cfg_.dt * x_acc;
+  s_.theta += cfg_.dt * s_.theta_dot;
+  s_.theta_dot += cfg_.dt * theta_acc;
+
+  return failed() ? 0.0 : 1.0;
+}
+
+bool CartPole::failed() const {
+  return std::abs(s_.x) > cfg_.x_limit || std::abs(s_.theta) > cfg_.theta_limit;
+}
+
+std::vector<double> CartPole::state_vector() const {
+  return {s_.x, s_.x_dot, s_.theta, s_.theta_dot};
+}
+
+std::vector<double> CartPole::render_retina(int width) const {
+  S2A_CHECK(width > 1);
+  std::vector<double> img(static_cast<std::size_t>(2 * width), 0.0);
+
+  auto splat = [&](double* strip, double pos, double lo, double hi) {
+    const double span = hi - lo;
+    const double sigma = span / width * 1.5;
+    for (int i = 0; i < width; ++i) {
+      const double px = lo + span * (i + 0.5) / width;
+      const double d = (px - pos) / sigma;
+      strip[i] += std::exp(-0.5 * d * d);
+    }
+  };
+
+  // Strip 1: cart position over the full track.
+  splat(img.data(), s_.x, -cfg_.x_limit, cfg_.x_limit);
+  // Strip 2: pole tip offset relative to the cart, magnified (±0.4 m maps
+  // to the full strip) so near-upright tilt is visible.
+  const double tip_rel = 2.0 * cfg_.pole_half_length * std::sin(s_.theta);
+  splat(img.data() + width, tip_rel, -0.4, 0.4);
+  return img;
+}
+
+}  // namespace s2a::sim

@@ -1,0 +1,68 @@
+// Cart-pole environment with external force disturbances and a rendered
+// 1-D "retina" observation.
+//
+// This is the control substrate for the RoboKoop experiments (Sec. IV,
+// Fig. 5): the paper evaluates on pixel-based cart-pole; here the visual
+// observation is a 1-D intensity strip encoding cart and pole-tip
+// positions, which preserves the "control from vision" problem shape while
+// staying cheap enough to train in-process.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace s2a::sim {
+
+struct CartPoleConfig {
+  double gravity = 9.8;
+  double cart_mass = 1.0;
+  double pole_mass = 0.1;
+  double pole_half_length = 0.5;
+  double force_mag = 10.0;   ///< actuator scale: applied force = a * force_mag
+  double dt = 0.02;
+  double x_limit = 2.4;      ///< episode fails beyond |x| > x_limit
+  double theta_limit = 0.21; ///< radians (~12°)
+  /// External disturbance (Fig. 5b): with probability `disturb_prob` per
+  /// step, a force ~ U(disturb_min, disturb_max) with random sign is added.
+  double disturb_prob = 0.0;
+  double disturb_min = 2.0;
+  double disturb_max = 8.0;
+};
+
+struct CartPoleState {
+  double x = 0.0, x_dot = 0.0, theta = 0.0, theta_dot = 0.0;
+};
+
+class CartPole {
+ public:
+  explicit CartPole(CartPoleConfig config = {}) : cfg_(config) {}
+
+  /// Uniform small perturbation around the upright balance point.
+  void reset(Rng& rng);
+  /// Applies action a in [-1, 1]; returns reward (1 while balanced, 0 on
+  /// failure). Disturbances draw from `rng`.
+  double step(double action, Rng& rng);
+
+  bool failed() const;
+  const CartPoleState& state() const { return s_; }
+  void set_state(const CartPoleState& s) { s_ = s; }
+  const CartPoleConfig& config() const { return cfg_; }
+
+  /// Ground-truth state as a 4-vector (for oracle baselines and tests).
+  std::vector<double> state_vector() const;
+
+  /// Two-strip retina (2·width values): strip 1 images the cart position
+  /// over [-x_limit, x_limit]; strip 2 images the pole tip's horizontal
+  /// offset *relative to the cart*, magnified over ±0.4 m so small tilt
+  /// angles are visible at this resolution. Velocities are not observable
+  /// from one frame — controllers stack consecutive retinas (as
+  /// pixel-based RL does with frame stacks).
+  std::vector<double> render_retina(int width = 32) const;
+
+ private:
+  CartPoleConfig cfg_;
+  CartPoleState s_;
+};
+
+}  // namespace s2a::sim

@@ -1,0 +1,154 @@
+#include "sim/corruptions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::sim {
+
+const char* corruption_name(CorruptionType type) {
+  switch (type) {
+    case CorruptionType::kNone:
+      return "clean";
+    case CorruptionType::kSnow:
+      return "snow";
+    case CorruptionType::kFog:
+      return "fog";
+    case CorruptionType::kRain:
+      return "rain";
+    case CorruptionType::kBeamMissing:
+      return "beam_missing";
+    case CorruptionType::kMotionBlur:
+      return "motion_blur";
+    case CorruptionType::kCrosstalk:
+      return "crosstalk";
+    case CorruptionType::kCrossSensor:
+      return "cross_sensor";
+  }
+  return "?";
+}
+
+std::vector<CorruptionType> all_corruptions() {
+  return {CorruptionType::kSnow,        CorruptionType::kFog,
+          CorruptionType::kRain,        CorruptionType::kBeamMissing,
+          CorruptionType::kMotionBlur,  CorruptionType::kCrosstalk,
+          CorruptionType::kCrossSensor};
+}
+
+namespace {
+
+// Re-derives a hit point from (azimuth, elevation, range) beam geometry so
+// corrupted ranges stay on the beam ray.
+void set_range(LidarReturn& r, double new_range, const LidarConfig& cfg) {
+  const double azimuth =
+      2.0 * 3.14159265358979 * (r.azimuth_idx + 0.5) / cfg.azimuth_steps;
+  const double el_span = cfg.elevation_max_deg - cfg.elevation_min_deg;
+  const double elevation_deg =
+      cfg.elevation_min_deg + el_span * (r.elevation_idx + 0.5) / cfg.elevation_steps;
+  const double elevation = elevation_deg * 3.14159265358979 / 180.0;
+  r.range = new_range;
+  r.hit = true;
+  r.point = Vec3{std::cos(elevation) * std::cos(azimuth),
+                 std::cos(elevation) * std::sin(azimuth),
+                 std::sin(elevation)} *
+                new_range +
+            Vec3{0.0, 0.0, cfg.sensor_height};
+}
+
+// Backscatter clutter: a fraction of beams return early from airborne
+// particles near the sensor, and some returns are lost entirely.
+void scatter_weather(PointCloud& pc, double clutter_prob, double drop_prob,
+                     double clutter_max_range, double noise_sigma,
+                     const LidarConfig& cfg, Rng& rng) {
+  for (auto& r : pc.returns) {
+    if (r.hit && rng.bernoulli(drop_prob)) {
+      r.hit = false;
+      continue;
+    }
+    if (rng.bernoulli(clutter_prob)) {
+      set_range(r, rng.uniform(0.5, clutter_max_range), cfg);
+      continue;
+    }
+    if (r.hit && noise_sigma > 0.0)
+      set_range(r, std::max(0.1, r.range + rng.normal(0.0, noise_sigma)), cfg);
+  }
+}
+
+}  // namespace
+
+PointCloud apply_corruption(const PointCloud& cloud, CorruptionType type,
+                            int severity, const LidarConfig& cfg, Rng& rng) {
+  S2A_CHECK_MSG(severity >= 0 && severity <= 5, "severity " << severity);
+  if (type == CorruptionType::kNone || severity == 0) return cloud;
+
+  PointCloud pc = cloud;
+  const double s = severity / 5.0;  // 0.2 .. 1.0
+
+  switch (type) {
+    case CorruptionType::kNone:
+      break;
+    case CorruptionType::kSnow:
+      // Heavy near-field backscatter + dropouts; the paper's Fig. 7 sweep.
+      scatter_weather(pc, 0.25 * s, 0.35 * s, 8.0, 0.1 * s, cfg, rng);
+      break;
+    case CorruptionType::kFog: {
+      // Range-dependent attenuation: far returns are lost first.
+      const double visibility = cfg.max_range * (1.0 - 0.75 * s);
+      for (auto& r : pc.returns) {
+        if (!r.hit) continue;
+        const double p_lost = 1.0 - std::exp(-r.range / visibility);
+        if (rng.bernoulli(p_lost))
+          r.hit = false;
+        else
+          set_range(r, std::max(0.1, r.range + rng.normal(0.0, 0.05 * s)), cfg);
+      }
+      break;
+    }
+    case CorruptionType::kRain:
+      scatter_weather(pc, 0.08 * s, 0.15 * s, 15.0, 0.06 * s, cfg, rng);
+      break;
+    case CorruptionType::kBeamMissing: {
+      // Entire elevation channels drop out (connector / laser failures).
+      const int dead = std::max(1, static_cast<int>(cfg.elevation_steps * 0.4 * s));
+      const auto dead_rows = rng.sample_without_replacement(cfg.elevation_steps, dead);
+      std::vector<bool> is_dead(static_cast<std::size_t>(cfg.elevation_steps), false);
+      for (int d : dead_rows) is_dead[static_cast<std::size_t>(d)] = true;
+      for (auto& r : pc.returns)
+        if (is_dead[static_cast<std::size_t>(r.elevation_idx)]) r.hit = false;
+      break;
+    }
+    case CorruptionType::kMotionBlur: {
+      // Ego-motion smears returns along azimuth: shift each return's ray.
+      const double max_shift = 3.0 * s;  // beams
+      for (auto& r : pc.returns) {
+        if (!r.hit) continue;
+        const int shift = static_cast<int>(std::round(rng.uniform(-max_shift, max_shift)));
+        r.azimuth_idx =
+            ((r.azimuth_idx + shift) % cfg.azimuth_steps + cfg.azimuth_steps) %
+            cfg.azimuth_steps;
+        set_range(r, r.range, cfg);
+      }
+      break;
+    }
+    case CorruptionType::kCrosstalk:
+      // A second emitter on the same vehicle: random beams report spurious
+      // uniform-range ghosts.
+      for (auto& r : pc.returns)
+        if (rng.bernoulli(0.15 * s))
+          set_range(r, rng.uniform(2.0, cfg.max_range), cfg);
+      break;
+    case CorruptionType::kCrossSensor: {
+      // Interference from another vehicle's LiDAR: a coherent ghost ring
+      // at a fixed range band plus extra noise.
+      const double ring = rng.uniform(10.0, 30.0);
+      for (auto& r : pc.returns)
+        if (rng.bernoulli(0.2 * s))
+          set_range(r, ring + rng.normal(0.0, 0.5), cfg);
+      break;
+    }
+  }
+  return pc;
+}
+
+}  // namespace s2a::sim

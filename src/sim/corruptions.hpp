@@ -1,0 +1,37 @@
+// LiDAR corruption suite modeled on KITTI-C / Robo3D (Sec. V):
+// natural corruptions (snow, fog, rain), external disruptions (beam
+// missing, motion blur) and internal sensor failures (crosstalk,
+// cross-sensor interference). Each applies to a simulated point cloud at a
+// severity in {1..5}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/lidar_sim.hpp"
+#include "util/rng.hpp"
+
+namespace s2a::sim {
+
+enum class CorruptionType {
+  kNone = 0,
+  kSnow,
+  kFog,
+  kRain,
+  kBeamMissing,
+  kMotionBlur,
+  kCrosstalk,
+  kCrossSensor,
+};
+
+const char* corruption_name(CorruptionType type);
+
+/// All corruptions other than kNone, in declaration order.
+std::vector<CorruptionType> all_corruptions();
+
+/// Returns a corrupted copy. Severity 1 (mild) .. 5 (severe); severity 0
+/// or kNone return the input unchanged.
+PointCloud apply_corruption(const PointCloud& cloud, CorruptionType type,
+                            int severity, const LidarConfig& config, Rng& rng);
+
+}  // namespace s2a::sim

@@ -1,0 +1,117 @@
+#include "sim/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::sim {
+
+ClassificationDataset make_gaussian_classes(int samples, int feature_dim,
+                                            int num_classes, double separation,
+                                            Rng& rng) {
+  S2A_CHECK(samples > 0 && feature_dim > 0 && num_classes > 1);
+  ClassificationDataset ds;
+  ds.feature_dim = feature_dim;
+  ds.num_classes = num_classes;
+
+  // Random unit-ish directions scaled by `separation` as class means.
+  std::vector<std::vector<double>> means(static_cast<std::size_t>(num_classes));
+  for (auto& m : means) {
+    m.resize(static_cast<std::size_t>(feature_dim));
+    double norm = 0.0;
+    for (auto& x : m) {
+      x = rng.normal();
+      norm += x * x;
+    }
+    norm = std::sqrt(norm);
+    for (auto& x : m) x = x / norm * separation;
+  }
+
+  ds.features.reserve(static_cast<std::size_t>(samples));
+  ds.labels.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const int y = i % num_classes;  // balanced classes
+    std::vector<double> x(static_cast<std::size_t>(feature_dim));
+    for (int d = 0; d < feature_dim; ++d)
+      x[static_cast<std::size_t>(d)] =
+          means[static_cast<std::size_t>(y)][static_cast<std::size_t>(d)] +
+          rng.normal();
+    ds.features.push_back(std::move(x));
+    ds.labels.push_back(y);
+  }
+  return ds;
+}
+
+double sample_gamma(double shape, Rng& rng) {
+  S2A_CHECK(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost via Gamma(a+1) and the standard power transform.
+    const double g = sample_gamma(shape + 1.0, rng);
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    return g * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+std::vector<std::vector<int>> dirichlet_partition(
+    const std::vector<int>& labels, int num_clients, int num_classes,
+    double alpha, Rng& rng) {
+  S2A_CHECK(num_clients > 0 && num_classes > 0 && alpha > 0.0);
+  S2A_CHECK(static_cast<int>(labels.size()) >= num_clients);
+
+  // Indices per class, shuffled.
+  std::vector<std::vector<int>> by_class(static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    S2A_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    by_class[static_cast<std::size_t>(labels[i])].push_back(static_cast<int>(i));
+  }
+  for (auto& v : by_class) rng.shuffle(v);
+
+  std::vector<std::vector<int>> shards(static_cast<std::size_t>(num_clients));
+  for (auto& cls : by_class) {
+    // Dirichlet draw over clients for this class.
+    std::vector<double> w(static_cast<std::size_t>(num_clients));
+    double sum = 0.0;
+    for (auto& x : w) {
+      x = sample_gamma(alpha, rng);
+      sum += x;
+    }
+    std::size_t start = 0;
+    for (int c = 0; c < num_clients; ++c) {
+      const bool last = (c == num_clients - 1);
+      const std::size_t take =
+          last ? cls.size() - start
+               : static_cast<std::size_t>(
+                     w[static_cast<std::size_t>(c)] / sum * cls.size());
+      for (std::size_t k = 0; k < take && start < cls.size(); ++k, ++start)
+        shards[static_cast<std::size_t>(c)].push_back(cls[start]);
+    }
+  }
+
+  // Guarantee non-empty shards by stealing from the largest.
+  for (auto& shard : shards) {
+    if (!shard.empty()) continue;
+    auto* biggest = &shards[0];
+    for (auto& s : shards)
+      if (s.size() > biggest->size()) biggest = &s;
+    S2A_CHECK(biggest->size() > 1);
+    shard.push_back(biggest->back());
+    biggest->pop_back();
+  }
+  return shards;
+}
+
+}  // namespace s2a::sim

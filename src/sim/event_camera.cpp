@@ -1,0 +1,178 @@
+#include "sim/event_camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::sim {
+
+double EventFrame::total_events() const {
+  double s = 0.0;
+  for (double p : pos) s += p;
+  for (double n : neg) s += n;
+  return s;
+}
+
+namespace {
+// Smooth tileable value noise on an n×n lattice, bilinearly interpolated.
+std::vector<double> make_value_noise(int n, Rng& rng) {
+  std::vector<double> tex(static_cast<std::size_t>(n) * n);
+  for (auto& t : tex) t = rng.uniform(0.15, 0.85);
+  return tex;
+}
+
+double sample_tiled(const std::vector<double>& tex, int n, double x, double y) {
+  // Wrap into [0, n).
+  x = std::fmod(x, static_cast<double>(n));
+  if (x < 0) x += n;
+  y = std::fmod(y, static_cast<double>(n));
+  if (y < 0) y += n;
+  const int x0 = static_cast<int>(x), y0 = static_cast<int>(y);
+  const int x1 = (x0 + 1) % n, y1 = (y0 + 1) % n;
+  const double fx = x - x0, fy = y - y0;
+  const auto at = [&](int xi, int yi) {
+    return tex[static_cast<std::size_t>(yi) * n + xi];
+  };
+  return at(x0, y0) * (1 - fx) * (1 - fy) + at(x1, y0) * fx * (1 - fy) +
+         at(x0, y1) * (1 - fx) * fy + at(x1, y1) * fx * fy;
+}
+}  // namespace
+
+MovingScene::MovingScene(int width, int height, int num_patches, double bg_vx,
+                         double bg_vy, Rng& rng)
+    : w_(width), h_(height), bg_vx_(bg_vx), bg_vy_(bg_vy), bg_size_(16) {
+  S2A_CHECK(width > 0 && height > 0 && num_patches >= 0);
+  bg_texture_ = make_value_noise(bg_size_, rng);
+  for (int i = 0; i < num_patches; ++i) {
+    MovingPatch p;
+    p.size = rng.uniform_int(std::max(4, width / 8), std::max(6, width / 4));
+    p.x = rng.uniform(0.0, width - p.size);
+    p.y = rng.uniform(0.0, height - p.size);
+    p.vx = rng.uniform(-4.0, 4.0);
+    p.vy = rng.uniform(-4.0, 4.0);
+    p.texture.resize(static_cast<std::size_t>(p.size) * p.size);
+    // High-contrast texture so patches generate dense events.
+    for (auto& t : p.texture) t = rng.bernoulli(0.5) ? 0.9 : 0.1;
+    patches_.push_back(std::move(p));
+  }
+}
+
+double MovingScene::background_at(double x, double y, double t) const {
+  // ~1 texel per screen pixel: features are a few pixels wide, so motion
+  // is trackable rather than aliased pixel noise.
+  const double scale = static_cast<double>(bg_size_) / w_;
+  return sample_tiled(bg_texture_, bg_size_, (x - bg_vx_ * t) * scale,
+                      (y - bg_vy_ * t) * scale);
+}
+
+Image MovingScene::render(double t) const {
+  Image img(w_, h_);
+  for (int y = 0; y < h_; ++y)
+    for (int x = 0; x < w_; ++x) img.at(x, y) = background_at(x, y, t);
+
+  for (const auto& p : patches_) {
+    const double px = p.x + p.vx * t;
+    const double py = p.y + p.vy * t;
+    for (int dy = 0; dy < p.size; ++dy)
+      for (int dx = 0; dx < p.size; ++dx) {
+        const int x = static_cast<int>(std::floor(px)) + dx;
+        const int y = static_cast<int>(std::floor(py)) + dy;
+        if (x < 0 || x >= w_ || y < 0 || y >= h_) continue;
+        img.at(x, y) = p.texture[static_cast<std::size_t>(dy) * p.size + dx];
+      }
+  }
+  return img;
+}
+
+FlowField MovingScene::flow(double t) const {
+  FlowField f(w_, h_);
+  for (std::size_t i = 0; i < f.u.size(); ++i) {
+    f.u[i] = bg_vx_;
+    f.v[i] = bg_vy_;
+  }
+  for (const auto& p : patches_) {
+    const double px = p.x + p.vx * t;
+    const double py = p.y + p.vy * t;
+    for (int dy = 0; dy < p.size; ++dy)
+      for (int dx = 0; dx < p.size; ++dx) {
+        const int x = static_cast<int>(std::floor(px)) + dx;
+        const int y = static_cast<int>(std::floor(py)) + dy;
+        if (x < 0 || x >= w_ || y < 0 || y >= h_) continue;
+        const std::size_t i = static_cast<std::size_t>(y) * w_ + x;
+        f.u[i] = p.vx;
+        f.v[i] = p.vy;
+      }
+  }
+  return f;
+}
+
+EventFrame EventCamera::events_between(const Image& before,
+                                       const Image& after) const {
+  S2A_CHECK(before.width == after.width && before.height == after.height);
+  S2A_CHECK(threshold_ > 0.0);
+  EventFrame ev(before.width, before.height);
+  constexpr double kEps = 0.02;  // sensor dark level
+  for (std::size_t i = 0; i < before.pixels.size(); ++i) {
+    const double d =
+        std::log(after.pixels[i] + kEps) - std::log(before.pixels[i] + kEps);
+    // Refractory period: a pixel can emit at most max_events_ per step.
+    const double n =
+        std::min(max_events_, std::floor(std::abs(d) / threshold_));
+    if (n <= 0.0) continue;
+    (d > 0 ? ev.pos : ev.neg)[i] = n;
+  }
+  return ev;
+}
+
+std::vector<FlowSample> make_flow_dataset(int count, int width, int height,
+                                          Rng& rng, int time_bins) {
+  S2A_CHECK(count > 0 && time_bins >= 1);
+  std::vector<FlowSample> out;
+  out.reserve(static_cast<std::size_t>(count));
+  // Lower contrast threshold per bin: sub-interval intensity changes are
+  // smaller than full-interval ones.
+  EventCamera camera(0.15 / time_bins);
+  for (int i = 0; i < count; ++i) {
+    // Alternate scene archetypes: pure camera pan, pure object motion, both.
+    const int mode = i % 3;
+    const double bgv = (mode == 1) ? 0.0 : rng.uniform(-4.0, 4.0);
+    const double bgw = (mode == 1) ? 0.0 : rng.uniform(-4.0, 4.0);
+    const int patches = (mode == 0) ? 0 : rng.uniform_int(1, 2);
+    MovingScene scene(width, height, patches, bgv, bgw, rng);
+    const double t0 = rng.uniform(0.0, 4.0);
+    FlowSample s;
+    s.frame = scene.render(t0);
+    s.events = EventFrame(width, height);
+    for (int b = 0; b < time_bins; ++b) {
+      const double ta = t0 + static_cast<double>(b) / time_bins;
+      const double tb = t0 + static_cast<double>(b + 1) / time_bins;
+      EventFrame bin = camera.events_between(scene.render(ta), scene.render(tb));
+      for (std::size_t p = 0; p < s.events.pos.size(); ++p) {
+        s.events.pos[p] += bin.pos[p];
+        s.events.neg[p] += bin.neg[p];
+      }
+      s.bins.push_back(std::move(bin));
+    }
+    s.flow = scene.flow(t0);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double average_endpoint_error(const FlowField& pred, const FlowField& truth,
+                              const EventFrame* mask) {
+  S2A_CHECK(pred.width == truth.width && pred.height == truth.height);
+  double err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < pred.u.size(); ++i) {
+    if (mask != nullptr && mask->pos[i] + mask->neg[i] <= 0.0) continue;
+    const double du = pred.u[i] - truth.u[i];
+    const double dv = pred.v[i] - truth.v[i];
+    err += std::sqrt(du * du + dv * dv);
+    ++n;
+  }
+  return n > 0 ? err / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace s2a::sim

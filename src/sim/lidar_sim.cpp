@@ -1,0 +1,120 @@
+#include "sim/lidar_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace s2a::sim {
+
+std::size_t PointCloud::hit_count() const {
+  std::size_t n = 0;
+  for (const auto& r : returns)
+    if (r.hit) ++n;
+  return n;
+}
+
+double PointCloud::coverage(const LidarConfig& config) const {
+  const int total = config.azimuth_steps * config.elevation_steps;
+  return total > 0 ? static_cast<double>(pulses_fired) / total : 0.0;
+}
+
+LidarSimulator::LidarSimulator(LidarConfig config) : cfg_(config) {
+  S2A_CHECK(cfg_.azimuth_steps > 0 && cfg_.elevation_steps > 0);
+  S2A_CHECK(cfg_.max_range > 0.0);
+  S2A_CHECK(cfg_.full_pulse_energy_j > cfg_.min_pulse_energy_j);
+}
+
+double LidarSimulator::pulse_energy_for_range(double target_range) const {
+  const double r = std::clamp(target_range, 0.0, cfg_.max_range);
+  const double frac = r / cfg_.max_range;
+  return std::max(cfg_.min_pulse_energy_j,
+                  cfg_.full_pulse_energy_j * frac * frac * frac * frac);
+}
+
+double LidarSimulator::reach_for_energy(double pulse_energy_j) const {
+  const double frac =
+      std::pow(std::clamp(pulse_energy_j / cfg_.full_pulse_energy_j, 0.0, 1.0),
+               0.25);
+  return cfg_.max_range * frac;
+}
+
+Vec3 LidarSimulator::beam_direction(int az, int el) const {
+  S2A_DCHECK(az >= 0 && az < cfg_.azimuth_steps);
+  S2A_DCHECK(el >= 0 && el < cfg_.elevation_steps);
+  const double azimuth =
+      2.0 * std::numbers::pi * (az + 0.5) / cfg_.azimuth_steps;
+  const double el_span = cfg_.elevation_max_deg - cfg_.elevation_min_deg;
+  const double elevation_deg =
+      cfg_.elevation_min_deg +
+      el_span * (el + 0.5) / cfg_.elevation_steps;
+  const double elevation = elevation_deg * std::numbers::pi / 180.0;
+  return {std::cos(elevation) * std::cos(azimuth),
+          std::cos(elevation) * std::sin(azimuth), std::sin(elevation)};
+}
+
+LidarReturn LidarSimulator::fire(const Scene& scene, int az, int el,
+                                 double energy_j, Rng& rng) const {
+  LidarReturn ret;
+  ret.azimuth_idx = az;
+  ret.elevation_idx = el;
+  ret.pulse_energy_j = energy_j;
+
+  const Vec3 origin{0.0, 0.0, cfg_.sensor_height};
+  const Vec3 dir = beam_direction(az, el);
+  const double reach = reach_for_energy(energy_j);
+
+  double best_t = std::numeric_limits<double>::infinity();
+  for (const auto& obj : scene.objects) {
+    const double t = ray_box_intersect(origin, dir, obj.box);
+    if (t > 0.0 && t < best_t) best_t = t;
+  }
+  // Ground plane.
+  if (dir.z < 0.0) {
+    const double t = (scene.ground_z - origin.z) / dir.z;
+    if (t > 0.0 && t < best_t) best_t = t;
+  }
+
+  if (std::isfinite(best_t) && best_t <= reach) {
+    const double noisy_t =
+        std::max(0.1, best_t + rng.normal(0.0, cfg_.range_noise));
+    ret.hit = true;
+    ret.range = noisy_t;
+    ret.point = origin + dir * noisy_t;
+  }
+  return ret;
+}
+
+PointCloud LidarSimulator::full_scan(const Scene& scene, Rng& rng) const {
+  PointCloud pc;
+  pc.returns.reserve(static_cast<std::size_t>(num_beams()));
+  for (int el = 0; el < cfg_.elevation_steps; ++el)
+    for (int az = 0; az < cfg_.azimuth_steps; ++az) {
+      pc.returns.push_back(fire(scene, az, el, cfg_.full_pulse_energy_j, rng));
+      ++pc.pulses_fired;
+      pc.emitted_energy_j += cfg_.full_pulse_energy_j;
+    }
+  return pc;
+}
+
+PointCloud LidarSimulator::selective_scan(
+    const Scene& scene, const std::vector<BeamCommand>& commands,
+    Rng& rng) const {
+  PointCloud pc;
+  pc.returns.reserve(commands.size());
+  for (const auto& cmd : commands) {
+    S2A_CHECK_MSG(cmd.azimuth_idx >= 0 && cmd.azimuth_idx < cfg_.azimuth_steps,
+                  "azimuth " << cmd.azimuth_idx);
+    S2A_CHECK(cmd.elevation_idx >= 0 &&
+              cmd.elevation_idx < cfg_.elevation_steps);
+    const double e = pulse_energy_for_range(cmd.target_range);
+    pc.returns.push_back(
+        fire(scene, cmd.azimuth_idx, cmd.elevation_idx, e, rng));
+    ++pc.pulses_fired;
+    pc.emitted_energy_j += e;
+  }
+  return pc;
+}
+
+}  // namespace s2a::sim

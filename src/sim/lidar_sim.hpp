@@ -1,0 +1,90 @@
+// Ray-cast LiDAR over procedural scenes with a physical pulse-energy model.
+//
+// The energy model is the one Sec. III builds on: detecting a target at
+// range r requires pulse energy scaling as r⁴ (radar equation), so a pulse
+// rated for the sensor's max range costs `full_pulse_energy_j` (50 µJ in
+// the paper) while a pulse that only needs to reach r costs
+// E(r) = E_full · (r / r_max)⁴, floored at `min_pulse_energy_j`.
+// Selective scans fire a subset of beams at reduced reach — exactly the
+// knob R-MAE's radial masking turns.
+#pragma once
+
+#include <vector>
+
+#include "sim/scene.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace s2a::sim {
+
+struct LidarConfig {
+  int azimuth_steps = 180;         ///< horizontal beams per revolution
+  int elevation_steps = 12;        ///< vertical channels
+  double elevation_min_deg = -12.0;
+  double elevation_max_deg = 4.0;
+  double max_range = 72.0;         ///< rated range at full pulse power
+  double range_noise = 0.02;       ///< 1σ additive range noise (m)
+  double sensor_height = 1.8;
+  double full_pulse_energy_j = 50e-6;  ///< paper's conventional 50 µJ
+  double min_pulse_energy_j = 0.5e-6;  ///< electronics floor per pulse
+};
+
+/// One fired pulse and its (possible) return.
+struct LidarReturn {
+  Vec3 point;            ///< hit location in sensor frame (valid iff hit)
+  double range = 0.0;
+  int azimuth_idx = 0;
+  int elevation_idx = 0;
+  bool hit = false;
+  double pulse_energy_j = 0.0;
+};
+
+struct PointCloud {
+  std::vector<LidarReturn> returns;  ///< one entry per fired pulse
+  int pulses_fired = 0;
+  double emitted_energy_j = 0.0;
+
+  std::size_t hit_count() const;
+  /// Fired pulses / total beams in `config` — the "scene coverage" row of
+  /// Table II.
+  double coverage(const LidarConfig& config) const;
+};
+
+/// A firing decision for one beam: pulse at the power needed to reach
+/// `target_range` (≤ max_range).
+struct BeamCommand {
+  int azimuth_idx = 0;
+  int elevation_idx = 0;
+  double target_range = 0.0;
+};
+
+class LidarSimulator {
+ public:
+  explicit LidarSimulator(LidarConfig config = {});
+
+  /// Conventional scan: every beam fires at full power.
+  PointCloud full_scan(const Scene& scene, Rng& rng) const;
+
+  /// Active scan: only the commanded beams fire, each at the power that
+  /// reaches its target range. Targets beyond reach produce no return.
+  PointCloud selective_scan(const Scene& scene,
+                            const std::vector<BeamCommand>& commands,
+                            Rng& rng) const;
+
+  /// E(r) = E_full · (r/r_max)⁴, floored; this is the R⁴ law of Sec. III.
+  double pulse_energy_for_range(double target_range) const;
+  /// Inverse of the energy law: reach of a pulse with the given energy.
+  double reach_for_energy(double pulse_energy_j) const;
+
+  Vec3 beam_direction(int azimuth_idx, int elevation_idx) const;
+  int num_beams() const { return cfg_.azimuth_steps * cfg_.elevation_steps; }
+  const LidarConfig& config() const { return cfg_; }
+
+ private:
+  LidarReturn fire(const Scene& scene, int az, int el, double energy_j,
+                   Rng& rng) const;
+
+  LidarConfig cfg_;
+};
+
+}  // namespace s2a::sim

@@ -1,0 +1,88 @@
+#include "sim/scene.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::sim {
+
+const char* object_class_name(ObjectClass c) {
+  switch (c) {
+    case ObjectClass::kCar:
+      return "Car";
+    case ObjectClass::kPedestrian:
+      return "Pedestrian";
+    case ObjectClass::kCyclist:
+      return "Cyclist";
+  }
+  return "?";
+}
+
+void Scene::step(double dt) {
+  for (auto& o : objects) o.box.center = o.box.center + o.velocity * dt;
+}
+
+Vec3 class_archetype_size(ObjectClass c) {
+  switch (c) {
+    case ObjectClass::kCar:
+      return {4.2, 1.8, 1.6};
+    case ObjectClass::kPedestrian:
+      return {0.6, 0.6, 1.75};
+    case ObjectClass::kCyclist:
+      return {1.8, 0.6, 1.7};
+  }
+  return {1, 1, 1};
+}
+
+namespace {
+void place_objects(Scene& scene, ObjectClass cls, int count,
+                   const SceneConfig& cfg, Rng& rng) {
+  const Vec3 base = class_archetype_size(cls);
+  for (int i = 0; i < count; ++i) {
+    SceneObject obj;
+    obj.cls = cls;
+    const double jx = rng.uniform(0.85, 1.15);
+    const double jy = rng.uniform(0.85, 1.15);
+    const double jz = rng.uniform(0.85, 1.15);
+    obj.box.size = {base.x * jx, base.y * jy, base.z * jz};
+
+    // Rejection-sample a position outside the sensor clear zone and not
+    // overlapping already-placed objects.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const double x = rng.uniform(-cfg.extent, cfg.extent);
+      const double y = rng.uniform(-cfg.extent, cfg.extent);
+      if (std::sqrt(x * x + y * y) < cfg.min_range) continue;
+      obj.box.center = {x, y, scene.ground_z + obj.box.size.z / 2.0};
+      bool clash = false;
+      for (const auto& other : scene.objects)
+        if (iou_bev(obj.box, other.box) > 0.0) {
+          clash = true;
+          break;
+        }
+      if (!clash) break;
+    }
+
+    if (rng.bernoulli(cfg.moving_fraction)) {
+      const double speed = rng.uniform(0.5, cfg.max_speed);
+      const double heading = rng.uniform(0.0, 2.0 * 3.14159265358979);
+      obj.velocity = {speed * std::cos(heading), speed * std::sin(heading), 0.0};
+    }
+    scene.objects.push_back(obj);
+  }
+}
+}  // namespace
+
+Scene generate_scene(const SceneConfig& cfg, Rng& rng) {
+  S2A_CHECK(cfg.extent > cfg.min_range);
+  Scene scene;
+  place_objects(scene, ObjectClass::kCar,
+                rng.uniform_int(cfg.cars_min, cfg.cars_max), cfg, rng);
+  place_objects(scene, ObjectClass::kPedestrian,
+                rng.uniform_int(cfg.pedestrians_min, cfg.pedestrians_max), cfg,
+                rng);
+  place_objects(scene, ObjectClass::kCyclist,
+                rng.uniform_int(cfg.cyclists_min, cfg.cyclists_max), cfg, rng);
+  return scene;
+}
+
+}  // namespace s2a::sim

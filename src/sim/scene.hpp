@@ -1,0 +1,52 @@
+// Procedural 3-D driving scenes: a ground plane plus boxes drawn from
+// car / pedestrian / cyclist archetypes, optionally moving.
+//
+// Stand-in for the KITTI/Waymo frames the paper's LiDAR experiments use
+// (see DESIGN.md substitution table): the detection and masking
+// experiments only need geometry with class-dependent shapes at realistic
+// ranges, which these scenes provide with exact ground truth.
+#pragma once
+
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace s2a::sim {
+
+enum class ObjectClass { kCar = 0, kPedestrian = 1, kCyclist = 2 };
+inline constexpr int kNumObjectClasses = 3;
+const char* object_class_name(ObjectClass c);
+
+struct SceneObject {
+  ObjectClass cls = ObjectClass::kCar;
+  Box3 box;
+  Vec3 velocity;  ///< m/s, used by multi-agent & adaptive-rate experiments
+};
+
+struct Scene {
+  std::vector<SceneObject> objects;
+  double ground_z = 0.0;
+
+  /// Advance every object by its velocity for `dt` seconds.
+  void step(double dt);
+};
+
+struct SceneConfig {
+  double extent = 50.0;       ///< objects placed in [-extent, extent]²
+  double min_range = 4.0;     ///< keep a clear zone around the sensor origin
+  int cars_min = 2, cars_max = 5;
+  int pedestrians_min = 1, pedestrians_max = 4;
+  int cyclists_min = 1, cyclists_max = 3;
+  double moving_fraction = 0.3;
+  double max_speed = 8.0;
+};
+
+/// Samples a scene; archetype dimensions are jittered ±15%.
+Scene generate_scene(const SceneConfig& config, Rng& rng);
+
+/// Nominal (unjittered) box size for a class — used by the detectors as a
+/// shape prior and by tests.
+Vec3 class_archetype_size(ObjectClass c);
+
+}  // namespace s2a::sim

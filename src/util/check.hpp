@@ -1,0 +1,51 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// S2A_CHECK is always on (it guards API misuse, not hot inner loops);
+// S2A_DCHECK compiles out in NDEBUG builds and may sit in hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace s2a {
+
+/// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "S2A_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace s2a
+
+#define S2A_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) ::s2a::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define S2A_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream s2a_os_;                                     \
+      s2a_os_ << msg;                                                 \
+      ::s2a::detail::check_failed(#expr, __FILE__, __LINE__, s2a_os_.str()); \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define S2A_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define S2A_DCHECK(expr) S2A_CHECK(expr)
+#endif

@@ -1,0 +1,104 @@
+#include "util/geometry.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace s2a {
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  if (n == 0.0) return {0.0, 0.0, 0.0};
+  return {x / n, y / n, z / n};
+}
+
+bool Box3::contains(const Vec3& p) const {
+  const Vec3 lo = min(), hi = max();
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+         p.z >= lo.z && p.z <= hi.z;
+}
+
+double iou_bev(const Box3& a, const Box3& b) {
+  const double ax0 = a.center.x - a.size.x / 2, ax1 = a.center.x + a.size.x / 2;
+  const double ay0 = a.center.y - a.size.y / 2, ay1 = a.center.y + a.size.y / 2;
+  const double bx0 = b.center.x - b.size.x / 2, bx1 = b.center.x + b.size.x / 2;
+  const double by0 = b.center.y - b.size.y / 2, by1 = b.center.y + b.size.y / 2;
+
+  const double ix = std::max(0.0, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const double iy = std::max(0.0, std::min(ay1, by1) - std::max(ay0, by0));
+  const double inter = ix * iy;
+  const double area_a = (ax1 - ax0) * (ay1 - ay0);
+  const double area_b = (bx1 - bx0) * (by1 - by0);
+  const double uni = area_a + area_b - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double ray_box_intersect(const Vec3& origin, const Vec3& dir, const Box3& box) {
+  const Vec3 lo = box.min(), hi = box.max();
+  double tmin = 0.0;
+  double tmax = std::numeric_limits<double>::infinity();
+
+  const double o[3] = {origin.x, origin.y, origin.z};
+  const double d[3] = {dir.x, dir.y, dir.z};
+  const double l[3] = {lo.x, lo.y, lo.z};
+  const double h[3] = {hi.x, hi.y, hi.z};
+
+  for (int i = 0; i < 3; ++i) {
+    if (d[i] == 0.0) {
+      if (o[i] < l[i] || o[i] > h[i]) return -1.0;
+      continue;
+    }
+    double t0 = (l[i] - o[i]) / d[i];
+    double t1 = (h[i] - o[i]) / d[i];
+    if (t0 > t1) std::swap(t0, t1);
+    tmin = std::max(tmin, t0);
+    tmax = std::min(tmax, t1);
+    if (tmin > tmax) return -1.0;
+  }
+  return tmin > 0.0 ? tmin : (tmax > 0.0 ? tmax : -1.0);
+}
+
+double average_precision(std::vector<std::pair<double, bool>> scored_matches,
+                         int num_ground_truth, int recall_positions) {
+  S2A_CHECK(recall_positions > 1);
+  if (num_ground_truth <= 0) return 0.0;
+  if (scored_matches.empty()) return 0.0;
+
+  std::sort(scored_matches.begin(), scored_matches.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Precision/recall after each detection, score-descending.
+  std::vector<double> precision, recall;
+  int tp = 0, fp = 0;
+  precision.reserve(scored_matches.size());
+  recall.reserve(scored_matches.size());
+  for (const auto& [score, matched] : scored_matches) {
+    (void)score;
+    matched ? ++tp : ++fp;
+    precision.push_back(static_cast<double>(tp) / (tp + fp));
+    recall.push_back(static_cast<double>(tp) / num_ground_truth);
+  }
+
+  // Interpolated precision: running max from the right.
+  for (std::size_t i = precision.size(); i-- > 1;)
+    precision[i - 1] = std::max(precision[i - 1], precision[i]);
+
+  // Sample at R equally spaced recall positions (KITTI R40 skips recall 0).
+  double ap = 0.0;
+  int used = 0;
+  for (int k = 1; k <= recall_positions; ++k) {
+    const double r = static_cast<double>(k) / recall_positions;
+    // First index whose recall >= r.
+    const auto it = std::lower_bound(recall.begin(), recall.end(), r);
+    if (it == recall.end()) {
+      // Precision is 0 past the maximum achieved recall.
+      ++used;
+      continue;
+    }
+    ap += precision[static_cast<std::size_t>(it - recall.begin())];
+    ++used;
+  }
+  return used > 0 ? ap / used : 0.0;
+}
+
+}  // namespace s2a

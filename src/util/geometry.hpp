@@ -1,0 +1,53 @@
+// Small 3-D geometry vocabulary shared by the scene generator, the LiDAR
+// simulator, and the detectors: vectors, axis-aligned boxes, and the
+// bird's-eye-view IoU used for detection AP.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace s2a {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+  /// Range in the horizontal (x, y) plane — the quantity LiDAR pulse
+  /// energy scales with.
+  double range_xy() const { return std::sqrt(x * x + y * y); }
+  Vec3 normalized() const;
+};
+
+/// Axis-aligned 3-D box, stored as center + full extents.
+struct Box3 {
+  Vec3 center;
+  Vec3 size;  ///< full width/depth/height (not half-extents)
+
+  Vec3 min() const { return center - size * 0.5; }
+  Vec3 max() const { return center + size * 0.5; }
+  bool contains(const Vec3& p) const;
+  double volume() const { return size.x * size.y * size.z; }
+};
+
+/// Intersection-over-union of the two boxes' bird's-eye-view footprints
+/// (x–y rectangles). This is the overlap criterion KITTI-style AP uses for
+/// matching at moderate difficulty.
+double iou_bev(const Box3& a, const Box3& b);
+
+/// First intersection of ray origin + t*dir (t > 0) with the box, or a
+/// negative value if the ray misses. `dir` need not be normalized; the
+/// returned t is in units of |dir|.
+double ray_box_intersect(const Vec3& origin, const Vec3& dir, const Box3& box);
+
+/// Average-precision computation over scored detections vs ground truth.
+/// Each detection is (score, matched) after greedy IoU matching; this
+/// integrates the precision-recall curve with the standard all-points
+/// interpolation used by KITTI's 40-recall-position metric.
+double average_precision(std::vector<std::pair<double, bool>> scored_matches,
+                         int num_ground_truth, int recall_positions = 40);
+
+}  // namespace s2a

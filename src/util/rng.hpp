@@ -1,0 +1,68 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component of the library takes an explicit Rng (or a
+// seed), never a global generator, so each experiment is reproducible and
+// sub-streams can be spawned for independent components (clients, agents,
+// dataset shards) without correlating their draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace s2a {
+
+/// xoshiro256++ generator with splitmix64 seeding.
+///
+/// Self-contained so that draws are identical across platforms and standard
+/// library implementations (std::*_distribution is not portable).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  // Satisfy UniformRandomBitGenerator so Rng can drive std::shuffle etc.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle of an index-addressable container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement.
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  /// Spawn an independent generator; successive spawns are decorrelated.
+  Rng spawn();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  std::uint64_t spawn_counter_ = 0;
+};
+
+}  // namespace s2a

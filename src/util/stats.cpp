@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double percentile(std::vector<double> v, double q) {
+  S2A_CHECK(!v.empty());
+  S2A_CHECK(0.0 <= q && q <= 100.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double auc_roc(const std::vector<double>& scores,
+               const std::vector<int>& labels) {
+  S2A_CHECK(scores.size() == labels.size());
+  // Rank-based computation: AUC = (R_pos - n_pos(n_pos+1)/2) / (n_pos*n_neg)
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  std::size_t n_pos = 0, n_neg = 0;
+  for (int l : labels) (l != 0 ? n_pos : n_neg)++;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  // Assign average ranks to ties.
+  std::vector<double> rank(scores.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double rank_sum_pos = 0.0;
+  for (std::size_t k = 0; k < labels.size(); ++k)
+    if (labels[k] != 0) rank_sum_pos += rank[k];
+
+  const double np = static_cast<double>(n_pos);
+  const double nn = static_cast<double>(n_neg);
+  return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace s2a

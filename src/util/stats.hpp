@@ -1,0 +1,39 @@
+// Descriptive statistics and classification metrics shared by the
+// experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace s2a {
+
+double mean(const std::vector<double>& v);
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double variance(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+/// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::vector<double> v, double q);
+
+/// Area under the ROC curve via the Mann–Whitney U statistic.
+/// `scores` are anomaly scores; `labels` are 1 for positive (anomalous).
+/// Ties contribute 0.5. Returns 0.5 if either class is empty.
+double auc_roc(const std::vector<double>& scores,
+               const std::vector<int>& labels);
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace s2a

@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace s2a {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty())
+    S2A_CHECK_MSG(row.size() == header_.size(),
+                  "row has " << row.size() << " cells, header has "
+                             << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 3;
+  if (total > 0) total -= 3;
+
+  if (!title_.empty()) os << title_ << "\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(width[i])) << row[i];
+      if (i + 1 < row.size()) os << " | ";
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto row_out = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << csv_escape(row[i]);
+      if (i + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) row_out(header_);
+  for (const auto& r : rows_) row_out(r);
+}
+
+}  // namespace s2a

@@ -1,0 +1,40 @@
+// Aligned ASCII table printing + CSV export for the benchmark harnesses.
+// Every bench binary prints the rows the paper's tables/figures report
+// through this type, so the outputs share one format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace s2a {
+
+/// Column-aligned text table with an optional title.
+///
+/// Usage:
+///   Table t("Table II: Conventional vs R-MAE");
+///   t.set_header({"Metric", "Conventional", "R-MAE"});
+///   t.add_row({"Scene Coverage", "100%", "<10%"});
+///   t.print(std::cout);
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+  void print(std::ostream& os) const;
+  /// Writes header + rows as RFC-4180-ish CSV (fields with commas quoted).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s2a

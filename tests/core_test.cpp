@@ -1,0 +1,349 @@
+// Tests for the sensing-to-action loop framework: metering semantics,
+// staleness accounting, trust gating, adaptive policies, and the
+// multi-agent coordination math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/loop.hpp"
+#include "core/multi_agent.hpp"
+#include "core/policies.hpp"
+#include "util/check.hpp"
+
+namespace s2a::core {
+namespace {
+
+// A scripted environment: scalar signal with a configurable burst window.
+class ScriptedSensor : public Sensor {
+ public:
+  ScriptedSensor(double burst_start, double burst_end)
+      : burst_start_(burst_start), burst_end_(burst_end) {}
+
+  Observation sense(double now, Rng& rng) override {
+    Observation obs;
+    const bool burst = now >= burst_start_ && now < burst_end_;
+    obs.data = {burst ? 5.0 + rng.normal(0.0, 1.0) : 0.1};
+    obs.timestamp = now;
+    obs.energy_j = 1e-3;
+    return obs;
+  }
+
+ private:
+  double burst_start_, burst_end_;
+};
+
+class PassthroughProcessor : public Processor {
+ public:
+  std::vector<double> process(const Observation& obs, Rng&) override {
+    return obs.data;
+  }
+  double energy_per_call_j() const override { return 1e-4; }
+};
+
+class RecordingActuator : public Actuator {
+ public:
+  void actuate(const Action& action, Rng&) override {
+    actions.push_back(action);
+  }
+  std::vector<Action> actions;
+};
+
+class AlwaysUntrusted : public TrustMonitor {
+ public:
+  bool trusted(const Observation&, Rng&) override { return false; }
+};
+
+TEST(Loop, PeriodicPolicyMetersSensingEnergy) {
+  ScriptedSensor sensor(1e9, 1e9);  // no burst
+  PassthroughProcessor proc;
+  RecordingActuator act;
+  PeriodicPolicy policy(4);
+  SensingActionLoop loop(sensor, proc, act, policy);
+  Rng rng(1);
+  loop.run(100, rng);
+  const auto& m = loop.metrics();
+  EXPECT_EQ(m.ticks, 100);
+  EXPECT_EQ(m.senses, 25);
+  EXPECT_NEAR(m.duty_cycle(), 0.25, 1e-12);
+  EXPECT_NEAR(m.sensing_energy_j, 25e-3, 1e-12);
+  EXPECT_NEAR(m.processing_energy_j, 100e-4, 1e-12);  // acts every tick
+  EXPECT_EQ(m.actions, 100);
+}
+
+TEST(Loop, StalenessGrowsWithSparserSensing) {
+  auto staleness = [](int period) {
+    ScriptedSensor sensor(1e9, 1e9);
+    PassthroughProcessor proc;
+    RecordingActuator act;
+    PeriodicPolicy policy(period);
+    SensingActionLoop loop(sensor, proc, act, policy);
+    Rng rng(2);
+    loop.run(200, rng);
+    return loop.metrics().mean_staleness_s();
+  };
+  EXPECT_GT(staleness(10), staleness(1));
+}
+
+TEST(Loop, LatencyAddsToStaleness) {
+  ScriptedSensor sensor(1e9, 1e9);
+  PassthroughProcessor proc;
+  RecordingActuator act;
+  PeriodicPolicy policy(1);
+  LoopConfig cfg;
+  cfg.sensing_latency = 0.1;
+  cfg.processing_latency = 0.05;
+  SensingActionLoop loop(sensor, proc, act, policy, cfg);
+  Rng rng(3);
+  loop.run(50, rng);
+  EXPECT_NEAR(loop.metrics().mean_staleness_s(), 0.15, 1e-9);
+}
+
+TEST(Loop, UntrustedObservationsNeverReachActuator) {
+  ScriptedSensor sensor(1e9, 1e9);
+  PassthroughProcessor proc;
+  RecordingActuator act;
+  PeriodicPolicy policy(1);
+  AlwaysUntrusted monitor;
+  SensingActionLoop loop(sensor, proc, act, policy, LoopConfig{}, &monitor);
+  Rng rng(4);
+  loop.run(20, rng);
+  EXPECT_EQ(loop.metrics().vetoed, 20);
+  EXPECT_EQ(loop.metrics().actions, 0);
+  EXPECT_TRUE(act.actions.empty());
+}
+
+TEST(Loop, ActsOnLastObservationWhenSkipping) {
+  ScriptedSensor sensor(1e9, 1e9);
+  PassthroughProcessor proc;
+  RecordingActuator act;
+  PeriodicPolicy policy(5);
+  SensingActionLoop loop(sensor, proc, act, policy);
+  Rng rng(5);
+  loop.run(10, rng);
+  // All actions between senses reference the same observation timestamp.
+  ASSERT_GE(act.actions.size(), 5u);
+  EXPECT_DOUBLE_EQ(act.actions[1].based_on_timestamp,
+                   act.actions[0].based_on_timestamp);
+}
+
+TEST(Policies, AdaptiveRampsUpDuringBurst) {
+  // Burst in the middle third of the run: adaptive should sense more
+  // during it than in the quiet thirds.
+  ScriptedSensor sensor(5.0, 10.0);
+  PassthroughProcessor proc;
+  RecordingActuator act;
+  AdaptiveActivityConfig acfg;
+  acfg.base_rate = 0.1;
+  acfg.activity_saturation = 0.5;
+  AdaptiveActivityPolicy policy(acfg);
+  LoopConfig cfg;
+  cfg.dt = 0.05;
+  SensingActionLoop loop(sensor, proc, act, policy, cfg);
+  Rng rng(6);
+
+  long senses_before = 0, senses_burst = 0;
+  // 0..5s quiet.
+  loop.run(100, rng);
+  senses_before = loop.metrics().senses;
+  // 5..10s burst.
+  loop.run(100, rng);
+  senses_burst = loop.metrics().senses - senses_before;
+  EXPECT_GT(senses_burst, 2 * senses_before / 3 + 5);
+}
+
+TEST(Policies, AdaptiveAlwaysSensesFirstTick) {
+  AdaptiveActivityPolicy policy;
+  Rng rng(7);
+  EXPECT_TRUE(policy.should_sense(0.0, nullptr, rng));
+}
+
+TEST(Policies, ActionAwareRampsWithReportedMagnitude) {
+  ActionAwarePolicy policy(0.05, 1.0, 1.0);
+  Rng rng(8);
+  Observation obs;
+  obs.data = {0.0};
+  int low = 0, high = 0;
+  for (int i = 0; i < 500; ++i)
+    if (policy.should_sense(0.0, &obs, rng)) ++low;
+  for (int i = 0; i < 20; ++i) policy.report_action(2.0);  // saturate
+  for (int i = 0; i < 500; ++i)
+    if (policy.should_sense(0.0, &obs, rng)) ++high;
+  EXPECT_GT(high, 5 * low);
+}
+
+TEST(Policies, PeriodicRejectsNonPositivePeriod) {
+  EXPECT_THROW(PeriodicPolicy(0), CheckError);
+}
+
+TEST(MultiAgent, AgentRangeAndCost) {
+  SensingAgent a;
+  a.position = {0, 0, 0};
+  a.sensing_range = 10.0;
+  EXPECT_TRUE(a.can_observe({6, 0, 0}));
+  EXPECT_FALSE(a.can_observe({11, 0, 0}));
+  // Cost grows with squared distance.
+  EXPECT_GT(a.cost({8, 0, 0}), a.cost({2, 0, 0}));
+  EXPECT_NEAR(a.cost({5, 0, 0}), a.energy_per_observation_j, 1e-12);
+}
+
+TEST(MultiAgent, CoordinationEliminatesRedundancy) {
+  Rng rng(9);
+  const auto agents = make_agent_fleet(6, 40.0, 50.0, rng);  // overlapping
+  const auto targets = make_target_field(30, 40.0, rng);
+  const CoverageReport ind = independent_sensing(agents, targets);
+  const CoverageReport coord = coordinated_sensing(agents, targets);
+  EXPECT_EQ(coord.coverage(), ind.coverage());
+  EXPECT_GT(ind.redundant_observations, 0);
+  EXPECT_EQ(coord.redundant_observations, 0);
+  EXPECT_LT(coord.energy_j, ind.energy_j);
+}
+
+TEST(MultiAgent, CoordinatedMeetsMultiObserverRequirements) {
+  SensingAgent a1, a2, a3;
+  a1.position = {0, 0, 0};
+  a2.position = {5, 0, 0};
+  a3.position = {0, 5, 0};
+  for (auto* a : {&a1, &a2, &a3}) a->sensing_range = 20.0;
+  SensingTarget t;
+  t.position = {2, 2, 0};
+  t.required_observers = 2;
+  const CoverageReport r = coordinated_sensing({a1, a2, a3}, {t});
+  EXPECT_EQ(r.targets_covered, 1);
+  EXPECT_EQ(r.observations, 2);  // exactly the requirement, no more
+}
+
+TEST(MultiAgent, UncoverableTargetReported) {
+  SensingAgent a;
+  a.position = {0, 0, 0};
+  a.sensing_range = 5.0;
+  SensingTarget far;
+  far.position = {100, 0, 0};
+  const CoverageReport ind = independent_sensing({a}, {far});
+  const CoverageReport coord = coordinated_sensing({a}, {far});
+  EXPECT_EQ(ind.targets_covered, 0);
+  EXPECT_EQ(coord.targets_covered, 0);
+}
+
+TEST(MultiAgent, CoordinatedPicksCheapestAgent) {
+  SensingAgent near_agent, far_agent;
+  near_agent.position = {1, 0, 0};
+  far_agent.position = {9, 0, 0};
+  near_agent.sensing_range = far_agent.sensing_range = 20.0;
+  SensingTarget t;
+  t.position = {0, 0, 0};
+  const CoverageReport r = coordinated_sensing({far_agent, near_agent}, {t});
+  EXPECT_EQ(r.observations, 1);
+  EXPECT_NEAR(r.energy_j, near_agent.cost(t.position), 1e-15);
+}
+
+}  // namespace
+}  // namespace s2a::core
+
+// ------------------------------------------------------------------
+// Hierarchical control, LIF sensing, confidence gating (Secs. I/V/VI).
+#include "core/hierarchical.hpp"
+
+namespace s2a::core {
+namespace {
+
+TEST(Hierarchical, FastTierTracksSetpoint) {
+  HierarchicalControllerConfig cfg;
+  cfg.fast_gain = 0.5;
+  cfg.initial_setpoint = 2.0;
+  cfg.planning_period = 1000;  // slow tier effectively off
+  HierarchicalController ctl(
+      cfg, [](const Observation& o) { return o.data[0]; },
+      [](double) { return 2.0; });
+  Observation obs;
+  obs.data = {0.0};
+  // value 0 < setpoint 2 → parameter climbs toward max.
+  const double p0 = ctl.parameter();
+  for (int i = 0; i < 10; ++i) ctl.update(obs);
+  EXPECT_GT(ctl.parameter(), p0);
+  // value above setpoint → parameter falls.
+  obs.data = {5.0};
+  const double p1 = ctl.parameter();
+  for (int i = 0; i < 10; ++i) ctl.update(obs);
+  EXPECT_LT(ctl.parameter(), p1);
+}
+
+TEST(Hierarchical, SlowTierReplansOnSchedule) {
+  HierarchicalControllerConfig cfg;
+  cfg.planning_period = 5;
+  int replan_calls = 0;
+  HierarchicalController ctl(
+      cfg, [](const Observation& o) { return o.data[0]; },
+      [&](double mean) {
+        ++replan_calls;
+        return mean * 0.5;  // plan: hold half of recent activity
+      });
+  Observation obs;
+  obs.data = {4.0};
+  for (int i = 0; i < 15; ++i) ctl.update(obs);
+  EXPECT_EQ(replan_calls, 3);
+  EXPECT_EQ(ctl.replans(), 3);
+  EXPECT_NEAR(ctl.setpoint(), 2.0, 1e-9);
+}
+
+TEST(Hierarchical, ParameterStaysClamped) {
+  HierarchicalControllerConfig cfg;
+  cfg.fast_gain = 100.0;
+  cfg.parameter_min = 0.0;
+  cfg.parameter_max = 1.0;
+  HierarchicalController ctl(
+      cfg, [](const Observation& o) { return o.data[0]; },
+      [](double) { return 100.0; });
+  Observation obs;
+  obs.data = {-100.0};
+  for (int i = 0; i < 5; ++i) ctl.update(obs);
+  EXPECT_LE(ctl.parameter(), 1.0);
+  obs.data = {1000.0};
+  for (int i = 0; i < 5; ++i) ctl.update(obs);
+  EXPECT_GE(ctl.parameter(), 0.0);
+}
+
+TEST(LifPolicy, QuietSignalSensesRarelyBusySensesOften) {
+  LifSensingPolicy policy(0.8, 1.0, 0.5);
+  Rng rng(1);
+  Observation quiet, busy;
+  quiet.data = {0.05};
+  busy.data = {2.0};
+  int quiet_senses = 0, busy_senses = 0;
+  for (int i = 0; i < 200; ++i)
+    if (policy.should_sense(0.0, &quiet, rng)) ++quiet_senses;
+  for (int i = 0; i < 200; ++i)
+    if (policy.should_sense(0.0, &busy, rng)) ++busy_senses;
+  EXPECT_LT(quiet_senses, 30);
+  EXPECT_GT(busy_senses, 150);
+}
+
+TEST(LifPolicy, MembraneResetBySubtraction) {
+  LifSensingPolicy policy(0.5, 1.0, 1.0);  // retention 0.5, gain 1
+  Rng rng(2);
+  Observation obs;
+  obs.data = {0.8};
+  EXPECT_TRUE(policy.should_sense(0.0, nullptr, rng));  // bootstrap
+  EXPECT_FALSE(policy.should_sense(0.0, &obs, rng));    // v = 0.8
+  EXPECT_TRUE(policy.should_sense(0.0, &obs, rng));     // v = 1.2 → spike
+  EXPECT_NEAR(policy.membrane(), 0.2, 1e-12);           // residual kept
+  EXPECT_EQ(policy.spikes(), 1);
+}
+
+TEST(ConfidenceGate, ScalesActionsAndValidatesRange) {
+  class Recorder : public Actuator {
+   public:
+    void actuate(const Action& a, Rng&) override { last = a.data; }
+    std::vector<double> last;
+  } rec;
+  ConfidenceGatedActuator gate(rec);
+  Rng rng(3);
+  Action a;
+  a.data = {2.0, -4.0};
+  gate.set_confidence(0.5);
+  gate.actuate(a, rng);
+  EXPECT_EQ(rec.last, (std::vector<double>{1.0, -2.0}));
+  EXPECT_THROW(gate.set_confidence(1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace s2a::core

@@ -1,0 +1,357 @@
+// Tests for the federated stack: cost-model scaling laws, quantization,
+// strategy selection, FedAvg convergence under non-IID shards, DC-NAS and
+// HaLo-FL adaptation effects, and speculative-decoding correctness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "federated/fedavg.hpp"
+#include "federated/hardware.hpp"
+#include "federated/speculative.hpp"
+#include "util/check.hpp"
+
+namespace s2a::federated {
+namespace {
+
+TEST(CostModel, EnergyQuadraticInPrecision) {
+  HardwareProfile hw;
+  const RoundCost fp32 = round_cost(1e9, hw, {32, 32, 32});
+  const RoundCost int8 = round_cost(1e9, hw, {8, 8, 32});
+  // Multiplier term scales (8·8)/(32·32) = 1/16.
+  EXPECT_NEAR(int8.energy_j / fp32.energy_j, 1.0 / 16.0, 1e-9);
+}
+
+TEST(CostModel, GradientBitsAffectBackwardShare) {
+  HardwareProfile hw;
+  const RoundCost g32 = round_cost(1e9, hw, {32, 32, 32});
+  const RoundCost g8 = round_cost(1e9, hw, {32, 32, 8});
+  EXPECT_LT(g8.energy_j, g32.energy_j);
+  EXPECT_GT(g8.energy_j, g32.energy_j / 3.0);
+}
+
+TEST(CostModel, LatencyScalesWithThroughputAndPacking) {
+  HardwareProfile fast, slow;
+  fast.throughput_macs_per_s = 4e9;
+  slow.throughput_macs_per_s = 1e9;
+  EXPECT_NEAR(round_cost(1e9, slow, {}).latency_s /
+                  round_cost(1e9, fast, {}).latency_s,
+              4.0, 1e-9);
+  const RoundCost full = round_cost(1e9, fast, {32, 32, 32});
+  const RoundCost half = round_cost(1e9, fast, {16, 16, 32});
+  EXPECT_LT(half.latency_s, full.latency_s);
+}
+
+TEST(CostModel, AreaIndependentOfWorkload) {
+  HardwareProfile hw;
+  EXPECT_DOUBLE_EQ(round_cost(1e6, hw, {}).area_mm2,
+                   round_cost(1e9, hw, {}).area_mm2);
+}
+
+TEST(CostModel, InvalidPrecisionThrows) {
+  HardwareProfile hw;
+  EXPECT_THROW(round_cost(1e6, hw, {1, 8, 8}), CheckError);
+  EXPECT_THROW(round_cost(1e6, hw, {8, 64, 8}), CheckError);
+}
+
+TEST(Quantize, Fp32IsIdentity) {
+  std::vector<double> v{0.1, -0.7, 2.3};
+  const auto orig = v;
+  fake_quantize(v, 32);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Quantize, LowBitsCoarser) {
+  auto err = [](int bits) {
+    std::vector<double> v;
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) v.push_back(rng.normal());
+    const auto orig = v;
+    fake_quantize(v, bits);
+    double e = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) e += std::abs(v[i] - orig[i]);
+    return e;
+  };
+  EXPECT_GT(err(4), err(8));
+  EXPECT_GT(err(8), err(16));
+}
+
+TEST(Quantize, PreservesZeroAndSymmetry) {
+  std::vector<double> v{-1.0, 0.0, 1.0};
+  fake_quantize(v, 8);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[0], -v[2]);
+}
+
+TEST(Fleet, HeterogeneousCapabilities) {
+  Rng rng(2);
+  const auto fleet = make_heterogeneous_fleet(8, rng);
+  ASSERT_EQ(fleet.size(), 8u);
+  double mx = 0.0, mn = 1e18;
+  for (const auto& hw : fleet) {
+    mx = std::max(mx, hw.throughput_macs_per_s);
+    mn = std::min(mn, hw.throughput_macs_per_s);
+  }
+  EXPECT_GT(mx / mn, 5.0);  // order-of-magnitude-ish spread
+}
+
+TEST(Mlp, MacsCountsActiveChannels) {
+  Rng rng(3);
+  const MlpParams p = init_mlp(16, 32, 10, rng);
+  EXPECT_EQ(mlp_macs(p, 32), 32u * (16 + 10));
+  EXPECT_EQ(mlp_macs(p, 8), 8u * (16 + 10));
+}
+
+TEST(Mlp, LocalTrainingImprovesShardAccuracy) {
+  Rng rng(4);
+  const auto ds = sim::make_gaussian_classes(200, 16, 4, 3.0, rng);
+  MlpParams p = init_mlp(16, 32, 4, rng);
+  std::vector<int> shard;
+  for (int i = 0; i < 200; ++i) shard.push_back(i);
+  std::vector<bool> active(32, true);
+  const double before = evaluate_accuracy(p, ds, shard);
+  local_train(p, ds, shard, active, PrecisionConfig{}, 5, 16, 0.05, rng);
+  const double after = evaluate_accuracy(p, ds, shard);
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.8);
+}
+
+TEST(Mlp, MaskedChannelsStayUntouched) {
+  Rng rng(5);
+  const auto ds = sim::make_gaussian_classes(50, 8, 4, 2.0, rng);
+  MlpParams p = init_mlp(8, 16, 4, rng);
+  const MlpParams orig = p;
+  std::vector<bool> active(16, true);
+  active[3] = false;
+  std::vector<int> shard;
+  for (int i = 0; i < 50; ++i) shard.push_back(i);
+  local_train(p, ds, shard, active, PrecisionConfig{}, 2, 16, 0.05, rng);
+  // Row 3 of w1 must be identical to the original.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(p.w1[static_cast<std::size_t>(3) * 8 + i],
+                     orig.w1[static_cast<std::size_t>(3) * 8 + i]);
+}
+
+TEST(Selection, WeakClientGetsNarrowWidth) {
+  FlConfig cfg;
+  HardwareProfile strong, weak;
+  strong.throughput_macs_per_s = 1e10;
+  strong.latency_budget_s = 5e-3;
+  weak.throughput_macs_per_s = 2e6;
+  weak.latency_budget_s = 5e-3;
+  const int ws = select_width(strong, cfg, 100, 32, 10);
+  const int ww = select_width(weak, cfg, 100, 32, 10);
+  EXPECT_GT(ws, ww);
+  EXPECT_EQ(ws, cfg.width_candidates.back());
+}
+
+TEST(Selection, WeakClientGetsLowPrecision) {
+  FlConfig cfg;
+  HardwareProfile strong, weak;
+  strong.throughput_macs_per_s = 1e10;
+  strong.energy_per_mac_j = 5e-12;
+  weak.throughput_macs_per_s = 5e7;
+  weak.energy_per_mac_j = 200e-12;
+  weak.energy_budget_j = 1e-4;
+  const PrecisionConfig ps = select_precision(strong, cfg, 1e8);
+  const PrecisionConfig pw = select_precision(weak, cfg, 1e8);
+  EXPECT_GE(ps.weight_bits, pw.weight_bits);
+}
+
+class StrategyTest : public ::testing::TestWithParam<FlStrategy> {};
+
+TEST_P(StrategyTest, FederatedTrainingLearnsNonIidTask) {
+  Rng rng(6);
+  const auto train = sim::make_gaussian_classes(400, 16, 10, 3.0, rng);
+  const auto test = sim::make_gaussian_classes(200, 16, 10, 3.0, rng);
+  // NOTE: train/test share class means only if drawn from the same call;
+  // re-draws have different means. Use a split of one dataset instead.
+  const auto full = sim::make_gaussian_classes(600, 16, 10, 3.0, rng);
+  sim::ClassificationDataset tr, te;
+  tr.feature_dim = te.feature_dim = 16;
+  tr.num_classes = te.num_classes = 10;
+  for (std::size_t i = 0; i < 400; ++i) {
+    tr.features.push_back(full.features[i]);
+    tr.labels.push_back(full.labels[i]);
+  }
+  for (std::size_t i = 400; i < 600; ++i) {
+    te.features.push_back(full.features[i]);
+    te.labels.push_back(full.labels[i]);
+  }
+  (void)train;
+  (void)test;
+
+  const auto shards = sim::dirichlet_partition(tr.labels, 6, 10, 0.5, rng);
+  const auto fleet = make_heterogeneous_fleet(6, rng);
+  FlConfig cfg;
+  cfg.rounds = 10;
+  const FlResult res =
+      run_federated(GetParam(), tr, te, shards, fleet, cfg, rng);
+  EXPECT_GT(res.final_accuracy, 0.6) << strategy_name(GetParam());
+  EXPECT_GT(res.total_energy_j, 0.0);
+  EXPECT_GT(res.total_latency_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         ::testing::Values(FlStrategy::kStaticFl,
+                                           FlStrategy::kDcNas,
+                                           FlStrategy::kHaloFl),
+                         [](const ::testing::TestParamInfo<FlStrategy>& info) {
+                           switch (info.param) {
+                             case FlStrategy::kStaticFl:
+                               return "StaticFl";
+                             case FlStrategy::kDcNas:
+                               return "DcNas";
+                             case FlStrategy::kHaloFl:
+                               return "HaloFl";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Strategies, AdaptiveStrategiesCutEnergyVsStatic) {
+  Rng rng(7);
+  const auto full = sim::make_gaussian_classes(600, 16, 10, 3.0, rng);
+  sim::ClassificationDataset tr, te;
+  tr.feature_dim = te.feature_dim = 16;
+  tr.num_classes = te.num_classes = 10;
+  for (std::size_t i = 0; i < 400; ++i) {
+    tr.features.push_back(full.features[i]);
+    tr.labels.push_back(full.labels[i]);
+  }
+  for (std::size_t i = 400; i < 600; ++i) {
+    te.features.push_back(full.features[i]);
+    te.labels.push_back(full.labels[i]);
+  }
+  Rng part_rng(8);
+  const auto shards = sim::dirichlet_partition(tr.labels, 6, 10, 0.5, part_rng);
+  const auto fleet = make_heterogeneous_fleet(6, part_rng);
+  FlConfig cfg;
+  cfg.rounds = 6;
+
+  Rng r1(9), r2(9), r3(9);
+  const FlResult base =
+      run_federated(FlStrategy::kStaticFl, tr, te, shards, fleet, cfg, r1);
+  const FlResult dcnas =
+      run_federated(FlStrategy::kDcNas, tr, te, shards, fleet, cfg, r2);
+  const FlResult halo =
+      run_federated(FlStrategy::kHaloFl, tr, te, shards, fleet, cfg, r3);
+
+  EXPECT_LT(dcnas.total_energy_j, base.total_energy_j);
+  EXPECT_LT(halo.total_energy_j, base.total_energy_j);
+  EXPECT_LE(halo.mean_area_mm2, base.mean_area_mm2);
+}
+
+TEST(Markov, RowsAreDistributions) {
+  Rng rng(10);
+  const MarkovModel m = MarkovModel::random(8, 3.0, rng);
+  for (int i = 0; i < 8; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_GE(m.prob(i, j), 0.0);
+      row += m.prob(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(Markov, SmoothedApproachesUniform) {
+  Rng rng(11);
+  const MarkovModel m = MarkovModel::random(8, 4.0, rng);
+  const MarkovModel u = m.smoothed(1.0);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) EXPECT_NEAR(u.prob(i, j), 1.0 / 8, 1e-12);
+}
+
+TEST(Speculative, GeneratesRequestedTokens) {
+  Rng rng(12);
+  const MarkovModel target = MarkovModel::random(16, 4.0, rng);
+  const MarkovModel draft = target.smoothed(0.3);
+  std::vector<int> seq;
+  const SpeculativeStats st =
+      speculative_decode(target, draft, 500, SpeculativeConfig{}, rng, &seq);
+  EXPECT_EQ(st.tokens_generated, 500);
+  EXPECT_EQ(seq.size(), 500u);
+}
+
+TEST(Speculative, MultipleTokensPerTargetPass) {
+  Rng rng(13);
+  const MarkovModel target = MarkovModel::random(16, 6.0, rng);
+  const MarkovModel draft = target.smoothed(0.2);  // good draft
+  const SpeculativeStats st =
+      speculative_decode(target, draft, 2000, SpeculativeConfig{}, rng);
+  EXPECT_GT(st.tokens_per_pass(), 1.5);
+  EXPECT_GT(st.speedup(SpeculativeConfig{}), 1.2);
+}
+
+TEST(Speculative, PerfectDraftAcceptsEverything) {
+  Rng rng(14);
+  const MarkovModel target = MarkovModel::random(8, 3.0, rng);
+  const SpeculativeStats st =
+      speculative_decode(target, target, 1000, SpeculativeConfig{}, rng);
+  EXPECT_NEAR(st.acceptance_rate(), 1.0, 1e-12);
+  // γ accepted + 1 bonus per pass.
+  EXPECT_NEAR(st.tokens_per_pass(), 5.0, 0.1);
+}
+
+TEST(Speculative, BadDraftLowersAcceptance) {
+  Rng rng(15);
+  const MarkovModel target = MarkovModel::random(16, 6.0, rng);
+  const SpeculativeStats good =
+      speculative_decode(target, target.smoothed(0.1), 2000, {}, rng);
+  const SpeculativeStats bad =
+      speculative_decode(target, target.smoothed(0.9), 2000, {}, rng);
+  EXPECT_GT(good.acceptance_rate(), bad.acceptance_rate());
+}
+
+TEST(Speculative, PreservesTargetDistribution) {
+  // The headline correctness property: speculative output matches plain
+  // target sampling in distribution.
+  Rng rng(16);
+  const MarkovModel target = MarkovModel::random(8, 4.0, rng);
+  const MarkovModel draft = target.smoothed(0.5);
+
+  Rng r1(17), r2(18);
+  const std::vector<int> plain = autoregressive_decode(target, 30000, r1);
+  std::vector<int> spec;
+  speculative_decode(target, draft, 30000, SpeculativeConfig{}, r2, &spec);
+
+  const auto d1 = unigram_distribution(plain, 8);
+  const auto d2 = unigram_distribution(spec, 8);
+  for (int j = 0; j < 8; ++j)
+    EXPECT_NEAR(d1[static_cast<std::size_t>(j)], d2[static_cast<std::size_t>(j)], 0.02);
+}
+
+}  // namespace
+}  // namespace s2a::federated
+
+namespace s2a::federated {
+namespace {
+
+TEST(SpeculativeLatency, SpeedupAccountsForDraftCost) {
+  SpeculativeStats st;
+  st.tokens_generated = 100;
+  st.target_passes = 25;   // 4 tokens per pass
+  st.draft_tokens = 100;
+  st.accepted = 90;
+  SpeculativeConfig cfg;
+  cfg.target_pass_latency = 1.0;
+  cfg.draft_token_latency = 0.05;
+  // latency = 25·1 + 100·0.05 = 30; baseline = 100·1 → speedup 3.33.
+  EXPECT_NEAR(st.latency(cfg), 30.0, 1e-12);
+  EXPECT_NEAR(st.speedup(cfg), 100.0 / 30.0, 1e-12);
+  EXPECT_NEAR(st.tokens_per_pass(), 4.0, 1e-12);
+  EXPECT_NEAR(st.acceptance_rate(), 0.9, 1e-12);
+}
+
+TEST(SpeculativeLatency, FreeDraftDegeneratesToTokensPerPass) {
+  SpeculativeStats st;
+  st.tokens_generated = 100;
+  st.target_passes = 20;
+  st.draft_tokens = 100;
+  SpeculativeConfig cfg;
+  cfg.draft_token_latency = 0.0;
+  EXPECT_NEAR(st.speedup(cfg), st.tokens_per_pass(), 1e-12);
+}
+
+}  // namespace
+}  // namespace s2a::federated

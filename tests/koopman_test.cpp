@@ -1,0 +1,345 @@
+// Tests for the Koopman control stack: matrix inverse and LQR against
+// hand-solved systems, spectral dynamics gradients and propagation,
+// dynamics-model zoo behaviour, and agent training on cart-pole.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "koopman/agent.hpp"
+#include "koopman/lqr.hpp"
+#include "koopman/models.hpp"
+#include "koopman/spectral.hpp"
+#include "util/check.hpp"
+
+namespace s2a::koopman {
+namespace {
+
+TEST(Invert, IdentityAndKnownMatrix) {
+  nn::Tensor eye({2, 2}, {1, 0, 0, 1});
+  const nn::Tensor inv_eye = invert(eye);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(inv_eye[i], eye[i], 1e-12);
+
+  // [[4, 7], [2, 6]]⁻¹ = 1/10 [[6, -7], [-2, 4]]
+  nn::Tensor m({2, 2}, {4, 7, 2, 6});
+  const nn::Tensor inv = invert(m);
+  EXPECT_NEAR(inv[0], 0.6, 1e-12);
+  EXPECT_NEAR(inv[1], -0.7, 1e-12);
+  EXPECT_NEAR(inv[2], -0.2, 1e-12);
+  EXPECT_NEAR(inv[3], 0.4, 1e-12);
+}
+
+TEST(Invert, SingularThrows) {
+  nn::Tensor m({2, 2}, {1, 2, 2, 4});
+  EXPECT_THROW(invert(m), CheckError);
+}
+
+TEST(Invert, ProductIsIdentityForRandomMatrix) {
+  Rng rng(1);
+  nn::Tensor m = nn::Tensor::randn({5, 5}, rng);
+  for (int i = 0; i < 5; ++i) m.at(i, i) += 3.0;  // well-conditioned
+  const nn::Tensor mi = invert(m);
+  const nn::Tensor prod = nn::matmul(m, mi);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j)
+      EXPECT_NEAR(prod.at(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Lqr, ScalarSystemMatchesClosedForm) {
+  // x' = a x + b u, cost q x² + r u². Scalar DARE:
+  // p = q + a²p − (abp)²/(r + b²p); solve numerically and compare.
+  const double a = 1.1, b = 0.5, q = 1.0, r = 0.2;
+  const LqrResult res =
+      solve_lqr(nn::Tensor({1, 1}, {a}), nn::Tensor({1, 1}, {b}),
+                nn::Tensor({1, 1}, {q}), nn::Tensor({1, 1}, {r}));
+  ASSERT_TRUE(res.converged);
+  const double p = res.cost_to_go[0];
+  const double k = res.gain[0];
+  // Fixed-point identities.
+  EXPECT_NEAR(k, a * b * p / (r + b * b * p), 1e-8);
+  EXPECT_NEAR(p, q + k * k * r + (a - b * k) * (a - b * k) * p, 1e-6);
+  // Closed loop must be stable.
+  EXPECT_LT(std::abs(a - b * k), 1.0);
+}
+
+TEST(Lqr, StabilizesUnstableDoubleIntegrator) {
+  // Discretized double integrator with dt = 0.1.
+  const double dt = 0.1;
+  nn::Tensor a({2, 2}, {1, dt, 0, 1});
+  nn::Tensor b({2, 1}, {0, dt});
+  nn::Tensor q({2, 2}, {1, 0, 0, 0.1});
+  nn::Tensor r({1, 1}, {0.01});
+  const LqrResult res = solve_lqr(a, b, q, r);
+  ASSERT_TRUE(res.converged);
+
+  // Simulate closed loop from x = (1, 0); must decay.
+  double x0 = 1.0, x1 = 0.0;
+  for (int t = 0; t < 300; ++t) {
+    const double u = -(res.gain.at(0, 0) * x0 + res.gain.at(0, 1) * x1);
+    const double nx0 = x0 + dt * x1;
+    const double nx1 = x1 + dt * u;
+    x0 = nx0;
+    x1 = nx1;
+  }
+  EXPECT_LT(std::abs(x0), 1e-3);
+  EXPECT_LT(std::abs(x1), 1e-3);
+}
+
+TEST(Spectral, PropagationMatchesAMatrix) {
+  Rng rng(2);
+  SpectralDynamics dyn(3, 1, 0.05, rng);
+  nn::Tensor z = nn::Tensor::randn({1, 6}, rng);
+  nn::Tensor a({1, 1}, {0.7});
+  const nn::Tensor z_step = dyn.step(z, a);
+
+  // Same result via dense realization: z' = A z + B a.
+  const nn::Tensor amat = dyn.a_matrix();
+  nn::Tensor z_dense = nn::matmul_nt(z, amat);  // (A zᵀ)ᵀ = z Aᵀ... careful
+  // a_matrix is [2m, 2m] acting on column vectors: z' = A z. With z as a
+  // row vector, z' = z Aᵀ = matmul_nt(z, A).
+  nn::Tensor inject = nn::matmul_nt(a, dyn.b_matrix());
+  z_dense.add_scaled(inject, 1.0);
+  for (std::size_t i = 0; i < z_step.numel(); ++i)
+    EXPECT_NEAR(z_step[i], z_dense[i], 1e-12);
+}
+
+TEST(Spectral, NegativeMuContracts) {
+  Rng rng(3);
+  SpectralDynamics dyn(2, 1, 0.1, rng);
+  // Force strongly damped eigenvalues.
+  auto params = dyn.params();  // [B weight, mu, omega]
+  nn::Tensor* mu = params[params.size() - 2];
+  for (std::size_t i = 0; i < mu->numel(); ++i) (*mu)[i] = -2.0;
+
+  nn::Tensor z = nn::Tensor::randn({1, 4}, rng);
+  nn::Tensor a({1, 1}, {0.0});
+  const double before = z.squared_norm();
+  for (int t = 0; t < 50; ++t) z = dyn.step(z, a);
+  EXPECT_LT(z.squared_norm(), 1e-3 * before);
+}
+
+TEST(Spectral, GradientCheckAllParams) {
+  Rng rng(4);
+  SpectralDynamics dyn(2, 1, 0.1, rng);
+  const nn::Tensor z = nn::Tensor::randn({2, 4}, rng);
+  const nn::Tensor a = nn::Tensor::randn({2, 1}, rng);
+
+  auto objective = [&]() {
+    const nn::Tensor y = dyn.step(z, a);
+    return 0.5 * y.squared_norm();
+  };
+
+  dyn.zero_grad();
+  const nn::Tensor y = dyn.step(z, a);
+  const nn::Tensor dz = dyn.backward(y);  // dL/dy = y
+
+  const double eps = 1e-6;
+  // Input gradient.
+  nn::Tensor zm = z;
+  for (std::size_t i = 0; i < z.numel(); ++i) {
+    zm[i] = z[i] + eps;
+    const nn::Tensor yp = dyn.step(zm, a);
+    zm[i] = z[i] - eps;
+    const nn::Tensor ym = dyn.step(zm, a);
+    zm[i] = z[i];
+    const double num =
+        (0.5 * yp.squared_norm() - 0.5 * ym.squared_norm()) / (2 * eps);
+    ASSERT_NEAR(dz[i], num, 1e-6);
+  }
+  // Parameter gradients (B, mu, omega).
+  auto params = dyn.params();
+  auto grads = dyn.grads();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    nn::Tensor& p = *params[pi];
+    for (std::size_t i = 0; i < p.numel(); ++i) {
+      const double orig = p[i];
+      p[i] = orig + eps;
+      const double lp = objective();
+      p[i] = orig - eps;
+      const double lm = objective();
+      p[i] = orig;
+      ASSERT_NEAR((*grads[pi])[i], (lp - lm) / (2 * eps), 1e-5)
+          << "param " << pi << " idx " << i;
+    }
+  }
+}
+
+TEST(Spectral, MacsLinearInModes) {
+  Rng rng(5);
+  SpectralDynamics small(4, 1, 0.1, rng), large(8, 1, 0.1, rng);
+  EXPECT_EQ(small.macs_per_step(), 4u * 4 + 8u);
+  EXPECT_EQ(large.macs_per_step(), 2u * small.macs_per_step());
+}
+
+TEST(ModelZoo, FactoryProducesAllKinds) {
+  Rng rng(6);
+  for (ModelKind kind : all_model_kinds()) {
+    auto m = make_model(kind, 16, 1, 0.02, rng);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind(), kind);
+    EXPECT_EQ(m->latent_dim(), 16);
+    EXPECT_GT(m->param_count(), 0u);
+  }
+}
+
+TEST(ModelZoo, SpectralHasFewestDynamicsParams) {
+  Rng rng(7);
+  auto spectral = make_model(ModelKind::kSpectralKoopman, 16, 1, 0.02, rng);
+  for (ModelKind kind :
+       {ModelKind::kDenseKoopman, ModelKind::kMlp, ModelKind::kTransformer,
+        ModelKind::kRecurrent}) {
+    auto other = make_model(kind, 16, 1, 0.02, rng);
+    EXPECT_LT(spectral->param_count(), other->param_count())
+        << model_kind_name(kind);
+  }
+}
+
+TEST(ModelZoo, SpectralHasFewestPredictionMacs) {
+  Rng rng(8);
+  auto spectral = make_model(ModelKind::kSpectralKoopman, 16, 1, 0.02, rng);
+  for (ModelKind kind :
+       {ModelKind::kDenseKoopman, ModelKind::kMlp, ModelKind::kTransformer,
+        ModelKind::kRecurrent}) {
+    auto other = make_model(kind, 16, 1, 0.02, rng);
+    EXPECT_LT(spectral->macs_per_step(), other->macs_per_step())
+        << model_kind_name(kind);
+  }
+}
+
+class ModelForwardTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelForwardTest, ForwardShapeAndBackwardRuns) {
+  Rng rng(9);
+  auto m = make_model(GetParam(), 8, 1, 0.02, rng);
+  RolloutContext ctx = m->initial_context();
+  nn::Tensor z = nn::Tensor::randn({1, 8}, rng);
+  nn::Tensor a({1, 1}, {0.5});
+  const nn::Tensor zp = m->forward(z, a, ctx);
+  EXPECT_EQ(zp.shape(), (std::vector<int>{1, 8}));
+  const nn::Tensor dz = m->backward(zp);
+  EXPECT_EQ(dz.shape(), (std::vector<int>{1, 8}));
+  // Some parameter gradient must be nonzero.
+  double gnorm = 0.0;
+  for (auto* g : m->grads()) gnorm += g->squared_norm();
+  EXPECT_GT(gnorm, 0.0);
+}
+
+TEST_P(ModelForwardTest, AdvanceKeepsContextUsable) {
+  Rng rng(10);
+  auto m = make_model(GetParam(), 8, 1, 0.02, rng);
+  RolloutContext ctx = m->initial_context();
+  nn::Tensor z = nn::Tensor::randn({1, 8}, rng);
+  nn::Tensor a({1, 1}, {0.1});
+  for (int t = 0; t < 6; ++t) {
+    const nn::Tensor zp = m->forward(z, a, ctx);
+    ctx = m->advance(std::move(ctx), z, a);
+    z = zp;
+    for (std::size_t i = 0; i < z.numel(); ++i)
+      ASSERT_TRUE(std::isfinite(z[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelForwardTest,
+                         ::testing::ValuesIn(all_model_kinds()),
+                         [](const ::testing::TestParamInfo<ModelKind>& info) {
+                           std::string n = model_kind_name(info.param);
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+TEST(TransitionCollection, RespectsEpisodeStructure) {
+  Rng rng(11);
+  const auto data = collect_transitions(3, 40, 32, sim::CartPoleConfig{}, rng);
+  ASSERT_FALSE(data.empty());
+  EXPECT_TRUE(data[0].episode_start);
+  int starts = 0;
+  for (const auto& t : data) {
+    EXPECT_EQ(t.obs.size(), 128u);  // 2 frames x 2 strips x 32 px
+    EXPECT_EQ(t.next_obs.size(), 128u);
+    EXPECT_GE(t.action, -1.0);
+    EXPECT_LE(t.action, 1.0);
+    if (t.episode_start) ++starts;
+  }
+  EXPECT_EQ(starts, 3);
+}
+
+TEST(AgentTraining, PredictionLossDecreases) {
+  Rng rng(12);
+  const auto data = collect_transitions(6, 60, 32, sim::CartPoleConfig{}, rng);
+  AgentConfig cfg;
+  cfg.train_epochs = 1;
+  ControlAgent agent(ModelKind::kSpectralKoopman, cfg, rng);
+  const double first = agent.train(data, rng);
+  cfg.train_epochs = 12;
+  Rng rng2(12);
+  ControlAgent agent2(ModelKind::kSpectralKoopman, cfg, rng2);
+  Rng rng3(13);
+  const double later = agent2.train(data, rng3);
+  EXPECT_LT(later, first);
+}
+
+TEST(AgentTraining, SpectralLqrBalancesBetterThanUntrainedBaseline) {
+  Rng rng(14);
+  const auto data = collect_transitions(12, 80, 32, sim::CartPoleConfig{}, rng);
+  AgentConfig cfg;
+  cfg.train_epochs = 20;
+  ControlAgent agent(ModelKind::kSpectralKoopman, cfg, rng);
+  agent.train(data, rng);
+  ASSERT_FALSE(agent.lqr_gain().empty());
+
+  Rng eval_rng(15);
+  const double trained =
+      evaluate_agent(agent, 0.0, 5, 200, sim::CartPoleConfig{}, eval_rng);
+
+  // Uncontrolled cart-pole fails quickly (< ~60 steps on average).
+  sim::CartPoleConfig env_cfg;
+  Rng r2(16);
+  double uncontrolled = 0.0;
+  for (int ep = 0; ep < 5; ++ep) {
+    sim::CartPole env(env_cfg);
+    env.reset(r2);
+    int t = 0;
+    while (t < 200 && !env.failed()) {
+      env.step(0.0, r2);
+      ++t;
+    }
+    uncontrolled += t;
+  }
+  uncontrolled /= 5;
+  EXPECT_GT(trained, uncontrolled);
+}
+
+TEST(AgentMacs, LqrControlFarCheaperThanMpc) {
+  Rng rng(17);
+  AgentConfig cfg;
+  ControlAgent spectral(ModelKind::kSpectralKoopman, cfg, rng);
+  ControlAgent mlp(ModelKind::kMlp, cfg, rng);
+  EXPECT_LT(spectral.control_macs(), mlp.control_macs() / 10);
+}
+
+}  // namespace
+}  // namespace s2a::koopman
+
+namespace s2a::koopman {
+namespace {
+
+TEST(FrameStacking, ConcatenatesInOrder) {
+  const std::vector<double> a{1, 2}, b{3, 4};
+  EXPECT_EQ(stack_frames(a, b), (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(TransitionCollection, ObsAreStackedConsecutiveFrames) {
+  Rng rng(50);
+  const auto data = collect_transitions(1, 10, 16, sim::CartPoleConfig{}, rng);
+  ASSERT_GE(data.size(), 2u);
+  // Within an episode, the second half of obs[t] equals the first half of
+  // next_obs[t] (the shared current frame).
+  const auto& t0 = data[0];
+  const std::size_t half = t0.obs.size() / 2;
+  for (std::size_t i = 0; i < half; ++i)
+    EXPECT_DOUBLE_EQ(t0.obs[half + i], t0.next_obs[i]);
+}
+
+}  // namespace
+}  // namespace s2a::koopman

@@ -1,0 +1,608 @@
+// Unit and property tests for the simulation substrate: cart-pole physics,
+// scene generation, LiDAR ray casting and the R⁴ energy law, event camera
+// semantics, corruption effects, and dataset partitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/cartpole.hpp"
+#include "sim/corruptions.hpp"
+#include "sim/dataset.hpp"
+#include "sim/event_camera.hpp"
+#include "sim/lidar_sim.hpp"
+#include "sim/scene.hpp"
+#include "util/stats.hpp"
+
+namespace s2a::sim {
+namespace {
+
+TEST(CartPoleEnv, ResetNearUpright) {
+  CartPole env;
+  Rng rng(1);
+  env.reset(rng);
+  EXPECT_LE(std::abs(env.state().x), 0.05);
+  EXPECT_LE(std::abs(env.state().theta), 0.05);
+  EXPECT_FALSE(env.failed());
+}
+
+TEST(CartPoleEnv, UnactuatedPoleFalls) {
+  CartPole env;
+  Rng rng(2);
+  env.reset(rng);
+  CartPoleState s = env.state();
+  s.theta = 0.05;
+  env.set_state(s);
+  int steps = 0;
+  while (!env.failed() && steps < 1000) {
+    env.step(0.0, rng);
+    ++steps;
+  }
+  EXPECT_LT(steps, 1000) << "pole should fall without control";
+}
+
+TEST(CartPoleEnv, ForcePushesCart) {
+  CartPole env;
+  Rng rng(3);
+  env.reset(rng);
+  CartPoleState s{};  // exactly centered
+  env.set_state(s);
+  for (int i = 0; i < 10; ++i) env.step(1.0, rng);
+  EXPECT_GT(env.state().x_dot, 0.0);
+}
+
+TEST(CartPoleEnv, EnergyConsistencyOfGravity) {
+  // Pole accelerates faster from a larger angle.
+  CartPole a, b;
+  Rng rng(4);
+  CartPoleState sa{};
+  sa.theta = 0.02;
+  CartPoleState sb{};
+  sb.theta = 0.10;
+  a.set_state(sa);
+  b.set_state(sb);
+  a.step(0.0, rng);
+  b.step(0.0, rng);
+  EXPECT_GT(b.state().theta_dot, a.state().theta_dot);
+}
+
+TEST(CartPoleEnv, DisturbanceIncreasesFailureRate) {
+  auto run = [](double prob, std::uint64_t seed) {
+    CartPoleConfig cfg;
+    cfg.disturb_prob = prob;
+    cfg.disturb_min = 6.0;
+    cfg.disturb_max = 12.0;
+    Rng rng(seed);
+    int total = 0;
+    for (int ep = 0; ep < 20; ++ep) {
+      CartPole env(cfg);
+      env.reset(rng);
+      int t = 0;
+      // A weak proportional controller; disturbances should break it.
+      while (!env.failed() && t < 200) {
+        env.step(0.5 * env.state().theta * 20.0, rng);
+        ++t;
+      }
+      total += t;
+    }
+    return total;
+  };
+  EXPECT_GT(run(0.0, 5), run(0.5, 5));
+}
+
+TEST(CartPoleEnv, RetinaPeaksTrackCart) {
+  CartPole env;
+  CartPoleState s{};
+  s.x = 1.0;
+  env.set_state(s);
+  const auto img = env.render_retina(64);
+  ASSERT_EQ(img.size(), 128u);  // two strips of 64 px
+  // Strip 1 peak tracks the cart position:
+  // x=1.0 in [-2.4, 2.4] maps to pixel ≈ (1+2.4)/4.8*64 ≈ 45.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < 64; ++i)
+    if (img[i] > img[peak]) peak = i;
+  EXPECT_NEAR(static_cast<double>(peak), 45.0, 3.0);
+  // Strip 2 peak sits at its center for an upright pole.
+  std::size_t peak2 = 64;
+  for (std::size_t i = 65; i < 128; ++i)
+    if (img[i] > img[peak2]) peak2 = i;
+  EXPECT_NEAR(static_cast<double>(peak2 - 64), 31.5, 1.5);
+}
+
+TEST(CartPoleEnv, RetinaDistinguishesTilt) {
+  CartPole env;
+  CartPoleState left{}, right{};
+  left.theta = -0.2;
+  right.theta = 0.2;
+  env.set_state(left);
+  const auto a = env.render_retina(64);
+  env.set_state(right);
+  const auto b = env.render_retina(64);
+  double diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(SceneGen, ObjectCountsWithinConfig) {
+  Rng rng(7);
+  SceneConfig cfg;
+  const Scene s = generate_scene(cfg, rng);
+  int cars = 0, peds = 0, cycs = 0;
+  for (const auto& o : s.objects) {
+    if (o.cls == ObjectClass::kCar) ++cars;
+    if (o.cls == ObjectClass::kPedestrian) ++peds;
+    if (o.cls == ObjectClass::kCyclist) ++cycs;
+  }
+  EXPECT_GE(cars, cfg.cars_min);
+  EXPECT_LE(cars, cfg.cars_max);
+  EXPECT_GE(peds, cfg.pedestrians_min);
+  EXPECT_LE(peds, cfg.pedestrians_max);
+  EXPECT_GE(cycs, cfg.cyclists_min);
+  EXPECT_LE(cycs, cfg.cyclists_max);
+}
+
+TEST(SceneGen, ObjectsOutsideClearZone) {
+  Rng rng(8);
+  SceneConfig cfg;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Scene s = generate_scene(cfg, rng);
+    for (const auto& o : s.objects)
+      EXPECT_GE(o.box.center.range_xy(), cfg.min_range * 0.9);
+  }
+}
+
+TEST(SceneGen, ObjectsSitOnGround) {
+  Rng rng(9);
+  const Scene s = generate_scene(SceneConfig{}, rng);
+  for (const auto& o : s.objects)
+    EXPECT_NEAR(o.box.min().z, s.ground_z, 1e-9);
+}
+
+TEST(SceneGen, ArchetypeSizesDistinct) {
+  const Vec3 car = class_archetype_size(ObjectClass::kCar);
+  const Vec3 ped = class_archetype_size(ObjectClass::kPedestrian);
+  EXPECT_GT(car.x, 2.0 * ped.x);
+}
+
+TEST(SceneGen, StepMovesOnlyMovingObjects) {
+  Rng rng(10);
+  SceneConfig cfg;
+  cfg.moving_fraction = 1.0;
+  Scene s = generate_scene(cfg, rng);
+  const Vec3 before = s.objects[0].box.center;
+  s.step(1.0);
+  const Vec3 after = s.objects[0].box.center;
+  EXPECT_GT((after - before).norm(), 0.0);
+}
+
+TEST(LidarSim, EnergyLawIsQuartic) {
+  LidarSimulator lidar;
+  const auto& cfg = lidar.config();
+  const double e_half = lidar.pulse_energy_for_range(cfg.max_range / 2.0);
+  const double e_full = lidar.pulse_energy_for_range(cfg.max_range);
+  EXPECT_NEAR(e_full / e_half, 16.0, 1e-6);
+  EXPECT_NEAR(e_full, cfg.full_pulse_energy_j, 1e-12);
+}
+
+TEST(LidarSim, EnergyFloorApplies) {
+  LidarSimulator lidar;
+  EXPECT_DOUBLE_EQ(lidar.pulse_energy_for_range(0.01),
+                   lidar.config().min_pulse_energy_j);
+}
+
+TEST(LidarSim, ReachInvertsEnergy) {
+  LidarSimulator lidar;
+  // Exact above the energy floor; never less than requested below it.
+  for (double r : {30.0, 50.0, 60.0}) {
+    const double e = lidar.pulse_energy_for_range(r);
+    EXPECT_NEAR(lidar.reach_for_energy(e), r, 1e-9);
+  }
+  const double e_small = lidar.pulse_energy_for_range(5.0);
+  EXPECT_GE(lidar.reach_for_energy(e_small), 5.0);
+}
+
+TEST(LidarSim, FullScanFiresEveryBeam) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 36;
+  cfg.elevation_steps = 4;
+  LidarSimulator lidar(cfg);
+  Rng rng(11);
+  Scene scene;  // empty scene, ground only
+  const PointCloud pc = lidar.full_scan(scene, rng);
+  EXPECT_EQ(pc.pulses_fired, 36 * 4);
+  EXPECT_NEAR(pc.emitted_energy_j, 36 * 4 * cfg.full_pulse_energy_j, 1e-12);
+  EXPECT_DOUBLE_EQ(pc.coverage(cfg), 1.0);
+}
+
+TEST(LidarSim, DownwardBeamsHitGround) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 36;
+  cfg.elevation_steps = 4;
+  cfg.elevation_min_deg = -12;
+  cfg.elevation_max_deg = -4;  // all beams point down
+  LidarSimulator lidar(cfg);
+  Rng rng(12);
+  Scene scene;
+  const PointCloud pc = lidar.full_scan(scene, rng);
+  EXPECT_EQ(pc.hit_count(), static_cast<std::size_t>(pc.pulses_fired));
+  for (const auto& r : pc.returns) EXPECT_NEAR(r.point.z, 0.0, 0.3);
+}
+
+TEST(LidarSim, ObjectProducesElevatedReturns) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 360;
+  cfg.elevation_steps = 8;
+  LidarSimulator lidar(cfg);
+  Rng rng(13);
+  Scene scene;
+  SceneObject car;
+  car.cls = ObjectClass::kCar;
+  car.box = {{15.0, 0.0, 0.8}, {4.2, 1.8, 1.6}};
+  scene.objects.push_back(car);
+  const PointCloud pc = lidar.full_scan(scene, rng);
+  int on_car = 0;
+  for (const auto& r : pc.returns)
+    if (r.hit && car.box.contains(r.point)) ++on_car;
+  EXPECT_GT(on_car, 5);
+}
+
+TEST(LidarSim, SelectiveScanEnergyBelowFull) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 72;
+  cfg.elevation_steps = 4;
+  LidarSimulator lidar(cfg);
+  Rng rng(14);
+  Scene scene;
+  std::vector<BeamCommand> cmds;
+  for (int az = 0; az < cfg.azimuth_steps; az += 10)
+    for (int el = 0; el < cfg.elevation_steps; ++el)
+      cmds.push_back({az, el, 20.0});
+  const PointCloud pc = lidar.selective_scan(scene, cmds, rng);
+  EXPECT_EQ(pc.pulses_fired, static_cast<int>(cmds.size()));
+  const PointCloud full = lidar.full_scan(scene, rng);
+  EXPECT_LT(pc.emitted_energy_j, 0.05 * full.emitted_energy_j);
+}
+
+TEST(LidarSim, ShortReachPulseMissesFarTarget) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 360;
+  cfg.elevation_steps = 1;
+  cfg.elevation_min_deg = 0;
+  cfg.elevation_max_deg = 0.01;
+  cfg.range_noise = 0.0;
+  LidarSimulator lidar(cfg);
+  Rng rng(15);
+  Scene scene;
+  SceneObject wall;
+  wall.box = {{40.0, 0.0, 2.0}, {1.0, 20.0, 6.0}};
+  scene.objects.push_back(wall);
+  // Beam 0 points along +x (azimuth at bin center ~0.5°).
+  const PointCloud hit = lidar.selective_scan(scene, {{0, 0, 50.0}}, rng);
+  const PointCloud miss = lidar.selective_scan(scene, {{0, 0, 10.0}}, rng);
+  EXPECT_EQ(hit.hit_count(), 1u);
+  EXPECT_EQ(miss.hit_count(), 0u);
+}
+
+TEST(EventCam, NoChangeNoEvents) {
+  Image a(8, 8), b(8, 8);
+  for (auto& p : a.pixels) p = 0.5;
+  b = a;
+  EventCamera cam;
+  EXPECT_DOUBLE_EQ(cam.events_between(a, b).total_events(), 0.0);
+}
+
+TEST(EventCam, BrighteningGivesPositiveEvents) {
+  Image a(4, 4), b(4, 4);
+  for (auto& p : a.pixels) p = 0.2;
+  for (auto& p : b.pixels) p = 0.8;
+  EventCamera cam(0.15);
+  const EventFrame ev = cam.events_between(a, b);
+  double pos = 0, neg = 0;
+  for (double p : ev.pos) pos += p;
+  for (double n : ev.neg) neg += n;
+  EXPECT_GT(pos, 0.0);
+  EXPECT_DOUBLE_EQ(neg, 0.0);
+}
+
+TEST(EventCam, PolaritySymmetry) {
+  Image a(4, 4), b(4, 4);
+  for (auto& p : a.pixels) p = 0.8;
+  for (auto& p : b.pixels) p = 0.2;
+  EventCamera cam(0.15);
+  const EventFrame ev = cam.events_between(a, b);
+  double pos = 0, neg = 0;
+  for (double p : ev.pos) pos += p;
+  for (double n : ev.neg) neg += n;
+  EXPECT_DOUBLE_EQ(pos, 0.0);
+  EXPECT_GT(neg, 0.0);
+}
+
+TEST(EventCam, ThresholdControlsEventCount) {
+  Rng rng(16);
+  MovingScene scene(16, 16, 1, 1.0, 0.0, rng);
+  const Image f0 = scene.render(0.0), f1 = scene.render(1.0);
+  const double n_low = EventCamera(0.05).events_between(f0, f1).total_events();
+  const double n_high = EventCamera(0.5).events_between(f0, f1).total_events();
+  EXPECT_GT(n_low, n_high);
+}
+
+TEST(EventCam, StaticSceneSilent) {
+  Rng rng(17);
+  MovingScene scene(16, 16, 0, 0.0, 0.0, rng);  // nothing moves
+  const Image f0 = scene.render(0.0), f1 = scene.render(1.0);
+  EXPECT_DOUBLE_EQ(EventCamera().events_between(f0, f1).total_events(), 0.0);
+}
+
+TEST(EventCam, FlowMatchesPatchVelocityInside) {
+  Rng rng(18);
+  MovingScene scene(32, 32, 1, 0.0, 0.0, rng);
+  const FlowField f = scene.flow(0.0);
+  // Somewhere the flow is nonzero (inside the patch) and somewhere zero.
+  double max_mag = 0.0;
+  double min_mag = 1e9;
+  for (std::size_t i = 0; i < f.u.size(); ++i) {
+    const double m = std::hypot(f.u[i], f.v[i]);
+    max_mag = std::max(max_mag, m);
+    min_mag = std::min(min_mag, m);
+  }
+  EXPECT_GT(max_mag, 0.0);
+  EXPECT_DOUBLE_EQ(min_mag, 0.0);
+}
+
+TEST(EventCam, DatasetShapesAndEventPresence) {
+  Rng rng(19);
+  const auto ds = make_flow_dataset(6, 16, 16, rng);
+  ASSERT_EQ(ds.size(), 6u);
+  double events = 0.0;
+  for (const auto& s : ds) {
+    EXPECT_EQ(s.events.width, 16);
+    EXPECT_EQ(s.flow.u.size(), 256u);
+    events += s.events.total_events();
+  }
+  EXPECT_GT(events, 0.0);
+}
+
+TEST(EventCam, AeeZeroForPerfectPrediction) {
+  FlowField a(4, 4), b(4, 4);
+  for (std::size_t i = 0; i < a.u.size(); ++i) {
+    a.u[i] = b.u[i] = 1.5;
+    a.v[i] = b.v[i] = -0.5;
+  }
+  EXPECT_DOUBLE_EQ(average_endpoint_error(a, b), 0.0);
+}
+
+TEST(EventCam, AeeKnownValue) {
+  FlowField pred(2, 1), truth(2, 1);
+  pred.u = {3.0, 0.0};
+  pred.v = {4.0, 0.0};
+  truth.u = {0.0, 0.0};
+  truth.v = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(average_endpoint_error(pred, truth), 2.5);
+}
+
+TEST(EventCam, AeeMaskRestrictsToEventPixels) {
+  FlowField pred(2, 1), truth(2, 1);
+  pred.u = {3.0, 100.0};
+  pred.v = {4.0, 0.0};
+  EventFrame mask(2, 1);
+  mask.pos[0] = 1.0;  // only pixel 0 has events
+  EXPECT_DOUBLE_EQ(average_endpoint_error(pred, truth, &mask), 5.0);
+}
+
+class CorruptionSeverityTest
+    : public ::testing::TestWithParam<CorruptionType> {};
+
+TEST_P(CorruptionSeverityTest, SeverityZeroIsIdentity) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 36;
+  cfg.elevation_steps = 4;
+  LidarSimulator lidar(cfg);
+  Rng rng(20);
+  Scene scene;
+  const PointCloud pc = lidar.full_scan(scene, rng);
+  const PointCloud out = apply_corruption(pc, GetParam(), 0, cfg, rng);
+  EXPECT_EQ(out.returns.size(), pc.returns.size());
+  for (std::size_t i = 0; i < out.returns.size(); ++i)
+    EXPECT_DOUBLE_EQ(out.returns[i].range, pc.returns[i].range);
+}
+
+TEST_P(CorruptionSeverityTest, PerturbationGrowsWithSeverity) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 90;
+  cfg.elevation_steps = 8;
+  LidarSimulator lidar(cfg);
+  Rng rng(21);
+  Rng scene_rng(22);
+  const Scene scene = generate_scene(SceneConfig{}, scene_rng);
+  const PointCloud clean = lidar.full_scan(scene, rng);
+
+  auto distortion = [&](int severity, std::uint64_t seed) {
+    Rng crng(seed);
+    const PointCloud c =
+        apply_corruption(clean, GetParam(), severity, cfg, crng);
+    double d = 0.0;
+    for (std::size_t i = 0; i < c.returns.size(); ++i) {
+      const auto& a = clean.returns[i];
+      const auto& b = c.returns[i];
+      if (a.hit != b.hit)
+        d += 1.0;
+      else if (a.hit)
+        d += std::min(1.0, std::abs(a.range - b.range) +
+                               std::abs(static_cast<double>(a.azimuth_idx -
+                                                            b.azimuth_idx)));
+    }
+    return d;
+  };
+
+  // Average over seeds to avoid flakiness.
+  double mild = 0.0, severe = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    mild += distortion(1, 100 + s);
+    severe += distortion(5, 200 + s);
+  }
+  EXPECT_GT(severe, mild);
+  EXPECT_GT(severe, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorruptions, CorruptionSeverityTest,
+    ::testing::ValuesIn(all_corruptions()),
+    [](const ::testing::TestParamInfo<CorruptionType>& info) {
+      return corruption_name(info.param);
+    });
+
+TEST(Corruptions, FogPreferentiallyDropsFarReturns) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 360;
+  cfg.elevation_steps = 1;
+  cfg.elevation_min_deg = 0.0;
+  cfg.elevation_max_deg = 0.01;
+  cfg.range_noise = 0.0;
+  LidarSimulator lidar(cfg);
+  Rng rng(23);
+  Scene scene;
+  SceneObject near_wall, far_wall;
+  near_wall.box = {{8.0, 0.0, 2.0}, {0.5, 60.0, 8.0}};   // covers +x half
+  far_wall.box = {{-60.0, 0.0, 2.0}, {0.5, 60.0, 8.0}};  // covers -x half
+  scene.objects.push_back(near_wall);
+  scene.objects.push_back(far_wall);
+  const PointCloud clean = lidar.full_scan(scene, rng);
+
+  int near_total = 0, far_total = 0, near_kept = 0, far_kept = 0;
+  Rng crng(24);
+  const PointCloud foggy =
+      apply_corruption(clean, CorruptionType::kFog, 4, cfg, crng);
+  for (std::size_t i = 0; i < clean.returns.size(); ++i) {
+    if (!clean.returns[i].hit) continue;
+    const bool is_near = clean.returns[i].range < 20.0;
+    (is_near ? near_total : far_total)++;
+    if (foggy.returns[i].hit) (is_near ? near_kept : far_kept)++;
+  }
+  ASSERT_GT(near_total, 10);
+  ASSERT_GT(far_total, 10);
+  EXPECT_GT(static_cast<double>(near_kept) / near_total,
+            static_cast<double>(far_kept) / far_total);
+}
+
+TEST(Corruptions, BeamMissingKillsWholeRows) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 36;
+  cfg.elevation_steps = 6;
+  cfg.elevation_min_deg = -12;
+  cfg.elevation_max_deg = -4;
+  LidarSimulator lidar(cfg);
+  Rng rng(25);
+  Scene scene;
+  const PointCloud clean = lidar.full_scan(scene, rng);
+  Rng crng(26);
+  const PointCloud out =
+      apply_corruption(clean, CorruptionType::kBeamMissing, 3, cfg, crng);
+  // Each elevation row is either fully alive or fully dead.
+  for (int el = 0; el < cfg.elevation_steps; ++el) {
+    int alive = 0, dead = 0;
+    for (const auto& r : out.returns)
+      if (r.elevation_idx == el) (r.hit ? alive : dead)++;
+    EXPECT_TRUE(alive == 0 || dead == 0) << "row " << el;
+  }
+}
+
+TEST(Dataset, GaussianClassesBalancedAndSized) {
+  Rng rng(27);
+  const auto ds = make_gaussian_classes(100, 8, 10, 2.5, rng);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.feature_dim, 8);
+  std::vector<int> counts(10, 0);
+  for (int y : ds.labels) counts[static_cast<std::size_t>(y)]++;
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Dataset, SeparationControlsOverlap) {
+  // Nearest-centroid accuracy should rise with separation.
+  auto nc_accuracy = [](double sep, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto ds = make_gaussian_classes(400, 16, 4, sep, rng);
+    // Estimate centroids from the first half, test on the second half.
+    std::vector<std::vector<double>> cent(4, std::vector<double>(16, 0.0));
+    std::vector<int> n(4, 0);
+    for (std::size_t i = 0; i < 200; ++i) {
+      for (int d = 0; d < 16; ++d)
+        cent[static_cast<std::size_t>(ds.labels[i])][static_cast<std::size_t>(d)] +=
+            ds.features[i][static_cast<std::size_t>(d)];
+      n[static_cast<std::size_t>(ds.labels[i])]++;
+    }
+    for (int c = 0; c < 4; ++c)
+      for (int d = 0; d < 16; ++d)
+        cent[static_cast<std::size_t>(c)][static_cast<std::size_t>(d)] /=
+            std::max(1, n[static_cast<std::size_t>(c)]);
+    int correct = 0;
+    for (std::size_t i = 200; i < 400; ++i) {
+      int best = 0;
+      double best_d = 1e18;
+      for (int c = 0; c < 4; ++c) {
+        double dist = 0;
+        for (int d = 0; d < 16; ++d) {
+          const double diff =
+              ds.features[i][static_cast<std::size_t>(d)] -
+              cent[static_cast<std::size_t>(c)][static_cast<std::size_t>(d)];
+          dist += diff * diff;
+        }
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      if (best == ds.labels[i]) ++correct;
+    }
+    return correct / 200.0;
+  };
+  EXPECT_GT(nc_accuracy(4.0, 1), nc_accuracy(0.5, 1));
+  EXPECT_GT(nc_accuracy(4.0, 1), 0.9);
+}
+
+TEST(Dataset, GammaSamplerMeanMatchesShape) {
+  Rng rng(28);
+  for (double shape : {0.5, 1.0, 3.0}) {
+    RunningStat st;
+    for (int i = 0; i < 20000; ++i) st.add(sample_gamma(shape, rng));
+    EXPECT_NEAR(st.mean(), shape, 0.05 * std::max(1.0, shape));
+  }
+}
+
+TEST(Dataset, DirichletPartitionCoversAllSamplesOnce) {
+  Rng rng(29);
+  const auto ds = make_gaussian_classes(300, 4, 10, 2.0, rng);
+  const auto shards = dirichlet_partition(ds.labels, 8, 10, 0.3, rng);
+  ASSERT_EQ(shards.size(), 8u);
+  std::set<int> seen;
+  std::size_t total = 0;
+  for (const auto& s : shards) {
+    EXPECT_FALSE(s.empty());
+    total += s.size();
+    for (int i : s) seen.insert(i);
+  }
+  EXPECT_EQ(total, 300u);
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(Dataset, SmallAlphaIsMoreSkewedThanLarge) {
+  Rng rng(30);
+  const auto ds = make_gaussian_classes(1000, 4, 10, 2.0, rng);
+  auto skew = [&](double alpha) {
+    Rng prng(31);
+    const auto shards = dirichlet_partition(ds.labels, 5, 10, alpha, prng);
+    // Measure label imbalance: average max class share per client.
+    double total_skew = 0.0;
+    for (const auto& s : shards) {
+      std::vector<int> counts(10, 0);
+      for (int i : s) counts[static_cast<std::size_t>(ds.labels[static_cast<std::size_t>(i)])]++;
+      const int mx = *std::max_element(counts.begin(), counts.end());
+      total_skew += static_cast<double>(mx) / std::max<std::size_t>(1, s.size());
+    }
+    return total_skew / shards.size();
+  };
+  EXPECT_GT(skew(0.1), skew(100.0));
+}
+
+}  // namespace
+}  // namespace s2a::sim

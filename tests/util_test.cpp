@@ -1,0 +1,311 @@
+// Unit tests for the util substrate: RNG determinism and distribution
+// sanity, statistics, AUC, table formatting, geometry, and AP computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace s2a {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  RunningStat st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(9);
+  const auto s = rng.sample_without_replacement(20, 8);
+  ASSERT_EQ(s.size(), 8u);
+  std::vector<bool> seen(20, false);
+  for (int i : s) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, 20);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSetIsPermutation) {
+  Rng rng(13);
+  const auto s = rng.sample_without_replacement(5, 5);
+  std::vector<int> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SpawnedStreamsAreDecorrelated) {
+  Rng parent(1);
+  Rng c1 = parent.spawn();
+  Rng c2 = parent.spawn();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Stats, MeanVarianceKnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(variance(v), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Stats, AucPerfectSeparation) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 1.0);
+}
+
+TEST(Stats, AucInvertedSeparation) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.0);
+}
+
+TEST(Stats, AucTiesGiveHalfCredit) {
+  const std::vector<double> scores{0.5, 0.5};
+  const std::vector<int> labels{0, 1};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.5);
+}
+
+TEST(Stats, AucDegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(auc_roc({0.1, 0.9}, {1, 1}), 0.5);
+}
+
+TEST(Stats, AucHandComputedMixedCase) {
+  // pos scores {0.4, 0.9}, neg {0.3, 0.5}: pairs won = (0.4>0.3) +
+  // (0.9>0.3) + (0.9>0.5) = 3 of 4.
+  const std::vector<double> scores{0.3, 0.4, 0.5, 0.9};
+  const std::vector<int> labels{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.75);
+}
+
+TEST(Stats, RunningStatMatchesBatch) {
+  Rng rng(17);
+  std::vector<double> v;
+  RunningStat st;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    v.push_back(x);
+    st.add(x);
+  }
+  EXPECT_NEAR(st.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(st.variance(), variance(v), 1e-9);
+}
+
+TEST(Check, ThrowsOnFailureWithMessage) {
+  EXPECT_THROW(S2A_CHECK(false), CheckError);
+  try {
+    S2A_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL();
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Table, AlignsAndPrintsAllRows) {
+  Table t("Title");
+  t.set_header({"A", "BBBB"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("yyyy"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RowCellCountMismatchThrows) {
+  Table t;
+  t.set_header({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Geometry, Vec3BasicOps) {
+  const Vec3 a{1, 2, 2};
+  EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+  EXPECT_DOUBLE_EQ(a.range_xy(), std::sqrt(5.0));
+  const Vec3 n = a.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Vec3{}.normalized().norm(), 0.0);
+}
+
+TEST(Geometry, BoxContains) {
+  const Box3 b{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_TRUE(b.contains({0.9, -0.9, 0.0}));
+  EXPECT_FALSE(b.contains({1.1, 0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(b.volume(), 8.0);
+}
+
+TEST(Geometry, IouBevIdenticalBoxesIsOne) {
+  const Box3 b{{1, 2, 0}, {4, 2, 1.5}};
+  EXPECT_DOUBLE_EQ(iou_bev(b, b), 1.0);
+}
+
+TEST(Geometry, IouBevDisjointIsZero) {
+  const Box3 a{{0, 0, 0}, {2, 2, 2}};
+  const Box3 b{{10, 0, 0}, {2, 2, 2}};
+  EXPECT_DOUBLE_EQ(iou_bev(a, b), 0.0);
+}
+
+TEST(Geometry, IouBevHalfOverlap) {
+  // Two 2x2 squares offset by 1 in x: intersection 1*2=2, union 8-2=6.
+  const Box3 a{{0, 0, 0}, {2, 2, 2}};
+  const Box3 b{{1, 0, 0}, {2, 2, 2}};
+  EXPECT_NEAR(iou_bev(a, b), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Geometry, IouIgnoresHeightDifferences) {
+  const Box3 a{{0, 0, 0}, {2, 2, 1}};
+  const Box3 b{{0, 0, 100}, {2, 2, 50}};
+  EXPECT_DOUBLE_EQ(iou_bev(a, b), 1.0);
+}
+
+TEST(Geometry, RayBoxHitFromOutside) {
+  const Box3 b{{10, 0, 0}, {2, 2, 2}};
+  const double t = ray_box_intersect({0, 0, 0}, {1, 0, 0}, b);
+  EXPECT_NEAR(t, 9.0, 1e-12);
+}
+
+TEST(Geometry, RayBoxMiss) {
+  const Box3 b{{10, 0, 0}, {2, 2, 2}};
+  EXPECT_LT(ray_box_intersect({0, 0, 0}, {0, 1, 0}, b), 0.0);
+  EXPECT_LT(ray_box_intersect({0, 0, 0}, {-1, 0, 0}, b), 0.0);
+}
+
+TEST(Geometry, RayBoxFromInsideReturnsExit) {
+  const Box3 b{{0, 0, 0}, {4, 4, 4}};
+  const double t = ray_box_intersect({0, 0, 0}, {1, 0, 0}, b);
+  EXPECT_NEAR(t, 2.0, 1e-12);
+}
+
+TEST(Geometry, RayBoxAxisParallelInsideSlab) {
+  const Box3 b{{5, 0, 0}, {2, 2, 2}};
+  // Ray along +x at y=0.5, z=0.5 (inside slab bounds): hits.
+  EXPECT_GT(ray_box_intersect({0, 0.5, 0.5}, {1, 0, 0}, b), 0.0);
+  // Ray along +x at y=2 (outside slab): parallel miss.
+  EXPECT_LT(ray_box_intersect({0, 2.0, 0.0}, {1, 0, 0}, b), 0.0);
+}
+
+TEST(Geometry, AveragePrecisionPerfectDetector) {
+  // 3 detections, all matched, 3 ground truths.
+  std::vector<std::pair<double, bool>> d{{0.9, true}, {0.8, true}, {0.7, true}};
+  EXPECT_NEAR(average_precision(d, 3), 1.0, 1e-12);
+}
+
+TEST(Geometry, AveragePrecisionAllFalsePositives) {
+  std::vector<std::pair<double, bool>> d{{0.9, false}, {0.8, false}};
+  EXPECT_DOUBLE_EQ(average_precision(d, 3), 0.0);
+}
+
+TEST(Geometry, AveragePrecisionNoDetections) {
+  EXPECT_DOUBLE_EQ(average_precision({}, 3), 0.0);
+}
+
+TEST(Geometry, AveragePrecisionMissedRecallLowersAp) {
+  // Only 1 of 4 ground truths found: recall caps at 0.25.
+  std::vector<std::pair<double, bool>> d{{0.9, true}};
+  const double ap = average_precision(d, 4);
+  EXPECT_GT(ap, 0.0);
+  EXPECT_LT(ap, 0.3);
+}
+
+TEST(Geometry, AveragePrecisionOrderMatters) {
+  // High-scored false positive hurts more than low-scored one.
+  std::vector<std::pair<double, bool>> worse{{0.9, false}, {0.8, true}};
+  std::vector<std::pair<double, bool>> better{{0.9, true}, {0.8, false}};
+  EXPECT_GT(average_precision(better, 1), average_precision(worse, 1));
+}
+
+}  // namespace
+}  // namespace s2a
