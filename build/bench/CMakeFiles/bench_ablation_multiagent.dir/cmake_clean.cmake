@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiagent.dir/bench_ablation_multiagent.cpp.o"
+  "CMakeFiles/bench_ablation_multiagent.dir/bench_ablation_multiagent.cpp.o.d"
+  "bench_ablation_multiagent"
+  "bench_ablation_multiagent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiagent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spsa.dir/bench_ablation_spsa.cpp.o"
+  "CMakeFiles/bench_ablation_spsa.dir/bench_ablation_spsa.cpp.o.d"
+  "bench_ablation_spsa"
+  "bench_ablation_spsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

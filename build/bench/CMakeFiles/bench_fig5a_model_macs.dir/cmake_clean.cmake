@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_model_macs.dir/bench_fig5a_model_macs.cpp.o"
+  "CMakeFiles/bench_fig5a_model_macs.dir/bench_fig5a_model_macs.cpp.o.d"
+  "bench_fig5a_model_macs"
+  "bench_fig5a_model_macs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_model_macs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_optical_flow_aee.dir/bench_fig9_optical_flow_aee.cpp.o"
+  "CMakeFiles/bench_fig9_optical_flow_aee.dir/bench_fig9_optical_flow_aee.cpp.o.d"
+  "bench_fig9_optical_flow_aee"
+  "bench_fig9_optical_flow_aee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_optical_flow_aee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

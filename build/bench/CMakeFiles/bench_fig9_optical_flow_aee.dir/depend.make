@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_optical_flow_aee.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_detection_ap.dir/bench_table1_detection_ap.cpp.o"
+  "CMakeFiles/bench_table1_detection_ap.dir/bench_table1_detection_ap.cpp.o.d"
+  "bench_table1_detection_ap"
+  "bench_table1_detection_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_detection_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/anomaly_guard.cpp" "examples/CMakeFiles/anomaly_guard.dir/anomaly_guard.cpp.o" "gcc" "examples/CMakeFiles/anomaly_guard.dir/anomaly_guard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/s2a_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/lidar/CMakeFiles/s2a_lidar.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/s2a_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s2a_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s2a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_guard.dir/anomaly_guard.cpp.o"
+  "CMakeFiles/anomaly_guard.dir/anomaly_guard.cpp.o.d"
+  "anomaly_guard"
+  "anomaly_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cartpole_koopman_control.dir/cartpole_koopman_control.cpp.o"
+  "CMakeFiles/cartpole_koopman_control.dir/cartpole_koopman_control.cpp.o.d"
+  "cartpole_koopman_control"
+  "cartpole_koopman_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cartpole_koopman_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_swarm_coordination.dir/drone_swarm_coordination.cpp.o"
+  "CMakeFiles/drone_swarm_coordination.dir/drone_swarm_coordination.cpp.o.d"
+  "drone_swarm_coordination"
+  "drone_swarm_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_swarm_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_flow_neuromorphic.dir/event_flow_neuromorphic.cpp.o"
+  "CMakeFiles/event_flow_neuromorphic.dir/event_flow_neuromorphic.cpp.o.d"
+  "event_flow_neuromorphic"
+  "event_flow_neuromorphic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_flow_neuromorphic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidar_generative_sensing.dir/lidar_generative_sensing.cpp.o"
+  "CMakeFiles/lidar_generative_sensing.dir/lidar_generative_sensing.cpp.o.d"
+  "lidar_generative_sensing"
+  "lidar_generative_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidar_generative_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

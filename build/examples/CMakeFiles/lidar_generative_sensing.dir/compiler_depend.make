@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lidar_generative_sensing.
+# This may be replaced when dependencies are built.

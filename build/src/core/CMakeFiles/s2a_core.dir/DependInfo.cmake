@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/s2a_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/s2a_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/loop.cpp" "src/core/CMakeFiles/s2a_core.dir/loop.cpp.o" "gcc" "src/core/CMakeFiles/s2a_core.dir/loop.cpp.o.d"
+  "/root/repo/src/core/multi_agent.cpp" "src/core/CMakeFiles/s2a_core.dir/multi_agent.cpp.o" "gcc" "src/core/CMakeFiles/s2a_core.dir/multi_agent.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/s2a_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/s2a_core.dir/policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s2a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/s2a_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/s2a_core.dir/loop.cpp.o"
+  "CMakeFiles/s2a_core.dir/loop.cpp.o.d"
+  "CMakeFiles/s2a_core.dir/multi_agent.cpp.o"
+  "CMakeFiles/s2a_core.dir/multi_agent.cpp.o.d"
+  "CMakeFiles/s2a_core.dir/policies.cpp.o"
+  "CMakeFiles/s2a_core.dir/policies.cpp.o.d"
+  "libs2a_core.a"
+  "libs2a_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federated/fedavg.cpp" "src/federated/CMakeFiles/s2a_federated.dir/fedavg.cpp.o" "gcc" "src/federated/CMakeFiles/s2a_federated.dir/fedavg.cpp.o.d"
+  "/root/repo/src/federated/hardware.cpp" "src/federated/CMakeFiles/s2a_federated.dir/hardware.cpp.o" "gcc" "src/federated/CMakeFiles/s2a_federated.dir/hardware.cpp.o.d"
+  "/root/repo/src/federated/speculative.cpp" "src/federated/CMakeFiles/s2a_federated.dir/speculative.cpp.o" "gcc" "src/federated/CMakeFiles/s2a_federated.dir/speculative.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/s2a_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s2a_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s2a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_federated.dir/fedavg.cpp.o"
+  "CMakeFiles/s2a_federated.dir/fedavg.cpp.o.d"
+  "CMakeFiles/s2a_federated.dir/hardware.cpp.o"
+  "CMakeFiles/s2a_federated.dir/hardware.cpp.o.d"
+  "CMakeFiles/s2a_federated.dir/speculative.cpp.o"
+  "CMakeFiles/s2a_federated.dir/speculative.cpp.o.d"
+  "libs2a_federated.a"
+  "libs2a_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/koopman/agent.cpp" "src/koopman/CMakeFiles/s2a_koopman.dir/agent.cpp.o" "gcc" "src/koopman/CMakeFiles/s2a_koopman.dir/agent.cpp.o.d"
+  "/root/repo/src/koopman/lqr.cpp" "src/koopman/CMakeFiles/s2a_koopman.dir/lqr.cpp.o" "gcc" "src/koopman/CMakeFiles/s2a_koopman.dir/lqr.cpp.o.d"
+  "/root/repo/src/koopman/models.cpp" "src/koopman/CMakeFiles/s2a_koopman.dir/models.cpp.o" "gcc" "src/koopman/CMakeFiles/s2a_koopman.dir/models.cpp.o.d"
+  "/root/repo/src/koopman/spectral.cpp" "src/koopman/CMakeFiles/s2a_koopman.dir/spectral.cpp.o" "gcc" "src/koopman/CMakeFiles/s2a_koopman.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/s2a_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s2a_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s2a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

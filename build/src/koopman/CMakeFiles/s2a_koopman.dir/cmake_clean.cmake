@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_koopman.dir/agent.cpp.o"
+  "CMakeFiles/s2a_koopman.dir/agent.cpp.o.d"
+  "CMakeFiles/s2a_koopman.dir/lqr.cpp.o"
+  "CMakeFiles/s2a_koopman.dir/lqr.cpp.o.d"
+  "CMakeFiles/s2a_koopman.dir/models.cpp.o"
+  "CMakeFiles/s2a_koopman.dir/models.cpp.o.d"
+  "CMakeFiles/s2a_koopman.dir/spectral.cpp.o"
+  "CMakeFiles/s2a_koopman.dir/spectral.cpp.o.d"
+  "libs2a_koopman.a"
+  "libs2a_koopman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_koopman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

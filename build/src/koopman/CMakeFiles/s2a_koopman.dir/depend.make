@@ -1,0 +1,2 @@
+# Empty dependencies file for s2a_koopman.
+# This may be replaced when dependencies are built.

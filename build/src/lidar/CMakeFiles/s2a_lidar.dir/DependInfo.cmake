@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lidar/adaptive_masking.cpp" "src/lidar/CMakeFiles/s2a_lidar.dir/adaptive_masking.cpp.o" "gcc" "src/lidar/CMakeFiles/s2a_lidar.dir/adaptive_masking.cpp.o.d"
+  "/root/repo/src/lidar/autoencoder.cpp" "src/lidar/CMakeFiles/s2a_lidar.dir/autoencoder.cpp.o" "gcc" "src/lidar/CMakeFiles/s2a_lidar.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/lidar/detector.cpp" "src/lidar/CMakeFiles/s2a_lidar.dir/detector.cpp.o" "gcc" "src/lidar/CMakeFiles/s2a_lidar.dir/detector.cpp.o.d"
+  "/root/repo/src/lidar/energy.cpp" "src/lidar/CMakeFiles/s2a_lidar.dir/energy.cpp.o" "gcc" "src/lidar/CMakeFiles/s2a_lidar.dir/energy.cpp.o.d"
+  "/root/repo/src/lidar/masking.cpp" "src/lidar/CMakeFiles/s2a_lidar.dir/masking.cpp.o" "gcc" "src/lidar/CMakeFiles/s2a_lidar.dir/masking.cpp.o.d"
+  "/root/repo/src/lidar/pipeline.cpp" "src/lidar/CMakeFiles/s2a_lidar.dir/pipeline.cpp.o" "gcc" "src/lidar/CMakeFiles/s2a_lidar.dir/pipeline.cpp.o.d"
+  "/root/repo/src/lidar/voxel_grid.cpp" "src/lidar/CMakeFiles/s2a_lidar.dir/voxel_grid.cpp.o" "gcc" "src/lidar/CMakeFiles/s2a_lidar.dir/voxel_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/s2a_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s2a_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s2a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_lidar.dir/adaptive_masking.cpp.o"
+  "CMakeFiles/s2a_lidar.dir/adaptive_masking.cpp.o.d"
+  "CMakeFiles/s2a_lidar.dir/autoencoder.cpp.o"
+  "CMakeFiles/s2a_lidar.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/s2a_lidar.dir/detector.cpp.o"
+  "CMakeFiles/s2a_lidar.dir/detector.cpp.o.d"
+  "CMakeFiles/s2a_lidar.dir/energy.cpp.o"
+  "CMakeFiles/s2a_lidar.dir/energy.cpp.o.d"
+  "CMakeFiles/s2a_lidar.dir/masking.cpp.o"
+  "CMakeFiles/s2a_lidar.dir/masking.cpp.o.d"
+  "CMakeFiles/s2a_lidar.dir/pipeline.cpp.o"
+  "CMakeFiles/s2a_lidar.dir/pipeline.cpp.o.d"
+  "CMakeFiles/s2a_lidar.dir/voxel_grid.cpp.o"
+  "CMakeFiles/s2a_lidar.dir/voxel_grid.cpp.o.d"
+  "libs2a_lidar.a"
+  "libs2a_lidar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_lidar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

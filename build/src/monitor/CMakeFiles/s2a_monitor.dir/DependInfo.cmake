@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/fusion.cpp" "src/monitor/CMakeFiles/s2a_monitor.dir/fusion.cpp.o" "gcc" "src/monitor/CMakeFiles/s2a_monitor.dir/fusion.cpp.o.d"
+  "/root/repo/src/monitor/likelihood_regret.cpp" "src/monitor/CMakeFiles/s2a_monitor.dir/likelihood_regret.cpp.o" "gcc" "src/monitor/CMakeFiles/s2a_monitor.dir/likelihood_regret.cpp.o.d"
+  "/root/repo/src/monitor/spsa.cpp" "src/monitor/CMakeFiles/s2a_monitor.dir/spsa.cpp.o" "gcc" "src/monitor/CMakeFiles/s2a_monitor.dir/spsa.cpp.o.d"
+  "/root/repo/src/monitor/starnet.cpp" "src/monitor/CMakeFiles/s2a_monitor.dir/starnet.cpp.o" "gcc" "src/monitor/CMakeFiles/s2a_monitor.dir/starnet.cpp.o.d"
+  "/root/repo/src/monitor/temporal.cpp" "src/monitor/CMakeFiles/s2a_monitor.dir/temporal.cpp.o" "gcc" "src/monitor/CMakeFiles/s2a_monitor.dir/temporal.cpp.o.d"
+  "/root/repo/src/monitor/vae.cpp" "src/monitor/CMakeFiles/s2a_monitor.dir/vae.cpp.o" "gcc" "src/monitor/CMakeFiles/s2a_monitor.dir/vae.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/s2a_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s2a_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lidar/CMakeFiles/s2a_lidar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s2a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_monitor.dir/fusion.cpp.o"
+  "CMakeFiles/s2a_monitor.dir/fusion.cpp.o.d"
+  "CMakeFiles/s2a_monitor.dir/likelihood_regret.cpp.o"
+  "CMakeFiles/s2a_monitor.dir/likelihood_regret.cpp.o.d"
+  "CMakeFiles/s2a_monitor.dir/spsa.cpp.o"
+  "CMakeFiles/s2a_monitor.dir/spsa.cpp.o.d"
+  "CMakeFiles/s2a_monitor.dir/starnet.cpp.o"
+  "CMakeFiles/s2a_monitor.dir/starnet.cpp.o.d"
+  "CMakeFiles/s2a_monitor.dir/temporal.cpp.o"
+  "CMakeFiles/s2a_monitor.dir/temporal.cpp.o.d"
+  "CMakeFiles/s2a_monitor.dir/vae.cpp.o"
+  "CMakeFiles/s2a_monitor.dir/vae.cpp.o.d"
+  "libs2a_monitor.a"
+  "libs2a_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

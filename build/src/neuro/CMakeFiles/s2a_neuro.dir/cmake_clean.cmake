@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_neuro.dir/dotie.cpp.o"
+  "CMakeFiles/s2a_neuro.dir/dotie.cpp.o.d"
+  "CMakeFiles/s2a_neuro.dir/flow_nets.cpp.o"
+  "CMakeFiles/s2a_neuro.dir/flow_nets.cpp.o.d"
+  "CMakeFiles/s2a_neuro.dir/spiking.cpp.o"
+  "CMakeFiles/s2a_neuro.dir/spiking.cpp.o.d"
+  "libs2a_neuro.a"
+  "libs2a_neuro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_neuro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/s2a_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/s2a_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/s2a_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/s2a_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/s2a_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/s2a_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/s2a_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/s2a_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/s2a_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/s2a_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/s2a_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s2a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_nn.dir/activations.cpp.o"
+  "CMakeFiles/s2a_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/attention.cpp.o"
+  "CMakeFiles/s2a_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/s2a_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/dense.cpp.o"
+  "CMakeFiles/s2a_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/gru.cpp.o"
+  "CMakeFiles/s2a_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/loss.cpp.o"
+  "CMakeFiles/s2a_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/s2a_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/sequential.cpp.o"
+  "CMakeFiles/s2a_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/serialize.cpp.o"
+  "CMakeFiles/s2a_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/s2a_nn.dir/tensor.cpp.o"
+  "CMakeFiles/s2a_nn.dir/tensor.cpp.o.d"
+  "libs2a_nn.a"
+  "libs2a_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cartpole.cpp" "src/sim/CMakeFiles/s2a_sim.dir/cartpole.cpp.o" "gcc" "src/sim/CMakeFiles/s2a_sim.dir/cartpole.cpp.o.d"
+  "/root/repo/src/sim/corruptions.cpp" "src/sim/CMakeFiles/s2a_sim.dir/corruptions.cpp.o" "gcc" "src/sim/CMakeFiles/s2a_sim.dir/corruptions.cpp.o.d"
+  "/root/repo/src/sim/dataset.cpp" "src/sim/CMakeFiles/s2a_sim.dir/dataset.cpp.o" "gcc" "src/sim/CMakeFiles/s2a_sim.dir/dataset.cpp.o.d"
+  "/root/repo/src/sim/event_camera.cpp" "src/sim/CMakeFiles/s2a_sim.dir/event_camera.cpp.o" "gcc" "src/sim/CMakeFiles/s2a_sim.dir/event_camera.cpp.o.d"
+  "/root/repo/src/sim/lidar_sim.cpp" "src/sim/CMakeFiles/s2a_sim.dir/lidar_sim.cpp.o" "gcc" "src/sim/CMakeFiles/s2a_sim.dir/lidar_sim.cpp.o.d"
+  "/root/repo/src/sim/scene.cpp" "src/sim/CMakeFiles/s2a_sim.dir/scene.cpp.o" "gcc" "src/sim/CMakeFiles/s2a_sim.dir/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s2a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

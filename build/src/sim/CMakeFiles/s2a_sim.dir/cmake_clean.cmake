@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_sim.dir/cartpole.cpp.o"
+  "CMakeFiles/s2a_sim.dir/cartpole.cpp.o.d"
+  "CMakeFiles/s2a_sim.dir/corruptions.cpp.o"
+  "CMakeFiles/s2a_sim.dir/corruptions.cpp.o.d"
+  "CMakeFiles/s2a_sim.dir/dataset.cpp.o"
+  "CMakeFiles/s2a_sim.dir/dataset.cpp.o.d"
+  "CMakeFiles/s2a_sim.dir/event_camera.cpp.o"
+  "CMakeFiles/s2a_sim.dir/event_camera.cpp.o.d"
+  "CMakeFiles/s2a_sim.dir/lidar_sim.cpp.o"
+  "CMakeFiles/s2a_sim.dir/lidar_sim.cpp.o.d"
+  "CMakeFiles/s2a_sim.dir/scene.cpp.o"
+  "CMakeFiles/s2a_sim.dir/scene.cpp.o.d"
+  "libs2a_sim.a"
+  "libs2a_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2a_util.dir/geometry.cpp.o"
+  "CMakeFiles/s2a_util.dir/geometry.cpp.o.d"
+  "CMakeFiles/s2a_util.dir/rng.cpp.o"
+  "CMakeFiles/s2a_util.dir/rng.cpp.o.d"
+  "CMakeFiles/s2a_util.dir/stats.cpp.o"
+  "CMakeFiles/s2a_util.dir/stats.cpp.o.d"
+  "CMakeFiles/s2a_util.dir/table.cpp.o"
+  "CMakeFiles/s2a_util.dir/table.cpp.o.d"
+  "libs2a_util.a"
+  "libs2a_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2a_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/koopman_test.dir/koopman_test.cpp.o"
+  "CMakeFiles/koopman_test.dir/koopman_test.cpp.o.d"
+  "koopman_test"
+  "koopman_test.pdb"
+  "koopman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/koopman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

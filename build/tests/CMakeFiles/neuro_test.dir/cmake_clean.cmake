@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_test.dir/neuro_test.cpp.o"
+  "CMakeFiles/neuro_test.dir/neuro_test.cpp.o.d"
+  "neuro_test"
+  "neuro_test.pdb"
+  "neuro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
