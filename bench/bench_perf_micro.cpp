@@ -2,12 +2,21 @@
 // convolutional forward passes, LIF stepping, LiDAR ray casting, and the
 // LQR solve. These bound the per-tick budget of a real-time
 // sensing-to-action loop on this substrate.
+//
+// The BM_Obs* series measures the observability layer itself — the cost
+// of a TraceScope / histogram record when enabled, and the residual cost
+// of instrumentation when disabled (the <2% overhead budget quoted in
+// docs/OBSERVABILITY.md). Run with S2A_TRACE=<path> to also write a
+// Chrome trace of the instrumented benchmark bodies.
 #include <benchmark/benchmark.h>
 
+#include "core/loop.hpp"
+#include "core/policies.hpp"
 #include "lidar/voxel_grid.hpp"
 #include "neuro/spiking.hpp"
 #include "nn/dense.hpp"
 #include "nn/sequential.hpp"
+#include "obs/obs.hpp"
 #include "sim/lidar_sim.hpp"
 #include "sim/scene.hpp"
 
@@ -80,6 +89,112 @@ void BM_LifStep(benchmark::State& state) {
 }
 BENCHMARK(BM_LifStep);
 
+// ---- Observability layer (src/obs) ----
+//
+// Each BM_Obs* benchmark saves and restores the global enable flag so
+// an S2A_TRACE run of the *other* benchmarks is unaffected.
+
+class ObsEnabledGuard {
+ public:
+  explicit ObsEnabledGuard(bool on) : prev_(obs::enabled()) {
+    obs::set_enabled(on);
+  }
+  ~ObsEnabledGuard() { obs::set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// The residual cost of a compiled-in span when obs is off: one relaxed
+// load and a branch. This is what every instrumented hot path pays.
+void BM_ObsDisabledTraceScope(benchmark::State& state) {
+  ObsEnabledGuard guard(false);
+  for (auto _ : state) {
+    S2A_TRACE_SCOPE("bench.noop");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsDisabledTraceScope);
+
+void BM_ObsEnabledTraceScope(benchmark::State& state) {
+  ObsEnabledGuard guard(true);
+  for (auto _ : state) {
+    S2A_TRACE_SCOPE("bench.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsEnabledTraceScope);
+
+void BM_ObsDisabledHistogram(benchmark::State& state) {
+  ObsEnabledGuard guard(false);
+  double v = 1e-6;
+  for (auto _ : state) {
+    S2A_HISTOGRAM_RECORD("bench.noop_hist", v);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsDisabledHistogram);
+
+void BM_ObsEnabledHistogram(benchmark::State& state) {
+  ObsEnabledGuard guard(true);
+  double v = 1e-6;
+  for (auto _ : state) {
+    S2A_HISTOGRAM_RECORD("bench.hist", v);
+    v *= 1.0000001;  // walk the buckets a little
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsEnabledHistogram);
+
+// A full instrumented loop tick with trivial components: the worst
+// realistic case for relative span overhead (5 spans + 3 counters around
+// almost no work). Real ticks do orders of magnitude more per span.
+struct NullSensor : core::Sensor {
+  core::Observation sense(double now, Rng&) override {
+    core::Observation o;
+    o.data = {now};
+    return o;
+  }
+};
+struct NullProcessor : core::Processor {
+  std::vector<double> process(const core::Observation& obs, Rng&) override {
+    return obs.data;
+  }
+};
+struct NullActuator : core::Actuator {
+  void actuate(const core::Action&, Rng&) override {}
+};
+
+void loop_tick_bench(benchmark::State& state, bool obs_on) {
+  ObsEnabledGuard guard(obs_on);
+  NullSensor sensor;
+  NullProcessor processor;
+  NullActuator actuator;
+  core::PeriodicPolicy policy(1);
+  core::SensingActionLoop loop(sensor, processor, actuator, policy);
+  Rng rng(6);
+  for (auto _ : state) loop.tick(rng);
+}
+void BM_LoopTickObsOff(benchmark::State& state) {
+  loop_tick_bench(state, false);
+}
+void BM_LoopTickObsOn(benchmark::State& state) {
+  loop_tick_bench(state, true);
+}
+BENCHMARK(BM_LoopTickObsOff);
+BENCHMARK(BM_LoopTickObsOn);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // S2A_TRACE=<path> traces the instrumented benchmark bodies (voxelize,
+  // loop ticks, ...) and writes a Chrome trace on exit.
+  s2a::obs::init_from_env();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (s2a::obs::dump_trace())
+    printf("Wrote Chrome trace to %s\n", s2a::obs::trace_path().c_str());
+  return 0;
+}

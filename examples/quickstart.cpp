@@ -6,10 +6,15 @@
 // the motivating example of the paper's introduction.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// With observability on, the run also writes a Chrome trace you can open
+// at https://ui.perfetto.dev (see docs/OBSERVABILITY.md):
+//   S2A_TRACE=quickstart_trace.json ./build/examples/quickstart
 #include <iostream>
 
 #include "core/loop.hpp"
 #include "core/policies.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 using namespace s2a;
@@ -51,6 +56,7 @@ class Purifier : public Actuator {
 
 int main() {
   std::cout << "s2a quickstart: adaptive sensing-to-action loop\n\n";
+  const bool obs_on = obs::init_from_env();
 
   PollutionSensor sensor;
   PurifierController controller;
@@ -84,5 +90,17 @@ int main() {
             << " mJ on sensing; the adaptive loop spent "
             << Table::num(m.sensing_energy_j * 1e3, 0)
             << " mJ while still reacting to the surge.\n";
+
+  if (obs_on) {
+    std::cout << "\n";
+    obs::TableExporter().export_metrics(obs::registry().snapshot(),
+                                        std::cout);
+    if (obs::dump_trace())
+      std::cout << "\nWrote Chrome trace to " << obs::trace_path()
+                << " — open it at https://ui.perfetto.dev\n";
+    else if (!obs::trace_path().empty())
+      std::cerr << "warning: could not write Chrome trace to "
+                << obs::trace_path() << "\n";
+  }
   return 0;
 }

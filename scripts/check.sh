@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Repo health check: tier-1 build + tests, a -Werror configure, and an
+# ASan/UBSan build of the observability tests. Run from anywhere:
+#
+#   ./scripts/check.sh            # everything
+#   ./scripts/check.sh tier1      # just the tier-1 verify
+#   ./scripts/check.sh werror     # just the -Werror build
+#   ./scripts/check.sh asan       # just the sanitizer build + obs_test
+#
+# Each stage uses its own build tree (build/, build-werror/, build-asan/)
+# so they don't invalidate each other's caches.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+STAGE="${1:-all}"
+
+run_tier1() {
+  echo "==> tier-1: build + ctest (build/)"
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+run_werror() {
+  echo "==> -Wall -Wextra -Werror build (build-werror/)"
+  cmake -B build-werror -S . -DCMAKE_CXX_FLAGS="-Werror"
+  cmake --build build-werror -j "$JOBS"
+}
+
+run_asan() {
+  echo "==> ASan/UBSan build of the obs layer (build-asan/)"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan -j "$JOBS" --target obs_test
+  ./build-asan/tests/obs_test
+}
+
+case "$STAGE" in
+  tier1) run_tier1 ;;
+  werror) run_werror ;;
+  asan) run_asan ;;
+  all)
+    run_tier1
+    run_werror
+    run_asan
+    echo "==> all checks passed"
+    ;;
+  *)
+    echo "usage: $0 [tier1|werror|asan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,5 +1,6 @@
 #include "core/loop.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace s2a::core {
@@ -18,35 +19,55 @@ SensingActionLoop::SensingActionLoop(Sensor& sensor, Processor& processor,
 }
 
 void SensingActionLoop::tick(Rng& rng) {
+  S2A_TRACE_SCOPE_CAT("loop.tick", "core");
   ++metrics_.ticks;
 
   const Observation* current = has_observation_ ? &last_obs_ : nullptr;
   if (policy_.should_sense(now_, current, rng)) {
-    Observation obs = sensor_.sense(now_, rng);
+    Observation obs;
+    {
+      S2A_TRACE_SCOPE_CAT("loop.sense", "core");
+      obs = sensor_.sense(now_, rng);
+    }
     ++metrics_.senses;
+    S2A_COUNTER_ADD("loop.senses", 1);
     metrics_.sensing_energy_j += obs.energy_j;
     // Acquisition latency: the data describes the world as of now, but it
     // becomes available `sensing_latency` later; model by backdating.
     obs.timestamp = now_ - cfg_.sensing_latency;
 
-    if (monitor_ == nullptr || monitor_->trusted(obs, rng)) {
+    bool trusted = true;
+    if (monitor_ != nullptr) {
+      S2A_TRACE_SCOPE_CAT("loop.trust_check", "core");
+      trusted = monitor_->trusted(obs, rng);
+    }
+    if (trusted) {
       last_obs_ = std::move(obs);
       has_observation_ = true;
     } else {
       ++metrics_.vetoed;
+      S2A_COUNTER_ADD("loop.vetoed", 1);
     }
   }
 
   if (has_observation_) {
     Action action;
-    action.data = processor_.process(last_obs_, rng);
+    {
+      S2A_TRACE_SCOPE_CAT("loop.process", "core");
+      action.data = processor_.process(last_obs_, rng);
+    }
     metrics_.processing_energy_j += processor_.energy_per_call_j();
     action.based_on_timestamp = last_obs_.timestamp;
 
     const double act_time = now_ + cfg_.processing_latency;
     metrics_.total_staleness_s += act_time - last_obs_.timestamp;
+    S2A_HISTOGRAM_RECORD("loop.staleness_s", act_time - last_obs_.timestamp);
     ++metrics_.actions;
-    actuator_.actuate(action, rng);
+    S2A_COUNTER_ADD("loop.actions", 1);
+    {
+      S2A_TRACE_SCOPE_CAT("loop.actuate", "core");
+      actuator_.actuate(action, rng);
+    }
   }
 
   now_ += cfg_.dt;

@@ -13,6 +13,10 @@
 // A sensing policy decides per tick whether to sense (Sec. II's
 // rate/resolution adaptation), and an optional trust monitor can veto
 // acting on an untrusted observation (Sec. V).
+//
+// tick() is instrumented with s2a::obs spans (loop.tick with nested
+// loop.sense / loop.trust_check / loop.process / loop.actuate) and
+// counters; see docs/OBSERVABILITY.md. Inert unless obs is enabled.
 #pragma once
 
 #include <functional>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace s2a::federated {
@@ -235,11 +236,14 @@ FlResult run_federated(FlStrategy strategy,
 
   double total_area = 0.0;
   for (int round = 0; round < cfg.rounds; ++round) {
+    S2A_TRACE_SCOPE_CAT("fed.round", "federated");
+    S2A_COUNTER_ADD("fed.rounds", 1);
     std::vector<MlpParams> locals;
     std::vector<std::vector<bool>> masks;
     double round_latency = 0.0;
 
     for (int c = 0; c < clients; ++c) {
+      S2A_TRACE_SCOPE_CAT("fed.client_update", "federated");
       const auto& hw = fleet[static_cast<std::size_t>(c)];
       MlpParams local = global;
 
@@ -279,58 +283,65 @@ FlResult run_federated(FlStrategy strategy,
       masks.push_back(std::move(active));
     }
     res.total_latency_s += round_latency;
+    S2A_HISTOGRAM_RECORD("fed.round_latency_s", round_latency);
 
-    // Mask-aware weighted aggregation.
-    MlpParams next = global;
-    next.w1.fill(0.0);
-    next.b1.fill(0.0);
-    next.w2.fill(0.0);
-    next.b2.fill(0.0);
-    std::vector<double> unit_weight(static_cast<std::size_t>(cfg.hidden), 0.0);
-    double total_weight = 0.0;
-    for (int c = 0; c < clients; ++c) {
-      const double wgt = static_cast<double>(shards[static_cast<std::size_t>(c)].size());
-      total_weight += wgt;
+    {
+      // Mask-aware weighted aggregation.
+      S2A_TRACE_SCOPE_CAT("fed.aggregate", "federated");
+      MlpParams next = global;
+      next.w1.fill(0.0);
+      next.b1.fill(0.0);
+      next.w2.fill(0.0);
+      next.b2.fill(0.0);
+      std::vector<double> unit_weight(static_cast<std::size_t>(cfg.hidden), 0.0);
+      double total_weight = 0.0;
+      for (int c = 0; c < clients; ++c) {
+        const double wgt = static_cast<double>(shards[static_cast<std::size_t>(c)].size());
+        total_weight += wgt;
+        for (int j = 0; j < cfg.hidden; ++j) {
+          if (!masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) continue;
+          unit_weight[static_cast<std::size_t>(j)] += wgt;
+          const auto& l = locals[static_cast<std::size_t>(c)];
+          for (int i = 0; i < global.in; ++i)
+            next.w1[static_cast<std::size_t>(j) * global.in + i] +=
+                wgt * l.w1[static_cast<std::size_t>(j) * global.in + i];
+          next.b1[static_cast<std::size_t>(j)] += wgt * l.b1[static_cast<std::size_t>(j)];
+          for (int k = 0; k < global.classes; ++k)
+            next.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
+                wgt * l.w2[static_cast<std::size_t>(k) * global.hidden + j];
+        }
+        for (int k = 0; k < global.classes; ++k)
+          next.b2[static_cast<std::size_t>(k)] +=
+              wgt * locals[static_cast<std::size_t>(c)].b2[static_cast<std::size_t>(k)];
+      }
       for (int j = 0; j < cfg.hidden; ++j) {
-        if (!masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) continue;
-        unit_weight[static_cast<std::size_t>(j)] += wgt;
-        const auto& l = locals[static_cast<std::size_t>(c)];
+        const double uw = unit_weight[static_cast<std::size_t>(j)];
+        if (uw == 0.0) {
+          // No client trained this unit this round: keep the global value.
+          for (int i = 0; i < global.in; ++i)
+            next.w1[static_cast<std::size_t>(j) * global.in + i] =
+                global.w1[static_cast<std::size_t>(j) * global.in + i];
+          next.b1[static_cast<std::size_t>(j)] = global.b1[static_cast<std::size_t>(j)];
+          for (int k = 0; k < global.classes; ++k)
+            next.w2[static_cast<std::size_t>(k) * global.hidden + j] =
+                global.w2[static_cast<std::size_t>(k) * global.hidden + j];
+          continue;
+        }
         for (int i = 0; i < global.in; ++i)
-          next.w1[static_cast<std::size_t>(j) * global.in + i] +=
-              wgt * l.w1[static_cast<std::size_t>(j) * global.in + i];
-        next.b1[static_cast<std::size_t>(j)] += wgt * l.b1[static_cast<std::size_t>(j)];
+          next.w1[static_cast<std::size_t>(j) * global.in + i] /= uw;
+        next.b1[static_cast<std::size_t>(j)] /= uw;
         for (int k = 0; k < global.classes; ++k)
-          next.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
-              wgt * l.w2[static_cast<std::size_t>(k) * global.hidden + j];
+          next.w2[static_cast<std::size_t>(k) * global.hidden + j] /= uw;
       }
       for (int k = 0; k < global.classes; ++k)
-        next.b2[static_cast<std::size_t>(k)] +=
-            wgt * locals[static_cast<std::size_t>(c)].b2[static_cast<std::size_t>(k)];
+        next.b2[static_cast<std::size_t>(k)] /= total_weight;
+      global = std::move(next);
     }
-    for (int j = 0; j < cfg.hidden; ++j) {
-      const double uw = unit_weight[static_cast<std::size_t>(j)];
-      if (uw == 0.0) {
-        // No client trained this unit this round: keep the global value.
-        for (int i = 0; i < global.in; ++i)
-          next.w1[static_cast<std::size_t>(j) * global.in + i] =
-              global.w1[static_cast<std::size_t>(j) * global.in + i];
-        next.b1[static_cast<std::size_t>(j)] = global.b1[static_cast<std::size_t>(j)];
-        for (int k = 0; k < global.classes; ++k)
-          next.w2[static_cast<std::size_t>(k) * global.hidden + j] =
-              global.w2[static_cast<std::size_t>(k) * global.hidden + j];
-        continue;
-      }
-      for (int i = 0; i < global.in; ++i)
-        next.w1[static_cast<std::size_t>(j) * global.in + i] /= uw;
-      next.b1[static_cast<std::size_t>(j)] /= uw;
-      for (int k = 0; k < global.classes; ++k)
-        next.w2[static_cast<std::size_t>(k) * global.hidden + j] /= uw;
-    }
-    for (int k = 0; k < global.classes; ++k)
-      next.b2[static_cast<std::size_t>(k)] /= total_weight;
-    global = std::move(next);
 
-    res.accuracy_per_round.push_back(evaluate_accuracy(global, test));
+    {
+      S2A_TRACE_SCOPE_CAT("fed.evaluate", "federated");
+      res.accuracy_per_round.push_back(evaluate_accuracy(global, test));
+    }
   }
 
   res.final_accuracy = res.accuracy_per_round.back();

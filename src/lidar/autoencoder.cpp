@@ -4,6 +4,7 @@
 
 #include "nn/activations.hpp"
 #include "nn/loss.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace s2a::lidar {
@@ -32,6 +33,7 @@ nn::Tensor OccupancyAutoencoder::decode(const nn::Tensor& latent) {
 }
 
 nn::Tensor OccupancyAutoencoder::reconstruct(const nn::Tensor& masked_grid) {
+  S2A_TRACE_SCOPE_CAT("lidar.ae_reconstruct", "lidar");
   nn::Tensor logits = decode(encode(masked_grid));
   for (std::size_t i = 0; i < logits.numel(); ++i)
     logits[i] = 1.0 / (1.0 + std::exp(-logits[i]));
@@ -64,6 +66,7 @@ double OccupancyAutoencoder::train_step(const nn::Tensor& masked,
                                         const nn::Tensor& target,
                                         nn::Optimizer& opt,
                                         PretrainObjective objective) {
+  S2A_TRACE_SCOPE_CAT("lidar.ae_train_step", "lidar");
   opt.zero_grad();
   nn::Tensor logits = decode(encode(masked));
   auto loss = nn::bce_with_logits(logits, target);

@@ -7,6 +7,7 @@
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
 #include "nn/loss.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -94,6 +95,7 @@ Vec3 BevDetector::cell_center(int cx, int cy) const {
 }
 
 std::vector<Detection> BevDetector::detect(const nn::Tensor& grid) {
+  S2A_TRACE_SCOPE_CAT("lidar.detect", "lidar");
   const Forward f = forward(grid);
   const double cell_w = 2.0 * cfg_.grid.extent / w2_;
   const double cell_h = 2.0 * cfg_.grid.extent / h2_;
@@ -132,6 +134,8 @@ std::vector<Detection> BevDetector::detect(const nn::Tensor& grid) {
         out.push_back(d);
       }
   }
+  S2A_COUNTER_ADD("lidar.detections",
+                  static_cast<std::int64_t>(out.size()));
   return out;
 }
 

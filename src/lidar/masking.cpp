@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "util/check.hpp"
+#include "obs/obs.hpp"
 
 namespace s2a::lidar {
 
@@ -30,6 +31,7 @@ std::vector<bool> RadialMasker::pick_segments(Rng& rng) const {
 
 std::vector<bool> RadialMasker::voxel_mask(const VoxelGrid& grid,
                                            Rng& rng) const {
+  S2A_TRACE_SCOPE_CAT("lidar.voxel_mask", "lidar");
   const auto& g = grid.config();
   const auto kept_segments = pick_segments(rng);
   std::vector<bool> visible(
@@ -59,6 +61,7 @@ std::vector<bool> RadialMasker::voxel_mask(const VoxelGrid& grid,
 
 std::vector<sim::BeamCommand> RadialMasker::beam_plan(
     const sim::LidarConfig& lidar, Rng& rng) const {
+  S2A_TRACE_SCOPE_CAT("lidar.beam_plan", "lidar");
   const auto kept_segments = pick_segments(rng);
   std::vector<sim::BeamCommand> plan;
   for (int az = 0; az < lidar.azimuth_steps; ++az) {

@@ -1,6 +1,7 @@
 #include "lidar/pipeline.hpp"
 
 #include "nn/optimizer.hpp"
+#include "obs/obs.hpp"
 #include "sim/scene.hpp"
 #include "util/check.hpp"
 
@@ -47,32 +48,45 @@ double GenerativeSensingPipeline::pretrain(
 
 SensedScene GenerativeSensingPipeline::sense(const sim::Scene& scene,
                                              Rng& rng) {
+  S2A_TRACE_SCOPE_CAT("lidar.sense", "lidar");
   SensedScene out;
   const auto plan = masker_.beam_plan(lidar_.config(), rng);
-  out.cloud = lidar_.selective_scan(scene, plan, rng);
+  {
+    S2A_TRACE_SCOPE_CAT("lidar.selective_scan", "lidar");
+    out.cloud = lidar_.selective_scan(scene, plan, rng);
+  }
   out.sensed = VoxelGrid::from_cloud(out.cloud, ae_.config().grid);
   const nn::Tensor probs = out.sensed.to_tensor();
   const nn::Tensor recon = ae_.reconstruct(probs);
-  out.reconstructed = VoxelGrid::from_tensor(recon, ae_.config().grid);
-  // Keep sensed voxels authoritative: reconstruction fills gaps only.
-  const nn::Tensor sensed_t = out.sensed.to_tensor();
-  for (int z = 0; z < ae_.config().grid.nz; ++z)
-    for (int y = 0; y < ae_.config().grid.ny; ++y)
-      for (int x = 0; x < ae_.config().grid.nx; ++x)
-        if (out.sensed.occupied(x, y, z))
-          out.reconstructed.set(x, y, z, true);
+  {
+    S2A_TRACE_SCOPE_CAT("lidar.merge", "lidar");
+    out.reconstructed = VoxelGrid::from_tensor(recon, ae_.config().grid);
+    // Keep sensed voxels authoritative: reconstruction fills gaps only.
+    for (int z = 0; z < ae_.config().grid.nz; ++z)
+      for (int y = 0; y < ae_.config().grid.ny; ++y)
+        for (int x = 0; x < ae_.config().grid.nx; ++x)
+          if (out.sensed.occupied(x, y, z))
+            out.reconstructed.set(x, y, z, true);
+  }
   out.energy = make_energy_report(out.cloud, lidar_.config(),
                                   ae_.param_count(), ae_.macs_per_scan());
+  S2A_COUNTER_ADD("lidar.active_scans", 1);
+  S2A_HISTOGRAM_RECORD("lidar.scan_energy_j", out.energy.sensing_energy_j);
   return out;
 }
 
 SensedScene GenerativeSensingPipeline::sense_conventional(
     const sim::Scene& scene, Rng& rng) {
+  S2A_TRACE_SCOPE_CAT("lidar.sense_conventional", "lidar");
   SensedScene out;
-  out.cloud = lidar_.full_scan(scene, rng);
+  {
+    S2A_TRACE_SCOPE_CAT("lidar.full_scan", "lidar");
+    out.cloud = lidar_.full_scan(scene, rng);
+  }
   out.sensed = VoxelGrid::from_cloud(out.cloud, ae_.config().grid);
   out.reconstructed = out.sensed;
   out.energy = make_energy_report(out.cloud, lidar_.config(), 0, 0);
+  S2A_COUNTER_ADD("lidar.full_scans", 1);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "util/check.hpp"
+#include "obs/obs.hpp"
 
 namespace s2a::lidar {
 
@@ -24,6 +25,7 @@ std::size_t VoxelGrid::index(int ix, int iy, int iz) const {
 VoxelGrid VoxelGrid::from_cloud(const sim::PointCloud& cloud,
                                 const VoxelGridConfig& cfg,
                                 double ground_tolerance) {
+  S2A_TRACE_SCOPE_CAT("lidar.voxelize", "lidar");
   VoxelGrid grid(cfg);
   for (const auto& r : cloud.returns) {
     if (!r.hit) continue;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace s2a::monitor {
@@ -58,7 +59,11 @@ std::vector<lidar::Detection> trust_gated_fuse(
     const std::vector<lidar::Detection>& lidar_dets,
     const std::vector<lidar::Detection>& camera_dets, bool lidar_trusted,
     double dedup_iou) {
-  if (!lidar_trusted) return camera_dets;
+  S2A_TRACE_SCOPE_CAT("monitor.fuse", "monitor");
+  if (!lidar_trusted) {
+    S2A_COUNTER_ADD("monitor.lidar_gated_out", 1);
+    return camera_dets;
+  }
 
   std::vector<lidar::Detection> merged = lidar_dets;
   for (const auto& cam : camera_dets) {

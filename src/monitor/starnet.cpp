@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -20,6 +21,7 @@ std::vector<double> StarNet::standardize(const std::vector<double>& x) const {
 }
 
 void StarNet::fit(const std::vector<std::vector<double>>& clean, Rng& rng) {
+  S2A_TRACE_SCOPE_CAT("monitor.starnet_fit", "monitor");
   S2A_CHECK_MSG(clean.size() >= 8, "need enough clean samples to calibrate");
   const std::size_t dim = clean[0].size();
   S2A_CHECK(static_cast<int>(dim) == cfg_.vae.input_dim);
@@ -40,10 +42,14 @@ void StarNet::fit(const std::vector<std::vector<double>>& clean, Rng& rng) {
   standardized.reserve(clean.size());
   for (const auto& x : clean) standardized.push_back(standardize(x));
 
-  vae_.fit(standardized, cfg_.vae_epochs, cfg_.vae_batch, cfg_.vae_lr, rng);
+  {
+    S2A_TRACE_SCOPE_CAT("monitor.vae_fit", "monitor");
+    vae_.fit(standardized, cfg_.vae_epochs, cfg_.vae_batch, cfg_.vae_lr, rng);
+  }
   fitted_ = true;
 
   // Calibrate the trust threshold on clean scores.
+  S2A_TRACE_SCOPE_CAT("monitor.calibrate", "monitor");
   std::vector<double> scores;
   scores.reserve(clean.size());
   for (const auto& x : standardized) {
@@ -54,6 +60,7 @@ void StarNet::fit(const std::vector<std::vector<double>>& clean, Rng& rng) {
 }
 
 double StarNet::score(const std::vector<double>& embedding, Rng& rng) {
+  S2A_TRACE_SCOPE_CAT("monitor.starnet_score", "monitor");
   S2A_CHECK_MSG(fitted_, "fit() before score()");
   const RegretResult r =
       likelihood_regret(vae_, standardize(embedding), cfg_.regret, rng);
@@ -61,7 +68,14 @@ double StarNet::score(const std::vector<double>& embedding, Rng& rng) {
 }
 
 bool StarNet::trusted(const std::vector<double>& embedding, Rng& rng) {
-  return score(embedding, rng) <= threshold_;
+  const bool ok = score(embedding, rng) <= threshold_;
+  // One macro per branch: each call site caches a single instrument.
+  if (ok) {
+    S2A_COUNTER_ADD("monitor.trusted", 1);
+  } else {
+    S2A_COUNTER_ADD("monitor.untrusted", 1);
+  }
+  return ok;
 }
 
 }  // namespace s2a::monitor

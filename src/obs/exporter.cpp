@@ -1,0 +1,157 @@
+#include "obs/exporter.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace s2a::obs {
+
+namespace {
+
+// Shortest double representation that round-trips (max_digits10).
+std::string num(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(17) << v;
+  return ss.str();
+}
+
+// 4 significant digits, scientific when small — histogram values span
+// nanoseconds to simulated minutes, so fixed precision doesn't fit.
+std::string sig(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(4) << v;
+  return ss.str();
+}
+
+void escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+/// Extracts the value of `"key":` in `line` as raw text (up to the next
+/// ',' or '}'), or nullopt. Keys JsonlExporter emits are never nested.
+std::optional<std::string> field(const std::string& line,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  auto begin = pos + needle.size();
+  auto end = begin;
+  bool in_string = false;
+  for (; end < line.size(); ++end) {
+    const char c = line[end];
+    if (c == '"' && (end == begin || line[end - 1] != '\\')) in_string = !in_string;
+    if (!in_string && (c == ',' || c == '}')) break;
+  }
+  return line.substr(begin, end - begin);
+}
+
+std::optional<std::string> string_field(const std::string& line,
+                                        const std::string& key) {
+  auto raw = field(line, key);
+  if (!raw || raw->size() < 2 || raw->front() != '"' || raw->back() != '"')
+    return std::nullopt;
+  std::string out;
+  for (std::size_t i = 1; i + 1 < raw->size(); ++i) {
+    if ((*raw)[i] == '\\' && i + 2 < raw->size()) ++i;
+    out += (*raw)[i];
+  }
+  return out;
+}
+
+std::optional<double> number_field(const std::string& line,
+                                   const std::string& key) {
+  auto raw = field(line, key);
+  if (!raw || raw->empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+void JsonlExporter::export_metrics(const MetricsSnapshot& snapshot,
+                                   std::ostream& os) {
+  for (const auto& c : snapshot.counters) {
+    os << "{\"type\":\"counter\",\"name\":\"";
+    escape(os, c.name);
+    os << "\",\"value\":" << c.value << "}\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "{\"type\":\"gauge\",\"name\":\"";
+    escape(os, g.name);
+    os << "\",\"value\":" << num(g.value) << "}\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << "{\"type\":\"histogram\",\"name\":\"";
+    escape(os, h.name);
+    os << "\",\"count\":" << h.count << ",\"mean\":" << num(h.mean)
+       << ",\"p50\":" << num(h.p50) << ",\"p95\":" << num(h.p95)
+       << ",\"p99\":" << num(h.p99) << "}\n";
+  }
+}
+
+std::optional<ParsedMetric> parse_metric_line(const std::string& line) {
+  const auto type = string_field(line, "type");
+  const auto name = string_field(line, "name");
+  if (!type || !name) return std::nullopt;
+  ParsedMetric m;
+  m.name = *name;
+  if (*type == "counter" || *type == "gauge") {
+    m.kind = *type == "counter" ? ParsedMetric::Kind::kCounter
+                                : ParsedMetric::Kind::kGauge;
+    const auto v = number_field(line, "value");
+    if (!v) return std::nullopt;
+    m.value = *v;
+    return m;
+  }
+  if (*type == "histogram") {
+    m.kind = ParsedMetric::Kind::kHistogram;
+    const auto count = number_field(line, "count");
+    const auto mean = number_field(line, "mean");
+    const auto p50 = number_field(line, "p50");
+    const auto p95 = number_field(line, "p95");
+    const auto p99 = number_field(line, "p99");
+    if (!count || !mean || !p50 || !p95 || !p99) return std::nullopt;
+    m.count = static_cast<std::uint64_t>(*count);
+    m.mean = *mean;
+    m.p50 = *p50;
+    m.p95 = *p95;
+    m.p99 = *p99;
+    return m;
+  }
+  return std::nullopt;
+}
+
+void TableExporter::export_metrics(const MetricsSnapshot& snapshot,
+                                   std::ostream& os) {
+  if (!snapshot.counters.empty()) {
+    Table t("Counters");
+    t.set_header({"Name", "Value"});
+    for (const auto& c : snapshot.counters)
+      t.add_row({c.name, std::to_string(c.value)});
+    t.print(os);
+  }
+  if (!snapshot.gauges.empty()) {
+    Table t("Gauges");
+    t.set_header({"Name", "Value"});
+    for (const auto& g : snapshot.gauges) t.add_row({g.name, sig(g.value)});
+    t.print(os);
+  }
+  if (!snapshot.histograms.empty()) {
+    Table t("Histograms");
+    t.set_header({"Name", "Count", "Mean", "p50", "p95", "p99"});
+    for (const auto& h : snapshot.histograms)
+      t.add_row({h.name, std::to_string(h.count), sig(h.mean), sig(h.p50),
+                 sig(h.p95), sig(h.p99)});
+    t.print(os);
+  }
+}
+
+}  // namespace s2a::obs

@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace s2a::obs {
+
+namespace {
+
+// CAS-add for the atomic<double> sum (fetch_add on floating atomics is
+// C++20 but not universally lowered well; the CAS loop is portable).
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;  // underflow bucket
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5,1)
+  if (exp <= kMinExp) return 1;             // first real bucket
+  if (exp > kMaxExp) return kBucketCount - 1;
+  // Linear subdivision of the octave [2^(exp-1), 2^exp): frac-0.5 in [0,0.5).
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + (exp - 1 - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(int index) {
+  if (index <= 0) return 0.0;
+  const int linear = index - 1;
+  const int exp = kMinExp + linear / kSubBuckets;
+  const int sub = linear % kSubBuckets;
+  const double octave_lo = std::ldexp(0.5, exp + 1);  // 2^exp
+  return octave_lo * (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+double Histogram::bucket_upper(int index) {
+  if (index <= 0) return 0.0;
+  return bucket_lower(index + 1 <= kBucketCount - 1 ? index + 1 : index);
+}
+
+void Histogram::record(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, nearest-rank).
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      const double lo = bucket_lower(i);
+      const double hi = bucket_upper(i);
+      // Interpolate by the rank's position within this bucket.
+      const double frac =
+          (static_cast<double>(rank - seen) - 0.5) / static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+    seen += c;
+  }
+  return bucket_upper(kBucketCount - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+template <typename T>
+T& MetricsRegistry::lookup(std::vector<Named<T>>& v, const std::string& name) {
+  for (auto& entry : v)
+    if (entry.name == name) return *entry.value;
+  v.push_back(Named<T>{name, std::make_unique<T>()});
+  return *v.back().value;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lookup(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lookup(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lookup(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_)
+    snap.counters.push_back({c.name, c.value->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_)
+    snap.gauges.push_back({g.name, g.value->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_)
+    snap.histograms.push_back({h.name, h.value->count(), h.value->mean(),
+                               h.value->quantile(0.50), h.value->quantile(0.95),
+                               h.value->quantile(0.99)});
+  return snap;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_) c.value->reset();
+  for (auto& g : gauges_) g.value->reset();
+  for (auto& h : histograms_) h.value->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace s2a::obs

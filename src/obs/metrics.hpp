@@ -1,0 +1,152 @@
+// Metrics substrate for the observability layer (docs/OBSERVABILITY.md).
+//
+// Three instrument kinds, all safe to hammer from hot paths:
+//  * Counter   — monotonically increasing event count (atomic add).
+//  * Gauge     — last-written value (atomic store / CAS add).
+//  * Histogram — streaming latency/size distribution over fixed
+//                log-spaced buckets; p50/p95/p99 read out at export time.
+//
+// Instruments are registered once (mutex-guarded, allocates) and then
+// updated lock-free with relaxed atomics — recording never allocates,
+// never takes a lock, and never throws. The intended access pattern is
+// the macros in obs.hpp, which cache the registry lookup in a
+// function-local static so steady state is one branch + one atomic op.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace s2a::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming histogram over fixed log-spaced buckets.
+///
+/// Positive values are bucketed by binary exponent with kSubBuckets
+/// linear subdivisions per octave, so any recorded value is reproduced
+/// by quantile() within a relative error of 2^(1/kSubBuckets) - 1
+/// (~4.4% at 16 sub-buckets). Values at or below zero land in a
+/// dedicated underflow bucket; values beyond the top octave saturate
+/// into the last bucket. Bucket counts are relaxed atomics: record() is
+/// allocation- and lock-free, and concurrent recorders only race on
+/// independent fetch_adds.
+class Histogram {
+ public:
+  static constexpr int kMinExp = -30;      ///< 2^-30 ≈ 0.93e-9
+  static constexpr int kMaxExp = 34;       ///< 2^34  ≈ 1.7e10
+  static constexpr int kSubBuckets = 16;   ///< per octave
+  static constexpr int kBucketCount =
+      (kMaxExp - kMinExp) * kSubBuckets + 1;  ///< +1 underflow bucket
+
+  void record(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  /// Value at quantile q in [0, 1], interpolated within the bucket.
+  /// Returns 0 when the histogram is empty.
+  double quantile(double q) const;
+  void reset();
+
+ private:
+  static int bucket_index(double v);
+  static double bucket_lower(int index);
+  static double bucket_upper(int index);
+
+  std::atomic<std::uint64_t> buckets_[kBucketCount]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A point-in-time read of every registered instrument, in registration
+/// order — the unit exporters consume (exporter.hpp).
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    double mean = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Named instrument registry. Lookup-or-create is mutex-guarded and may
+/// allocate; returned references stay valid for the registry's lifetime
+/// (instruments are never removed), so hot paths should resolve once and
+/// cache — which is exactly what the obs.hpp macros do.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every instrument's value. Instruments are never *removed*, so
+  /// references cached by call sites stay valid across resets.
+  void reset_all();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    // unique_ptr keeps the instrument's address stable across the
+    // vector's reallocations (atomics are not movable anyway).
+    std::unique_ptr<T> value;
+  };
+  template <typename T>
+  static T& lookup(std::vector<Named<T>>& v, const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+/// The process-wide registry the instrumentation macros write into.
+MetricsRegistry& registry();
+
+}  // namespace s2a::obs

@@ -1,0 +1,37 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+
+namespace s2a::obs {
+
+namespace {
+
+std::string& trace_path_storage() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace
+
+bool init_from_env() {
+  const char* obs_flag = std::getenv("S2A_OBS");
+  if (obs_flag != nullptr && obs_flag[0] != '\0' &&
+      !(obs_flag[0] == '0' && obs_flag[1] == '\0'))
+    set_enabled(true);
+  const char* trace = std::getenv("S2A_TRACE");
+  if (trace != nullptr && trace[0] != '\0') {
+    trace_path_storage() = trace;
+    set_enabled(true);
+  }
+  return enabled();
+}
+
+const std::string& trace_path() { return trace_path_storage(); }
+
+bool dump_trace(const std::string& path) {
+  const std::string& target = path.empty() ? trace_path() : path;
+  if (target.empty()) return false;
+  return write_chrome_trace_file(trace_buffer(), target);
+}
+
+}  // namespace s2a::obs
