@@ -8,17 +8,35 @@
 // of instrumentation when disabled (the <2% overhead budget quoted in
 // docs/OBSERVABILITY.md). Run with S2A_TRACE=<path> to also write a
 // Chrome trace of the instrumented benchmark bodies.
+// With S2A_BENCH_PARALLEL=<out.json> the binary instead times the three
+// pool-sharded hot paths (lidar.voxelize, lidar.ae_reconstruct,
+// fed.round) at 1 thread and at 4 threads and writes serial-vs-parallel
+// p50/p95 latencies plus speedups to the given JSON file.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/loop.hpp"
 #include "core/policies.hpp"
+#include "federated/fedavg.hpp"
+#include "federated/hardware.hpp"
+#include "lidar/autoencoder.hpp"
 #include "lidar/voxel_grid.hpp"
 #include "neuro/spiking.hpp"
 #include "nn/dense.hpp"
 #include "nn/sequential.hpp"
 #include "obs/obs.hpp"
+#include "sim/dataset.hpp"
 #include "sim/lidar_sim.hpp"
 #include "sim/scene.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -184,9 +202,138 @@ void BM_LoopTickObsOn(benchmark::State& state) {
 BENCHMARK(BM_LoopTickObsOff);
 BENCHMARK(BM_LoopTickObsOn);
 
+// ---- Serial-vs-parallel report (S2A_BENCH_PARALLEL=<out.json>) ----
+//
+// Times each pool-sharded hot path at 1 thread and at kParallelThreads
+// with steady_clock (google-benchmark stays out of the way so the two
+// configurations see identical call sequences), then writes p50/p95 and
+// the p50 speedup per workload.
+
+constexpr int kParallelThreads = 4;
+
+struct Percentiles {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+Percentiles percentiles(std::vector<double> ms) {
+  std::sort(ms.begin(), ms.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(ms.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, ms.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return ms[lo] * (1.0 - frac) + ms[hi] * frac;
+  };
+  return {at(0.50), at(0.95)};
+}
+
+std::vector<double> time_reps(int reps, const std::function<void()>& fn) {
+  for (int i = 0; i < 2; ++i) fn();  // warmup
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return ms;
+}
+
+struct ParallelWorkload {
+  const char* name;
+  int reps;
+  std::function<void()> fn;
+};
+
+int run_parallel_report(const char* out_path) {
+  // lidar.voxelize: a 360x32 scan (11520 returns) is well above the
+  // kMinParallelReturns threshold, so the sharded path actually engages.
+  sim::LidarConfig lc;
+  lc.azimuth_steps = 360;
+  lc.elevation_steps = 32;
+  sim::LidarSimulator lidar(lc);
+  Rng rng(7);
+  const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, rng);
+  const sim::PointCloud pc = lidar.full_scan(scene, rng);
+  const lidar::VoxelGridConfig gc;
+
+  // lidar.ae_reconstruct: default 48x48 grid keeps the conv/deconv MACs
+  // above the inline threshold.
+  lidar::AutoencoderConfig ac;
+  lidar::OccupancyAutoencoder ae(ac, rng);
+  const nn::Tensor bev = nn::Tensor::randn({1, ac.grid.nz, ac.grid.ny, ac.grid.nx}, rng);
+
+  // fed.round: one round over five heterogeneous clients; a fresh Rng
+  // with a fixed seed per rep keeps every rep (and both thread counts)
+  // on the same arithmetic.
+  Rng fed_rng(8);
+  const auto train = sim::make_gaussian_classes(300, 16, 10, 3.0, fed_rng);
+  const auto test = sim::make_gaussian_classes(150, 16, 10, 3.0, fed_rng);
+  const auto shards = sim::dirichlet_partition(train.labels, 5, 10, 0.5, fed_rng);
+  const auto fleet = federated::make_heterogeneous_fleet(5, fed_rng);
+  federated::FlConfig fc;
+  fc.rounds = 1;
+
+  std::vector<ParallelWorkload> workloads;
+  workloads.push_back({"lidar.voxelize", 100, [&] {
+                         benchmark::DoNotOptimize(
+                             lidar::VoxelGrid::from_cloud(pc, gc));
+                       }});
+  workloads.push_back({"lidar.ae_reconstruct", 30, [&] {
+                         benchmark::DoNotOptimize(ae.reconstruct(bev));
+                       }});
+  workloads.push_back({"fed.round", 15, [&] {
+                         Rng round_rng(9);
+                         benchmark::DoNotOptimize(federated::run_federated(
+                             federated::FlStrategy::kStaticFl, train, test,
+                             shards, fleet, fc, round_rng));
+                       }});
+
+  std::ofstream out(out_path);
+  if (!out) {
+    fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  out << "{\n  \"parallel_threads\": " << kParallelThreads
+      << ",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"workloads\": [\n";
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& wl = workloads[i];
+    Percentiles serial, parallel;
+    {
+      util::ScopedGlobalThreads threads(1);
+      serial = percentiles(time_reps(wl.reps, wl.fn));
+    }
+    {
+      util::ScopedGlobalThreads threads(kParallelThreads);
+      parallel = percentiles(time_reps(wl.reps, wl.fn));
+    }
+    const double speedup = parallel.p50_ms > 0.0 ? serial.p50_ms / parallel.p50_ms : 0.0;
+    printf("%-22s serial p50 %8.3f ms p95 %8.3f ms | %d threads p50 %8.3f ms p95 %8.3f ms | p50 speedup %.2fx\n",
+           wl.name, serial.p50_ms, serial.p95_ms, kParallelThreads,
+           parallel.p50_ms, parallel.p95_ms, speedup);
+    out << "    {\"name\": \"" << wl.name << "\", \"reps\": " << wl.reps
+        << ",\n     \"serial\": {\"p50_ms\": " << serial.p50_ms
+        << ", \"p95_ms\": " << serial.p95_ms
+        << "},\n     \"parallel\": {\"p50_ms\": " << parallel.p50_ms
+        << ", \"p95_ms\": " << parallel.p95_ms
+        << "},\n     \"p50_speedup\": " << speedup << "}"
+        << (i + 1 < workloads.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  printf("Wrote parallel report to %s\n", out_path);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Parallel report mode replaces the google-benchmark run entirely so
+  // both thread counts execute an identical call sequence.
+  if (const char* out = std::getenv("S2A_BENCH_PARALLEL"))
+    return run_parallel_report(out);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   // S2A_TRACE=<path> traces the instrumented benchmark bodies (voxelize,

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Repo health check: tier-1 build + tests, a -Werror configure, and an
-# ASan/UBSan build of the observability tests. Run from anywhere:
+# Repo health check: tier-1 build + tests, a -Werror configure, an
+# ASan/UBSan build of the full test suite, and a TSan build of the
+# threaded tests. Run from anywhere:
 #
 #   ./scripts/check.sh            # everything
 #   ./scripts/check.sh tier1      # just the tier-1 verify
 #   ./scripts/check.sh werror     # just the -Werror build
-#   ./scripts/check.sh asan       # just the sanitizer build + obs_test
+#   ./scripts/check.sh asan       # just the ASan/UBSan build + full suite
+#   ./scripts/check.sh tsan       # just the TSan build + threaded tests
 #
-# Each stage uses its own build tree (build/, build-werror/, build-asan/)
-# so they don't invalidate each other's caches.
+# Each stage uses its own build tree (build/, build-werror/, build-asan/,
+# build-tsan/) so they don't invalidate each other's caches.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,25 +31,42 @@ run_werror() {
 }
 
 run_asan() {
-  echo "==> ASan/UBSan build of the obs layer (build-asan/)"
-  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+  echo "==> ASan/UBSan build + full test suite (build-asan/)"
+  # RelWithDebInfo keeps the instrumented suite fast enough to run whole.
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-  cmake --build build-asan -j "$JOBS" --target obs_test
-  ./build-asan/tests/obs_test
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+}
+
+run_tsan() {
+  echo "==> TSan build + threaded tests (build-tsan/)"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-tsan -j "$JOBS" \
+    --target thread_pool_test obs_test lidar_test federated_test
+  # Force a multi-threaded global pool so the parallel paths actually run
+  # under TSan even on small CI machines.
+  S2A_THREADS=4 ./build-tsan/tests/thread_pool_test
+  S2A_THREADS=4 ./build-tsan/tests/obs_test
+  S2A_THREADS=4 ./build-tsan/tests/lidar_test
+  S2A_THREADS=4 ./build-tsan/tests/federated_test
 }
 
 case "$STAGE" in
   tier1) run_tier1 ;;
   werror) run_werror ;;
   asan) run_asan ;;
+  tsan) run_tsan ;;
   all)
     run_tier1
     run_werror
     run_asan
+    run_tsan
     echo "==> all checks passed"
     ;;
   *)
-    echo "usage: $0 [tier1|werror|asan|all]" >&2
+    echo "usage: $0 [tier1|werror|asan|tsan|all]" >&2
     exit 2
     ;;
 esac

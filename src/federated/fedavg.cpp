@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace s2a::federated {
 
@@ -83,23 +84,37 @@ void softmax_inplace(std::vector<double>& v) {
 double evaluate_accuracy(const MlpParams& p,
                          const sim::ClassificationDataset& data,
                          const std::vector<int>& indices) {
-  std::vector<bool> active(static_cast<std::size_t>(p.hidden), true);
-  std::vector<double> h, logits;
-  int correct = 0, total = 0;
-  auto eval_one = [&](std::size_t i) {
-    forward_one(p, data.features[i].data(), active, 32, h, logits);
-    int best = 0;
-    for (int c = 1; c < p.classes; ++c)
-      if (logits[static_cast<std::size_t>(c)] > logits[static_cast<std::size_t>(best)])
-        best = c;
-    if (best == data.labels[i]) ++correct;
-    ++total;
-  };
-  if (indices.empty())
-    for (std::size_t i = 0; i < data.size(); ++i) eval_one(i);
-  else
-    for (int i : indices) eval_one(static_cast<std::size_t>(i));
-  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+  const std::size_t n = indices.empty() ? data.size() : indices.size();
+  if (n == 0) return 0.0;
+  // Sharded across samples; per-chunk hit counts are integers, so the
+  // chunk-ordered sum is exact at every thread count.
+  util::ThreadPool& pool = util::global_pool();
+  const std::size_t grain = std::max<std::size_t>(
+      64, (n + static_cast<std::size_t>(pool.size()) - 1) /
+              static_cast<std::size_t>(pool.size()));
+  const std::size_t chunks = util::ThreadPool::num_chunks(0, n, grain);
+  std::vector<int> chunk_correct(chunks, 0);
+  pool.parallel_for_chunks(
+      0, n, grain, [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+        std::vector<bool> active(static_cast<std::size_t>(p.hidden), true);
+        std::vector<double> h, logits;
+        int correct = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t idx =
+              indices.empty() ? i : static_cast<std::size_t>(indices[i]);
+          forward_one(p, data.features[idx].data(), active, 32, h, logits);
+          int best = 0;
+          for (int c = 1; c < p.classes; ++c)
+            if (logits[static_cast<std::size_t>(c)] >
+                logits[static_cast<std::size_t>(best)])
+              best = c;
+          if (best == data.labels[idx]) ++correct;
+        }
+        chunk_correct[chunk] = correct;
+      });
+  int correct = 0;
+  for (int c : chunk_correct) correct += c;
+  return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 double local_train(MlpParams& p, const sim::ClassificationDataset& data,
@@ -235,107 +250,134 @@ FlResult run_federated(FlStrategy strategy,
   }
 
   double total_area = 0.0;
+  double total_weight = 0.0;
+  for (int c = 0; c < clients; ++c)
+    total_weight += static_cast<double>(shards[static_cast<std::size_t>(c)].size());
+
   for (int round = 0; round < cfg.rounds; ++round) {
     S2A_TRACE_SCOPE_CAT("fed.round", "federated");
     S2A_COUNTER_ADD("fed.rounds", 1);
-    std::vector<MlpParams> locals;
-    std::vector<std::vector<bool>> masks;
+
+    // Client updates run on the shared pool. Determinism at every thread
+    // count: per-client RNG streams are spawned serially in client order
+    // (so the parent generator advances identically), each task reads
+    // only `global`/config state and writes only its own slots, and every
+    // reduction below is client-ordered on the calling thread.
+    std::vector<Rng> client_rngs;
+    client_rngs.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) client_rngs.push_back(rng.spawn());
+
+    std::vector<MlpParams> deltas(static_cast<std::size_t>(clients));
+    std::vector<std::vector<bool>> masks(static_cast<std::size_t>(clients));
+    std::vector<double> client_macs(static_cast<std::size_t>(clients), 0.0);
+
+    util::global_pool().parallel_for(
+        0, static_cast<std::size_t>(clients), 1, [&](std::size_t ci) {
+          S2A_TRACE_SCOPE_CAT("fed.client_update", "federated");
+          MlpParams local = global;
+
+          // Channel mask: DC-NAS keeps the top-w hidden units by ‖w1 row‖.
+          std::vector<bool> active(static_cast<std::size_t>(cfg.hidden), true);
+          const int width = res.client_widths[ci];
+          if (strategy == FlStrategy::kDcNas && width < cfg.hidden) {
+            std::vector<std::pair<double, int>> norms;
+            for (int j = 0; j < cfg.hidden; ++j) {
+              double n = 0.0;
+              const double* w = global.w1.data() + static_cast<std::size_t>(j) * global.in;
+              for (int i = 0; i < global.in; ++i) n += w[i] * w[i];
+              norms.push_back({n, j});
+            }
+            std::sort(norms.begin(), norms.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+            active.assign(static_cast<std::size_t>(cfg.hidden), false);
+            for (int k = 0; k < width; ++k)
+              active[static_cast<std::size_t>(norms[static_cast<std::size_t>(k)].second)] = true;
+          }
+
+          client_macs[ci] =
+              local_train(local, train, shards[ci], active,
+                          res.client_precisions[ci], cfg.local_epochs,
+                          cfg.batch, cfg.lr, client_rngs[ci]);
+
+          // Ship the update as a delta against the broadcast weights
+          // (what a bandwidth-frugal client would transmit). Units this
+          // client never trained are untouched, so their delta is an
+          // exact 0 and drops out of the masked aggregation below.
+          for (std::size_t i = 0; i < local.w1.numel(); ++i)
+            local.w1[i] -= global.w1[i];
+          for (std::size_t i = 0; i < local.b1.numel(); ++i)
+            local.b1[i] -= global.b1[i];
+          for (std::size_t i = 0; i < local.w2.numel(); ++i)
+            local.w2[i] -= global.w2[i];
+          for (std::size_t i = 0; i < local.b2.numel(); ++i)
+            local.b2[i] -= global.b2[i];
+          deltas[ci] = std::move(local);
+          masks[ci] = std::move(active);
+        });
+
+    // Cost accounting, serial and client-ordered so the float sums are
+    // identical at every thread count.
     double round_latency = 0.0;
-
     for (int c = 0; c < clients; ++c) {
-      S2A_TRACE_SCOPE_CAT("fed.client_update", "federated");
-      const auto& hw = fleet[static_cast<std::size_t>(c)];
-      MlpParams local = global;
-
-      // Channel mask: DC-NAS keeps the top-w hidden units by ‖w1 row‖.
-      std::vector<bool> active(static_cast<std::size_t>(cfg.hidden), true);
-      const int width = res.client_widths[static_cast<std::size_t>(c)];
-      if (strategy == FlStrategy::kDcNas && width < cfg.hidden) {
-        std::vector<std::pair<double, int>> norms;
-        for (int j = 0; j < cfg.hidden; ++j) {
-          double n = 0.0;
-          const double* w = global.w1.data() + static_cast<std::size_t>(j) * global.in;
-          for (int i = 0; i < global.in; ++i) n += w[i] * w[i];
-          norms.push_back({n, j});
-        }
-        std::sort(norms.begin(), norms.end(),
-                  [](const auto& a, const auto& b) { return a.first > b.first; });
-        active.assign(static_cast<std::size_t>(cfg.hidden), false);
-        for (int k = 0; k < width; ++k)
-          active[static_cast<std::size_t>(norms[static_cast<std::size_t>(k)].second)] = true;
-      }
-
-      const PrecisionConfig precision =
-          res.client_precisions[static_cast<std::size_t>(c)];
-      Rng client_rng = rng.spawn();
-      const double macs =
-          local_train(local, train, shards[static_cast<std::size_t>(c)], active,
-                      precision, cfg.local_epochs, cfg.batch, cfg.lr, client_rng);
-
       const double model_fraction =
-          static_cast<double>(width) / cfg.hidden;
-      const RoundCost cost = round_cost(macs, hw, precision, model_fraction);
+          static_cast<double>(res.client_widths[static_cast<std::size_t>(c)]) /
+          cfg.hidden;
+      const RoundCost cost =
+          round_cost(client_macs[static_cast<std::size_t>(c)],
+                     fleet[static_cast<std::size_t>(c)],
+                     res.client_precisions[static_cast<std::size_t>(c)],
+                     model_fraction);
       res.total_energy_j += cost.energy_j;
       round_latency = std::max(round_latency, cost.latency_s);
       total_area += cost.area_mm2;
-
-      locals.push_back(std::move(local));
-      masks.push_back(std::move(active));
     }
     res.total_latency_s += round_latency;
     S2A_HISTOGRAM_RECORD("fed.round_latency_s", round_latency);
 
     {
-      // Mask-aware weighted aggregation.
+      // Mask-aware weighted aggregation, in place on `global`: the
+      // batched deltas are accumulated client-ordered into one scratch
+      // set and applied once, instead of averaging full per-client
+      // parameter copies. Units no client trained keep their zero
+      // aggregate weight and are left untouched.
       S2A_TRACE_SCOPE_CAT("fed.aggregate", "federated");
-      MlpParams next = global;
-      next.w1.fill(0.0);
-      next.b1.fill(0.0);
-      next.w2.fill(0.0);
-      next.b2.fill(0.0);
+      MlpParams agg = global;
+      agg.w1.fill(0.0);
+      agg.b1.fill(0.0);
+      agg.w2.fill(0.0);
+      agg.b2.fill(0.0);
       std::vector<double> unit_weight(static_cast<std::size_t>(cfg.hidden), 0.0);
-      double total_weight = 0.0;
       for (int c = 0; c < clients; ++c) {
         const double wgt = static_cast<double>(shards[static_cast<std::size_t>(c)].size());
-        total_weight += wgt;
+        const auto& d = deltas[static_cast<std::size_t>(c)];
         for (int j = 0; j < cfg.hidden; ++j) {
           if (!masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) continue;
           unit_weight[static_cast<std::size_t>(j)] += wgt;
-          const auto& l = locals[static_cast<std::size_t>(c)];
           for (int i = 0; i < global.in; ++i)
-            next.w1[static_cast<std::size_t>(j) * global.in + i] +=
-                wgt * l.w1[static_cast<std::size_t>(j) * global.in + i];
-          next.b1[static_cast<std::size_t>(j)] += wgt * l.b1[static_cast<std::size_t>(j)];
+            agg.w1[static_cast<std::size_t>(j) * global.in + i] +=
+                wgt * d.w1[static_cast<std::size_t>(j) * global.in + i];
+          agg.b1[static_cast<std::size_t>(j)] += wgt * d.b1[static_cast<std::size_t>(j)];
           for (int k = 0; k < global.classes; ++k)
-            next.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
-                wgt * l.w2[static_cast<std::size_t>(k) * global.hidden + j];
+            agg.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
+                wgt * d.w2[static_cast<std::size_t>(k) * global.hidden + j];
         }
         for (int k = 0; k < global.classes; ++k)
-          next.b2[static_cast<std::size_t>(k)] +=
-              wgt * locals[static_cast<std::size_t>(c)].b2[static_cast<std::size_t>(k)];
+          agg.b2[static_cast<std::size_t>(k)] += wgt * d.b2[static_cast<std::size_t>(k)];
       }
       for (int j = 0; j < cfg.hidden; ++j) {
         const double uw = unit_weight[static_cast<std::size_t>(j)];
-        if (uw == 0.0) {
-          // No client trained this unit this round: keep the global value.
-          for (int i = 0; i < global.in; ++i)
-            next.w1[static_cast<std::size_t>(j) * global.in + i] =
-                global.w1[static_cast<std::size_t>(j) * global.in + i];
-          next.b1[static_cast<std::size_t>(j)] = global.b1[static_cast<std::size_t>(j)];
-          for (int k = 0; k < global.classes; ++k)
-            next.w2[static_cast<std::size_t>(k) * global.hidden + j] =
-                global.w2[static_cast<std::size_t>(k) * global.hidden + j];
-          continue;
-        }
+        if (uw == 0.0) continue;  // no client trained this unit: keep global
         for (int i = 0; i < global.in; ++i)
-          next.w1[static_cast<std::size_t>(j) * global.in + i] /= uw;
-        next.b1[static_cast<std::size_t>(j)] /= uw;
+          global.w1[static_cast<std::size_t>(j) * global.in + i] +=
+              agg.w1[static_cast<std::size_t>(j) * global.in + i] / uw;
+        global.b1[static_cast<std::size_t>(j)] += agg.b1[static_cast<std::size_t>(j)] / uw;
         for (int k = 0; k < global.classes; ++k)
-          next.w2[static_cast<std::size_t>(k) * global.hidden + j] /= uw;
+          global.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
+              agg.w2[static_cast<std::size_t>(k) * global.hidden + j] / uw;
       }
       for (int k = 0; k < global.classes; ++k)
-        next.b2[static_cast<std::size_t>(k)] /= total_weight;
-      global = std::move(next);
+        global.b2[static_cast<std::size_t>(k)] +=
+            agg.b2[static_cast<std::size_t>(k)] / total_weight;
     }
 
     {

@@ -6,6 +6,7 @@
 #include "nn/loss.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace s2a::lidar {
 
@@ -34,9 +35,15 @@ nn::Tensor OccupancyAutoencoder::decode(const nn::Tensor& latent) {
 
 nn::Tensor OccupancyAutoencoder::reconstruct(const nn::Tensor& masked_grid) {
   S2A_TRACE_SCOPE_CAT("lidar.ae_reconstruct", "lidar");
+  // The conv/deconv forwards shard across BEV rows internally (conv2d.cpp
+  // via util::global_pool); the elementwise sigmoid shards here. Both are
+  // per-element independent, so reconstruction is bit-exact at every
+  // thread count.
   nn::Tensor logits = decode(encode(masked_grid));
-  for (std::size_t i = 0; i < logits.numel(); ++i)
-    logits[i] = 1.0 / (1.0 + std::exp(-logits[i]));
+  util::global_pool().parallel_for(0, logits.numel(), 4096,
+                                   [&logits](std::size_t i) {
+                                     logits[i] = 1.0 / (1.0 + std::exp(-logits[i]));
+                                   });
   return logits;
 }
 

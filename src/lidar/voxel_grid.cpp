@@ -4,9 +4,40 @@
 #include <numbers>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "obs/obs.hpp"
 
 namespace s2a::lidar {
+
+namespace {
+
+// Bins cloud.returns[lo, hi) into `occ` (a [nz][ny][nx] bitmap). Shared
+// by the serial path and the per-chunk parallel shards so both orders
+// produce the identical voxel set.
+void bin_returns(const sim::PointCloud& cloud, const VoxelGridConfig& cfg,
+                 double ground_tolerance, std::size_t lo, std::size_t hi,
+                 std::vector<bool>& occ) {
+  for (std::size_t r_idx = lo; r_idx < hi; ++r_idx) {
+    const auto& r = cloud.returns[r_idx];
+    if (!r.hit) continue;
+    if (r.point.z < cfg.z_min + ground_tolerance) continue;
+    const int ix =
+        static_cast<int>((r.point.x + cfg.extent) / (2.0 * cfg.extent) * cfg.nx);
+    const int iy =
+        static_cast<int>((r.point.y + cfg.extent) / (2.0 * cfg.extent) * cfg.ny);
+    const int iz = static_cast<int>((r.point.z - cfg.z_min) /
+                                    (cfg.z_max - cfg.z_min) * cfg.nz);
+    if (ix < 0 || ix >= cfg.nx || iy < 0 || iy >= cfg.ny || iz < 0 ||
+        iz >= cfg.nz)
+      continue;
+    occ[(static_cast<std::size_t>(iz) * cfg.ny + iy) * cfg.nx + ix] = true;
+  }
+}
+
+// Below this many returns the pool dispatch costs more than the binning.
+constexpr std::size_t kMinParallelReturns = 2048;
+
+}  // namespace
 
 VoxelGrid::VoxelGrid(VoxelGridConfig config)
     : cfg_(config),
@@ -27,20 +58,32 @@ VoxelGrid VoxelGrid::from_cloud(const sim::PointCloud& cloud,
                                 double ground_tolerance) {
   S2A_TRACE_SCOPE_CAT("lidar.voxelize", "lidar");
   VoxelGrid grid(cfg);
-  for (const auto& r : cloud.returns) {
-    if (!r.hit) continue;
-    if (r.point.z < cfg.z_min + ground_tolerance) continue;
-    const int ix =
-        static_cast<int>((r.point.x + cfg.extent) / (2.0 * cfg.extent) * cfg.nx);
-    const int iy =
-        static_cast<int>((r.point.y + cfg.extent) / (2.0 * cfg.extent) * cfg.ny);
-    const int iz = static_cast<int>((r.point.z - cfg.z_min) /
-                                    (cfg.z_max - cfg.z_min) * cfg.nz);
-    if (ix < 0 || ix >= cfg.nx || iy < 0 || iy >= cfg.ny || iz < 0 ||
-        iz >= cfg.nz)
-      continue;
-    grid.occ_[grid.index(ix, iy, iz)] = true;
+  const std::size_t n = cloud.returns.size();
+  util::ThreadPool& pool = util::global_pool();
+  if (pool.size() <= 1 || n < kMinParallelReturns) {
+    bin_returns(cloud, cfg, ground_tolerance, 0, n, grid.occ_);
+    return grid;
   }
+
+  // Shard the cloud into one chunk per pool slot; each chunk bins into
+  // its own local grid, merged by bitwise OR afterwards. OR is
+  // commutative and idempotent, so occupancy is bit-exact at every
+  // thread count (merge order kept chunk-indexed anyway, for symmetry
+  // with the float reductions elsewhere).
+  const std::size_t grain =
+      (n + static_cast<std::size_t>(pool.size()) - 1) /
+      static_cast<std::size_t>(pool.size());
+  const std::size_t chunks = util::ThreadPool::num_chunks(0, n, grain);
+  std::vector<std::vector<bool>> locals(
+      chunks, std::vector<bool>(grid.occ_.size(), false));
+  pool.parallel_for_chunks(
+      0, n, grain, [&](std::size_t lo, std::size_t hi, std::size_t c) {
+        S2A_TRACE_SCOPE_CAT("lidar.voxelize_shard", "lidar");
+        bin_returns(cloud, cfg, ground_tolerance, lo, hi, locals[c]);
+      });
+  for (std::size_t c = 0; c < chunks; ++c)
+    for (std::size_t i = 0; i < grid.occ_.size(); ++i)
+      if (locals[c][i]) grid.occ_[i] = true;
   return grid;
 }
 

@@ -1,12 +1,38 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace s2a::nn {
 
 namespace {
+
+// Forward passes below this many MACs run inline: pool dispatch would
+// cost more than the convolution itself.
+constexpr std::size_t kMinParallelMacs = 1 << 15;
+
+// Splits `total` units of independent work into chunks sized for the
+// global pool (~4 chunks per slot hides worker imbalance) and runs
+// fn(lo, hi) over them. Falls back to one inline call when the work is
+// too small or the pool has a single slot. fn must write disjoint
+// outputs per unit so results are bit-exact at every thread count.
+void parallel_rows(std::size_t total, std::size_t macs,
+                   const std::function<void(std::size_t, std::size_t)>& fn) {
+  util::ThreadPool& pool = util::global_pool();
+  if (pool.size() <= 1 || macs < kMinParallelMacs || total <= 1) {
+    fn(0, total);
+    return;
+  }
+  const std::size_t grain = std::max<std::size_t>(
+      1, total / (static_cast<std::size_t>(pool.size()) * 4));
+  pool.parallel_for_chunks(
+      0, total, grain,
+      [&fn](std::size_t lo, std::size_t hi, std::size_t) { fn(lo, hi); });
+}
+
 Tensor conv_weight_init(int c0, int c1, int k, Rng& rng) {
   const int fan_in = c1 * k * k;
   Tensor w({c0, c1, k, k});
@@ -44,24 +70,37 @@ Tensor Conv2D::forward(const Tensor& x) {
   last_out_hw_ = static_cast<std::size_t>(oh) * ow;
 
   Tensor y({n, cout_, oh, ow});
-  for (int b = 0; b < n; ++b)
-    for (int oc = 0; oc < cout_; ++oc)
-      for (int oy = 0; oy < oh; ++oy)
-        for (int ox = 0; ox < ow; ++ox) {
-          double acc = b_[static_cast<std::size_t>(oc)];
-          for (int ic = 0; ic < cin_; ++ic)
-            for (int ky = 0; ky < k_; ++ky) {
-              const int iy = oy * stride_ + ky - pad_;
-              if (iy < 0 || iy >= h) continue;
-              for (int kx = 0; kx < k_; ++kx) {
-                const int ix = ox * stride_ + kx - pad_;
-                if (ix < 0 || ix >= w) continue;
-                acc += x[idx4(b, ic, iy, ix, cin_, h, w)] *
-                       w_[idx4(oc, ic, ky, kx, cin_, k_, k_)];
-              }
+  // Rows (b, oc, oy) are independent — each output element is produced by
+  // exactly one row, with a fixed inner summation order, so the sharded
+  // and serial passes are bit-identical.
+  const std::size_t total_rows =
+      static_cast<std::size_t>(n) * cout_ * oh;
+  const std::size_t macs = static_cast<std::size_t>(cout_) * cin_ * k_ * k_ *
+                           static_cast<std::size_t>(n) * oh * ow;
+  parallel_rows(total_rows, macs, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t row = lo; row < hi; ++row) {
+      const int oy = static_cast<int>(row % static_cast<std::size_t>(oh));
+      const int oc = static_cast<int>((row / static_cast<std::size_t>(oh)) %
+                                      static_cast<std::size_t>(cout_));
+      const int b = static_cast<int>(row / static_cast<std::size_t>(oh) /
+                                     static_cast<std::size_t>(cout_));
+      for (int ox = 0; ox < ow; ++ox) {
+        double acc = b_[static_cast<std::size_t>(oc)];
+        for (int ic = 0; ic < cin_; ++ic)
+          for (int ky = 0; ky < k_; ++ky) {
+            const int iy = oy * stride_ + ky - pad_;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < k_; ++kx) {
+              const int ix = ox * stride_ + kx - pad_;
+              if (ix < 0 || ix >= w) continue;
+              acc += x[idx4(b, ic, iy, ix, cin_, h, w)] *
+                     w_[idx4(oc, ic, ky, kx, cin_, k_, k_)];
             }
-          y[idx4(b, oc, oy, ox, cout_, oh, ow)] = acc;
-        }
+          }
+        y[idx4(b, oc, oy, ox, cout_, oh, ow)] = acc;
+      }
+    }
+  });
   return y;
 }
 
@@ -124,30 +163,47 @@ Tensor ConvTranspose2D::forward(const Tensor& x) {
   last_in_hw_ = static_cast<std::size_t>(h) * w;
 
   Tensor y({n, cout_, oh, ow});
-  for (int b = 0; b < n; ++b)
-    for (int oc = 0; oc < cout_; ++oc)
-      for (int oy = 0; oy < oh; ++oy)
-        for (int ox = 0; ox < ow; ++ox)
-          y[idx4(b, oc, oy, ox, cout_, oh, ow)] = b_[static_cast<std::size_t>(oc)];
-
-  for (int b = 0; b < n; ++b)
-    for (int ic = 0; ic < cin_; ++ic)
-      for (int iy = 0; iy < h; ++iy)
-        for (int ix = 0; ix < w; ++ix) {
-          const double v = x[idx4(b, ic, iy, ix, cin_, h, w)];
-          if (v == 0.0) continue;
+  // Sharded over bands of output rows: each band scatters only from the
+  // input rows that can reach it (iy such that iy*stride + ky - pad lands
+  // in [lo, hi)) and skips contributions outside its band, so every
+  // output element is written by exactly one task with the same
+  // accumulation order (b, ic, iy, ix) as a serial pass.
+  const std::size_t macs = static_cast<std::size_t>(cin_) * cout_ * k_ * k_ *
+                           static_cast<std::size_t>(n) * h * w;
+  parallel_rows(
+      static_cast<std::size_t>(oh), macs,
+      [&](std::size_t band_lo, std::size_t band_hi) {
+        const int lo = static_cast<int>(band_lo);
+        const int hi = static_cast<int>(band_hi);
+        for (int b = 0; b < n; ++b)
           for (int oc = 0; oc < cout_; ++oc)
-            for (int ky = 0; ky < k_; ++ky) {
-              const int oy = iy * stride_ + ky - pad_;
-              if (oy < 0 || oy >= oh) continue;
-              for (int kx = 0; kx < k_; ++kx) {
-                const int ox = ix * stride_ + kx - pad_;
-                if (ox < 0 || ox >= ow) continue;
-                y[idx4(b, oc, oy, ox, cout_, oh, ow)] +=
-                    v * w_[idx4(ic, oc, ky, kx, cout_, k_, k_)];
+            for (int oy = lo; oy < hi; ++oy)
+              for (int ox = 0; ox < ow; ++ox)
+                y[idx4(b, oc, oy, ox, cout_, oh, ow)] =
+                    b_[static_cast<std::size_t>(oc)];
+
+        const int lo_num = lo + pad_ - (k_ - 1);
+        const int iy_lo = lo_num > 0 ? (lo_num + stride_ - 1) / stride_ : 0;
+        const int iy_hi = std::min(h - 1, (hi - 1 + pad_) / stride_);
+        for (int b = 0; b < n; ++b)
+          for (int ic = 0; ic < cin_; ++ic)
+            for (int iy = iy_lo; iy <= iy_hi; ++iy)
+              for (int ix = 0; ix < w; ++ix) {
+                const double v = x[idx4(b, ic, iy, ix, cin_, h, w)];
+                if (v == 0.0) continue;
+                for (int oc = 0; oc < cout_; ++oc)
+                  for (int ky = 0; ky < k_; ++ky) {
+                    const int oy = iy * stride_ + ky - pad_;
+                    if (oy < lo || oy >= hi) continue;
+                    for (int kx = 0; kx < k_; ++kx) {
+                      const int ox = ix * stride_ + kx - pad_;
+                      if (ox < 0 || ox >= ow) continue;
+                      y[idx4(b, oc, oy, ox, cout_, oh, ow)] +=
+                          v * w_[idx4(ic, oc, ky, kx, cout_, k_, k_)];
+                    }
+                  }
               }
-            }
-        }
+      });
   return y;
 }
 

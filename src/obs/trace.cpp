@@ -33,6 +33,8 @@ void json_escape(std::ostream& os, const char* s) {
 
 }  // namespace
 
+std::uint32_t current_thread_depth() { return thread_depth(); }
+
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 

@@ -88,6 +88,14 @@ class TraceScope {
 /// Steady-clock nanoseconds since process-local epoch (first use).
 std::uint64_t trace_now_ns();
 
+/// Current span nesting depth of the calling thread (0 = no open span).
+/// Depth is thread-local: a span opened inside a util::ThreadPool task
+/// starts at depth 0 on a worker thread (its own track in the exported
+/// trace) but nests under the caller's open spans when the pool runs the
+/// task inline on the submitting thread. Exposed so the parallel-path
+/// tests can assert both behaviours mechanically.
+std::uint32_t current_thread_depth();
+
 /// Writes the buffer as Chrome trace_event JSON ({"traceEvents":[...]}).
 /// Timestamps are microseconds; nesting is reconstructed by Perfetto from
 /// the spans' time containment per thread.

@@ -355,3 +355,108 @@ TEST(SpeculativeLatency, FreeDraftDegeneratesToTokensPerPass) {
 
 }  // namespace
 }  // namespace s2a::federated
+
+// ------------------------------------------------------------------
+// Parallel-vs-serial equivalence for federated rounds. run_federated is
+// deterministic given the seed of the server Rng: per-client streams are
+// spawned serially in client order before the parallel section, and the
+// cost/aggregation reductions are client-ordered on the calling thread —
+// so results are bit-exact at every thread count (no float tolerance;
+// reduction order never changes).
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace s2a::federated {
+namespace {
+
+std::vector<int> fl_thread_counts() {
+  std::vector<int> counts{2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 1 && hw != 2 && hw != 4) counts.push_back(hw);
+  return counts;
+}
+
+sim::ClassificationDataset slice_dataset(const sim::ClassificationDataset& src,
+                                         std::size_t lo, std::size_t hi) {
+  sim::ClassificationDataset out;
+  out.feature_dim = src.feature_dim;
+  out.num_classes = src.num_classes;
+  for (std::size_t i = lo; i < hi; ++i) {
+    out.features.push_back(src.features[i]);
+    out.labels.push_back(src.labels[i]);
+  }
+  return out;
+}
+
+class FlEquivalenceTest : public ::testing::TestWithParam<FlStrategy> {};
+
+TEST_P(FlEquivalenceTest, RoundResultsBitExactAcrossThreadCounts) {
+  Rng data_rng(21);
+  const auto full = sim::make_gaussian_classes(450, 16, 10, 3.0, data_rng);
+  const auto tr = slice_dataset(full, 0, 300);
+  const auto te = slice_dataset(full, 300, 450);
+  Rng part_rng(22);
+  const auto shards = sim::dirichlet_partition(tr.labels, 5, 10, 0.5, part_rng);
+  const auto fleet = make_heterogeneous_fleet(5, part_rng);
+  FlConfig cfg;
+  cfg.rounds = 3;
+
+  FlResult serial;
+  {
+    util::ScopedGlobalThreads threads(1);
+    Rng rng(23);
+    serial = run_federated(GetParam(), tr, te, shards, fleet, cfg, rng);
+  }
+  for (int threads : fl_thread_counts()) {
+    util::ScopedGlobalThreads scoped(threads);
+    Rng rng(23);  // same fixed seed -> same per-client spawned streams
+    const FlResult parallel =
+        run_federated(GetParam(), tr, te, shards, fleet, cfg, rng);
+    ASSERT_EQ(parallel.accuracy_per_round.size(),
+              serial.accuracy_per_round.size());
+    for (std::size_t r = 0; r < serial.accuracy_per_round.size(); ++r)
+      EXPECT_DOUBLE_EQ(parallel.accuracy_per_round[r],
+                       serial.accuracy_per_round[r])
+          << threads << " threads, round " << r;
+    EXPECT_DOUBLE_EQ(parallel.final_accuracy, serial.final_accuracy);
+    EXPECT_DOUBLE_EQ(parallel.total_energy_j, serial.total_energy_j);
+    EXPECT_DOUBLE_EQ(parallel.total_latency_s, serial.total_latency_s);
+    EXPECT_DOUBLE_EQ(parallel.mean_area_mm2, serial.mean_area_mm2);
+    EXPECT_EQ(parallel.client_widths, serial.client_widths);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, FlEquivalenceTest,
+                         ::testing::Values(FlStrategy::kStaticFl,
+                                           FlStrategy::kDcNas,
+                                           FlStrategy::kHaloFl),
+                         [](const ::testing::TestParamInfo<FlStrategy>& info) {
+                           switch (info.param) {
+                             case FlStrategy::kStaticFl:
+                               return "StaticFl";
+                             case FlStrategy::kDcNas:
+                               return "DcNas";
+                             case FlStrategy::kHaloFl:
+                               return "HaloFl";
+                           }
+                           return "unknown";
+                         });
+
+TEST(FlEquivalence, EvaluateAccuracyExactAcrossThreadCounts) {
+  Rng rng(24);
+  const auto ds = sim::make_gaussian_classes(500, 16, 4, 3.0, rng);
+  const MlpParams p = init_mlp(16, 32, 4, rng);
+  double serial = 0.0;
+  {
+    util::ScopedGlobalThreads threads(1);
+    serial = evaluate_accuracy(p, ds);
+  }
+  for (int threads : fl_thread_counts()) {
+    util::ScopedGlobalThreads scoped(threads);
+    EXPECT_DOUBLE_EQ(evaluate_accuracy(p, ds), serial) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace s2a::federated

@@ -670,3 +670,108 @@ TEST(DistanceAp, PrefersNearestUnmatchedGroundTruth) {
 
 }  // namespace
 }  // namespace s2a::lidar
+
+// ------------------------------------------------------------------
+// Parallel-vs-serial equivalence for the sharded hot paths
+// (util::ThreadPool). Voxel occupancy is merged by bitwise OR and every
+// conv/deconv output element is produced by exactly one task in the
+// serial summation order, so all comparisons are bit-exact — no float
+// tolerance is needed at any thread count.
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace s2a::lidar {
+namespace {
+
+std::vector<int> equivalence_thread_counts() {
+  std::vector<int> counts{2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 1 && hw != 2 && hw != 4) counts.push_back(hw);
+  return counts;
+}
+
+std::size_t count_mismatches(const nn::Tensor& a, const nn::Tensor& b) {
+  if (a.numel() != b.numel()) return a.numel() + b.numel();
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    if (a[i] != b[i]) ++bad;
+  return bad;
+}
+
+TEST(ParallelEquivalence, VoxelizeBitExactAcrossThreadCounts) {
+  sim::LidarConfig lc;
+  lc.azimuth_steps = 360;
+  lc.elevation_steps = 16;  // 5760 returns: above the parallel threshold
+  sim::LidarSimulator lidar(lc);
+  Rng rng(101);
+  const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, rng);
+  const sim::PointCloud pc = lidar.full_scan(scene, rng);
+  ASSERT_GE(pc.returns.size(), 4096u);
+
+  VoxelGridConfig gc;
+  nn::Tensor serial;
+  {
+    util::ScopedGlobalThreads threads(1);
+    serial = VoxelGrid::from_cloud(pc, gc).to_tensor();
+  }
+  for (int threads : equivalence_thread_counts()) {
+    util::ScopedGlobalThreads scoped(threads);
+    const nn::Tensor parallel = VoxelGrid::from_cloud(pc, gc).to_tensor();
+    EXPECT_EQ(count_mismatches(serial, parallel), 0u) << threads << " threads";
+  }
+}
+
+TEST(ParallelEquivalence, AutoencoderReconstructBitExactAcrossThreadCounts) {
+  Rng rng(102);
+  AutoencoderConfig cfg;  // default 48x48 grid: conv work above threshold
+  OccupancyAutoencoder ae(cfg, rng);
+  const nn::Tensor in =
+      nn::Tensor::randn({1, cfg.grid.nz, cfg.grid.ny, cfg.grid.nx}, rng);
+
+  nn::Tensor serial;
+  {
+    util::ScopedGlobalThreads threads(1);
+    serial = ae.reconstruct(in);
+  }
+  for (int threads : equivalence_thread_counts()) {
+    util::ScopedGlobalThreads scoped(threads);
+    const nn::Tensor parallel = ae.reconstruct(in);
+    EXPECT_EQ(count_mismatches(serial, parallel), 0u) << threads << " threads";
+  }
+}
+
+TEST(ParallelEquivalence, DetectorOutputIdenticalAcrossThreadCounts) {
+  Rng rng(103);
+  sim::LidarConfig lc;
+  sim::LidarSimulator lidar(lc);
+  DetectorConfig dcfg;
+  dcfg.grid.nx = dcfg.grid.ny = 32;
+  dcfg.grid.extent = 30.0;
+  dcfg.score_threshold = 0.05;  // surface plenty of detections to compare
+  BevDetector det(dcfg, rng);
+  const sim::Scene scene = one_car_scene(12.0, 4.0);
+  const sim::PointCloud pc = lidar.full_scan(scene, rng);
+  const nn::Tensor grid = VoxelGrid::from_cloud(pc, dcfg.grid).to_tensor();
+
+  std::vector<Detection> serial;
+  {
+    util::ScopedGlobalThreads threads(1);
+    serial = det.detect(grid);
+  }
+  for (int threads : equivalence_thread_counts()) {
+    util::ScopedGlobalThreads scoped(threads);
+    const std::vector<Detection> parallel = det.detect(grid);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].cls, serial[i].cls);
+      EXPECT_EQ(parallel[i].score, serial[i].score);
+      EXPECT_EQ(parallel[i].box.center.x, serial[i].box.center.x);
+      EXPECT_EQ(parallel[i].box.center.y, serial[i].box.center.y);
+      EXPECT_EQ(parallel[i].box.center.z, serial[i].box.center.z);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s2a::lidar

@@ -1,0 +1,262 @@
+// Tests for the shared thread pool (util/thread_pool.hpp): sizing and
+// the S2A_THREADS override, exactly-once index coverage, deterministic
+// chunking, exception propagation, inline degradation, nested-submit
+// safety, and span nesting from worker threads (the obs contract the
+// parallel hot paths rely on).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace s2a::util {
+namespace {
+
+// setenv/unsetenv guard so env-override tests can't leak into each other
+// (or into the global pool of later tests).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ThreadPool, ConstructionAndTeardown) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+  }
+  // Teardown with work having been executed.
+  {
+    ThreadPool pool(4);
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 100, 3, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 100);
+  }  // destructor joins here; must not hang or crash
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPool, EnvOverrideSetsSize) {
+  ScopedEnv env("S2A_THREADS", "3");
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), 3);
+}
+
+TEST(ThreadPool, InvalidEnvOverrideIgnored) {
+  {
+    ScopedEnv env("S2A_THREADS", "zebra");
+    EXPECT_GE(ThreadPool().size(), 1);
+  }
+  {
+    ScopedEnv env("S2A_THREADS", "-2");
+    EXPECT_GE(ThreadPool().size(), 1);
+  }
+}
+
+TEST(ThreadPool, ExplicitCountBeatsEnv) {
+  ScopedEnv env("S2A_THREADS", "7");
+  EXPECT_EQ(ThreadPool(2).size(), 2);
+}
+
+TEST(ThreadPool, EnvThreadsOneRunsInline) {
+  ScopedEnv env("S2A_THREADS", "1");
+  ThreadPool pool;
+  ASSERT_EQ(pool.size(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(64);
+  pool.parallel_for(0, ran.size(), 4,
+                    [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+class ThreadPoolCoverageTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolCoverageTest, EveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, n, 7, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ThreadPoolCoverageTest, ChunksPartitionTheRange) {
+  ThreadPool pool(GetParam());
+  const std::size_t begin = 5, end = 105, grain = 9;
+  const std::size_t chunks = ThreadPool::num_chunks(begin, end, grain);
+  std::vector<std::atomic<int>> hits(end);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::atomic<int>> chunk_seen(chunks);
+  for (auto& c : chunk_seen) c.store(0);
+  pool.parallel_for_chunks(
+      begin, end, grain, [&](std::size_t lo, std::size_t hi, std::size_t c) {
+        // Chunk bounds are a pure function of (begin, end, grain, c) —
+        // the determinism contract callers' ordered merges rely on.
+        EXPECT_EQ(lo, begin + c * grain);
+        EXPECT_EQ(hi, std::min(end, lo + grain));
+        chunk_seen[c].fetch_add(1);
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      });
+  for (std::size_t i = 0; i < begin; ++i) EXPECT_EQ(hits[i].load(), 0);
+  for (std::size_t i = begin; i < end; ++i) EXPECT_EQ(hits[i].load(), 1);
+  for (std::size_t c = 0; c < chunks; ++c) EXPECT_EQ(chunk_seen[c].load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ThreadPoolCoverageTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> n{0};
+  pool.parallel_for(10, 10, 1, [&](std::size_t) { n.fetch_add(1); });
+  pool.parallel_for(10, 5, 1, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 0);
+}
+
+TEST(ThreadPool, ZeroGrainIsAnError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10, 0, [](std::size_t) {}), CheckError);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100, 1,
+                          [](std::size_t i) {
+                            if (i == 37) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool stays usable after an exception.
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 50, 4, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 50);
+  }
+}
+
+TEST(ThreadPool, ExceptionSkipsRemainingChunks) {
+  ThreadPool pool(1);  // inline: chunk order is sequential and observable
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for_chunks(0, 100, 10,
+                             [&](std::size_t, std::size_t, std::size_t c) {
+                               executed.fetch_add(1);
+                               if (c == 2) throw std::runtime_error("stop");
+                             });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(executed.load(), 3);  // chunks 0, 1, 2 only
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock) {
+  ThreadPool pool(4);
+  const std::size_t outer = 16, inner = 32;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, outer, 1, [&](std::size_t o) {
+    pool.parallel_for(0, inner, 4, [&](std::size_t i) {
+      hits[o * inner + i].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedLoopsOnWorkersRunInline) {
+  ThreadPool pool(4);
+  std::atomic<int> worker_tasks{0};
+  pool.parallel_for(0, 64, 1, [&](std::size_t) {
+    // Brief sleep so workers get scheduled even on a single-core host
+    // (otherwise the participating caller can claim every chunk first).
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    if (!ThreadPool::on_worker_thread()) return;
+    worker_tasks.fetch_add(1);
+    const std::thread::id me = std::this_thread::get_id();
+    // A nested loop from a worker must execute entirely on that worker.
+    pool.parallel_for(0, 8, 1, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), me);
+    });
+  });
+  // With 3 workers racing a participating caller over 64 chunks, workers
+  // execute at least one (scheduling-dependent, but 64 chunks is plenty).
+  EXPECT_GE(worker_tasks.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolRespondsToSetGlobalThreads) {
+  set_global_threads(3);
+  EXPECT_EQ(global_pool().size(), 3);
+  set_global_threads(0);  // restore default
+  EXPECT_GE(global_pool().size(), 1);
+}
+
+TEST(ThreadPool, ScopedGlobalThreadsRestoresDefault) {
+  {
+    ScopedGlobalThreads scoped(2);
+    EXPECT_EQ(global_pool().size(), 2);
+  }
+  ScopedEnv env("S2A_THREADS", "5");
+  {
+    ScopedGlobalThreads scoped(2);
+    EXPECT_EQ(global_pool().size(), 2);
+  }
+  // After restore, the default re-reads the environment.
+  EXPECT_EQ(global_pool().size(), 5);
+  set_global_threads(0);
+}
+
+// Spans opened inside pool tasks must land on the worker's own track at
+// depth 0, while chunks the caller runs inline nest under the caller's
+// open spans — the "spans nest correctly from worker threads" contract.
+TEST(ThreadPool, TraceSpansNestCorrectlyAcrossThreads) {
+  ThreadPool pool(4);
+  obs::trace_buffer().clear();
+  obs::set_enabled(true);
+  const std::uint32_t base_depth = obs::current_thread_depth();
+  {
+    S2A_TRACE_SCOPE("outer");
+    EXPECT_EQ(obs::current_thread_depth(), base_depth + 1);
+    pool.parallel_for(0, 64, 1, [&](std::size_t) {
+      S2A_TRACE_SCOPE("task");
+      if (ThreadPool::on_worker_thread()) {
+        // Fresh track: the worker has no open parent span.
+        EXPECT_EQ(obs::current_thread_depth(), 1u);
+      } else {
+        // Caller-inline: nests under "outer".
+        EXPECT_EQ(obs::current_thread_depth(), base_depth + 2);
+      }
+    });
+    EXPECT_EQ(obs::current_thread_depth(), base_depth + 1);
+  }
+  EXPECT_EQ(obs::current_thread_depth(), base_depth);
+  obs::set_enabled(false);
+
+  // Exported events: every "task" span carries the depth/tid of the
+  // thread that ran it, and 64 were recorded in total.
+  int tasks = 0;
+  for (const auto& ev : obs::trace_buffer().events()) {
+    if (ev.name == nullptr || std::string(ev.name) != "task") continue;
+    ++tasks;
+    EXPECT_LE(ev.depth, base_depth + 1);
+  }
+  EXPECT_EQ(tasks, 64);
+  obs::trace_buffer().clear();
+}
+
+}  // namespace
+}  // namespace s2a::util
