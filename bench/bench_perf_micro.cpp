@@ -12,6 +12,12 @@
 // pool-sharded hot paths (lidar.voxelize, lidar.ae_reconstruct,
 // fed.round) at 1 thread and at 4 threads and writes serial-vs-parallel
 // p50/p95 latencies plus speedups to the given JSON file.
+// With S2A_BENCH_KERNELS=<out.json> it times the GEMM conv path against
+// the naive-loop oracle (single-threaded) plus the raw nn::gemm shapes
+// the autoencoder runs, and writes BENCH_kernels.json.
+// With S2A_BENCH_BUDGETS=<budgets.json> it becomes the perf regression
+// gate: re-times the budgeted hot paths and exits non-zero if any p95
+// exceeds its recorded budget by more than the file's tolerance.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -19,6 +25,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,8 +37,11 @@
 #include "lidar/autoencoder.hpp"
 #include "lidar/voxel_grid.hpp"
 #include "neuro/spiking.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
+#include "nn/gemm.hpp"
 #include "nn/sequential.hpp"
+#include "util/scratch_arena.hpp"
 #include "obs/obs.hpp"
 #include "sim/dataset.hpp"
 #include "sim/lidar_sim.hpp"
@@ -247,49 +257,78 @@ struct ParallelWorkload {
   std::function<void()> fn;
 };
 
-int run_parallel_report(const char* out_path) {
-  // lidar.voxelize: a 360x32 scan (11520 returns) is well above the
-  // kMinParallelReturns threshold, so the sharded path actually engages.
-  sim::LidarConfig lc;
-  lc.azimuth_steps = 360;
-  lc.elevation_steps = 32;
-  sim::LidarSimulator lidar(lc);
-  Rng rng(7);
-  const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, rng);
-  const sim::PointCloud pc = lidar.full_scan(scene, rng);
-  const lidar::VoxelGridConfig gc;
-
-  // lidar.ae_reconstruct: default 48x48 grid keeps the conv/deconv MACs
-  // above the inline threshold.
+// Inputs for the pool-sharded hot paths, built once and shared by the
+// parallel report, the kernels report, and the budget gate so every mode
+// times the exact same call sequences.
+struct HotPathFixtures {
+  sim::PointCloud pc;
+  lidar::VoxelGridConfig gc;
   lidar::AutoencoderConfig ac;
-  lidar::OccupancyAutoencoder ae(ac, rng);
-  const nn::Tensor bev = nn::Tensor::randn({1, ac.grid.nz, ac.grid.ny, ac.grid.nx}, rng);
-
-  // fed.round: one round over five heterogeneous clients; a fresh Rng
-  // with a fixed seed per rep keeps every rep (and both thread counts)
-  // on the same arithmetic.
-  Rng fed_rng(8);
-  const auto train = sim::make_gaussian_classes(300, 16, 10, 3.0, fed_rng);
-  const auto test = sim::make_gaussian_classes(150, 16, 10, 3.0, fed_rng);
-  const auto shards = sim::dirichlet_partition(train.labels, 5, 10, 0.5, fed_rng);
-  const auto fleet = federated::make_heterogeneous_fleet(5, fed_rng);
+  lidar::OccupancyAutoencoder ae;
+  nn::Tensor bev;
+  sim::ClassificationDataset train;
+  sim::ClassificationDataset test;
+  std::vector<std::vector<int>> shards;
+  std::vector<federated::HardwareProfile> fleet;
   federated::FlConfig fc;
-  fc.rounds = 1;
 
-  std::vector<ParallelWorkload> workloads;
-  workloads.push_back({"lidar.voxelize", 100, [&] {
-                         benchmark::DoNotOptimize(
-                             lidar::VoxelGrid::from_cloud(pc, gc));
-                       }});
-  workloads.push_back({"lidar.ae_reconstruct", 30, [&] {
-                         benchmark::DoNotOptimize(ae.reconstruct(bev));
-                       }});
-  workloads.push_back({"fed.round", 15, [&] {
-                         Rng round_rng(9);
-                         benchmark::DoNotOptimize(federated::run_federated(
-                             federated::FlStrategy::kStaticFl, train, test,
-                             shards, fleet, fc, round_rng));
-                       }});
+  static HotPathFixtures make() {
+    // lidar.voxelize: a 360x32 scan (11520 returns) is well above the
+    // kMinParallelReturns threshold, so the sharded path actually
+    // engages.
+    sim::LidarConfig lc;
+    lc.azimuth_steps = 360;
+    lc.elevation_steps = 32;
+    sim::LidarSimulator lidar(lc);
+    Rng rng(7);
+    const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, rng);
+    sim::PointCloud pc = lidar.full_scan(scene, rng);
+
+    // lidar.ae_reconstruct: default 48x48 grid keeps the conv/deconv
+    // MACs above the inline threshold.
+    lidar::AutoencoderConfig ac;
+    lidar::OccupancyAutoencoder ae(ac, rng);
+    nn::Tensor bev =
+        nn::Tensor::randn({1, ac.grid.nz, ac.grid.ny, ac.grid.nx}, rng);
+
+    // fed.round: one round over five heterogeneous clients; a fresh Rng
+    // with a fixed seed per rep keeps every rep (and both thread
+    // counts) on the same arithmetic.
+    Rng fed_rng(8);
+    auto train = sim::make_gaussian_classes(300, 16, 10, 3.0, fed_rng);
+    auto test = sim::make_gaussian_classes(150, 16, 10, 3.0, fed_rng);
+    auto shards = sim::dirichlet_partition(train.labels, 5, 10, 0.5, fed_rng);
+    auto fleet = federated::make_heterogeneous_fleet(5, fed_rng);
+    federated::FlConfig fc;
+    fc.rounds = 1;
+    return {std::move(pc),    lidar::VoxelGridConfig{}, ac,
+            std::move(ae),    std::move(bev),           std::move(train),
+            std::move(test),  std::move(shards),        std::move(fleet),
+            fc};
+  }
+
+  std::vector<ParallelWorkload> workloads() {
+    std::vector<ParallelWorkload> w;
+    w.push_back({"lidar.voxelize", 100, [this] {
+                   benchmark::DoNotOptimize(
+                       lidar::VoxelGrid::from_cloud(pc, gc));
+                 }});
+    w.push_back({"lidar.ae_reconstruct", 30, [this] {
+                   benchmark::DoNotOptimize(ae.reconstruct(bev));
+                 }});
+    w.push_back({"fed.round", 15, [this] {
+                   Rng round_rng(9);
+                   benchmark::DoNotOptimize(federated::run_federated(
+                       federated::FlStrategy::kStaticFl, train, test, shards,
+                       fleet, fc, round_rng));
+                 }});
+    return w;
+  }
+};
+
+int run_parallel_report(const char* out_path) {
+  HotPathFixtures fx = HotPathFixtures::make();
+  std::vector<ParallelWorkload> workloads = fx.workloads();
 
   std::ofstream out(out_path);
   if (!out) {
@@ -327,13 +366,184 @@ int run_parallel_report(const char* out_path) {
   return 0;
 }
 
+// ---- Kernel report (S2A_BENCH_KERNELS=<out.json>) ----
+//
+// Times lidar.ae_reconstruct single-threaded under the GEMM conv backend
+// and under the naive-loop oracle, plus the raw nn::gemm shapes the
+// autoencoder's conv/deconv layers reduce to (deconvs as their
+// per-phase compact GEMMs). The two reconstruct numbers are bit-exact
+// equal in output — the speedup is pure kernel efficiency.
+int run_kernels_report(const char* out_path) {
+  HotPathFixtures fx = HotPathFixtures::make();
+  util::ScopedGlobalThreads threads(1);
+  const int reps = 60;
+
+  nn::set_conv_backend(nn::ConvBackend::kGemm);
+  const Percentiles gemm_path = percentiles(time_reps(
+      reps, [&] { benchmark::DoNotOptimize(fx.ae.reconstruct(fx.bev)); }));
+  nn::set_conv_backend(nn::ConvBackend::kNaive);
+  const Percentiles naive_path = percentiles(time_reps(
+      reps, [&] { benchmark::DoNotOptimize(fx.ae.reconstruct(fx.bev)); }));
+  nn::set_conv_backend(nn::ConvBackend::kAuto);
+  const double speedup =
+      gemm_path.p50_ms > 0.0 ? naive_path.p50_ms / gemm_path.p50_ms : 0.0;
+  printf("lidar.ae_reconstruct   gemm p50 %8.3f ms p95 %8.3f ms | naive p50 %8.3f ms p95 %8.3f ms | speedup %.2fx\n",
+         gemm_path.p50_ms, gemm_path.p95_ms, naive_path.p50_ms,
+         naive_path.p95_ms, speedup);
+
+  // The dense products behind each autoencoder layer: conv layers are
+  // one [cout, cin*k*k] x [cin*k*k, oh*ow] product, stride-2 deconvs are
+  // four per-phase products over the phase-valid taps.
+  struct GemmShape {
+    const char* name;
+    int m, n, k;
+  } shapes[] = {
+      {"conv1 16x576x36", 16, 576, 36},
+      {"conv2 32x144x144", 32, 144, 144},
+      {"dec1.phase 16x144x128", 16, 144, 128},
+      {"dec2.phase 4x576x64", 4, 576, 64},
+  };
+
+  std::ofstream out(out_path);
+  if (!out) {
+    fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  out << "{\n  \"threads\": 1,\n  \"ae_reconstruct\": {\n"
+      << "    \"gemm\": {\"p50_ms\": " << gemm_path.p50_ms
+      << ", \"p95_ms\": " << gemm_path.p95_ms << "},\n"
+      << "    \"naive\": {\"p50_ms\": " << naive_path.p50_ms
+      << ", \"p95_ms\": " << naive_path.p95_ms << "},\n"
+      << "    \"p50_speedup\": " << speedup << "\n  },\n  \"gemm_shapes\": [\n";
+  const int num_shapes = static_cast<int>(std::size(shapes));
+  for (int i = 0; i < num_shapes; ++i) {
+    const auto& s = shapes[i];
+    Rng rng(11);
+    const nn::Tensor a = nn::Tensor::randn({s.m, s.k}, rng);
+    const nn::Tensor b = nn::Tensor::randn({s.k, s.n}, rng);
+    nn::Tensor c({s.m, s.n});
+    util::ScratchArena arena;
+    const Percentiles p = percentiles(time_reps(400, [&] {
+      nn::gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c.data(), s.n,
+               arena);
+      benchmark::DoNotOptimize(c.data());
+      arena.reset();
+    }));
+    const double gmacs =
+        static_cast<double>(s.m) * s.n * s.k / (p.p50_ms * 1e6);
+    printf("gemm %-22s p50 %8.4f ms  %6.2f GMAC/s\n", s.name, p.p50_ms,
+           gmacs);
+    out << "    {\"name\": \"" << s.name << "\", \"m\": " << s.m
+        << ", \"n\": " << s.n << ", \"k\": " << s.k
+        << ", \"p50_ms\": " << p.p50_ms << ", \"gmacs\": " << gmacs << "}"
+        << (i + 1 < num_shapes ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  printf("Wrote kernel report to %s\n", out_path);
+  return 0;
+}
+
+// ---- Perf regression gate (S2A_BENCH_BUDGETS=<budgets.json>) ----
+//
+// Re-times the budgeted hot paths single-threaded and fails if any p95
+// exceeds its committed budget by more than the file's tolerance
+// (default 1.25: a >25% p95 regression). scripts/check.sh runs this as
+// its `perf` stage; S2A_SKIP_PERF=1 skips it there (e.g. on noisy
+// shared runners).
+
+struct Budget {
+  std::string name;
+  double p95_ms = 0.0;
+};
+
+// Purpose-built scanner for the committed BENCH_budgets.json — the file
+// is machine-written with one "name"/"p95_ms" pair per budget entry, so
+// a full JSON parser would be dead weight here.
+bool parse_budgets(const std::string& text, double* tolerance,
+                   std::vector<Budget>* budgets) {
+  const auto number_after = [&](std::size_t pos, double* out) {
+    pos = text.find(':', pos);
+    if (pos == std::string::npos) return false;
+    *out = std::strtod(text.c_str() + pos + 1, nullptr);
+    return true;
+  };
+  const std::size_t tol_pos = text.find("\"tolerance\"");
+  if (tol_pos == std::string::npos || !number_after(tol_pos, tolerance))
+    return false;
+  std::size_t pos = text.find("\"budgets\"");
+  if (pos == std::string::npos) return false;
+  while ((pos = text.find("\"name\"", pos)) != std::string::npos) {
+    const std::size_t q0 = text.find('"', text.find(':', pos) + 1);
+    const std::size_t q1 = text.find('"', q0 + 1);
+    const std::size_t p95_pos = text.find("\"p95_ms\"", q1);
+    if (q0 == std::string::npos || q1 == std::string::npos ||
+        p95_pos == std::string::npos)
+      return false;
+    Budget b;
+    b.name = text.substr(q0 + 1, q1 - q0 - 1);
+    if (!number_after(p95_pos, &b.p95_ms)) return false;
+    budgets->push_back(std::move(b));
+    pos = p95_pos;
+  }
+  return !budgets->empty();
+}
+
+int run_budget_gate(const char* budgets_path) {
+  std::ifstream in(budgets_path);
+  if (!in) {
+    fprintf(stderr, "cannot read budgets file %s\n", budgets_path);
+    return 1;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  double tolerance = 0.0;
+  std::vector<Budget> budgets;
+  if (!parse_budgets(text, &tolerance, &budgets) || tolerance < 1.0) {
+    fprintf(stderr, "malformed budgets file %s\n", budgets_path);
+    return 1;
+  }
+
+  HotPathFixtures fx = HotPathFixtures::make();
+  std::vector<ParallelWorkload> workloads = fx.workloads();
+  util::ScopedGlobalThreads threads(1);
+  int failures = 0;
+  for (const Budget& b : budgets) {
+    const ParallelWorkload* wl = nullptr;
+    for (const ParallelWorkload& w : workloads)
+      if (b.name == w.name) wl = &w;
+    if (wl == nullptr) {
+      fprintf(stderr, "budget names unknown workload '%s'\n", b.name.c_str());
+      ++failures;
+      continue;
+    }
+    const Percentiles p = percentiles(time_reps(wl->reps, wl->fn));
+    const double limit = b.p95_ms * tolerance;
+    const bool ok = p.p95_ms <= limit;
+    printf("%-22s p95 %8.3f ms  budget %8.3f ms x%.2f = %8.3f ms  %s\n",
+           b.name.c_str(), p.p95_ms, b.p95_ms, tolerance, limit,
+           ok ? "OK" : "FAIL");
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    fprintf(stderr, "perf gate: %d budget(s) exceeded (>%.0f%% p95 regression)\n",
+            failures, (tolerance - 1.0) * 100.0);
+    return 1;
+  }
+  printf("perf gate: all budgets within tolerance\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Parallel report mode replaces the google-benchmark run entirely so
-  // both thread counts execute an identical call sequence.
+  // Report/gate modes replace the google-benchmark run entirely so every
+  // configuration executes an identical call sequence.
   if (const char* out = std::getenv("S2A_BENCH_PARALLEL"))
     return run_parallel_report(out);
+  if (const char* out = std::getenv("S2A_BENCH_KERNELS"))
+    return run_kernels_report(out);
+  if (const char* budgets = std::getenv("S2A_BENCH_BUDGETS"))
+    return run_budget_gate(budgets);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   // S2A_TRACE=<path> traces the instrumented benchmark bodies (voxelize,

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 build + tests, a -Werror configure, an
-# ASan/UBSan build of the full test suite, and a TSan build of the
-# threaded tests. Run from anywhere:
+# ASan/UBSan build of the full test suite, a TSan build of the threaded
+# tests, and the perf regression gate. Run from anywhere:
 #
 #   ./scripts/check.sh            # everything
 #   ./scripts/check.sh tier1      # just the tier-1 verify
 #   ./scripts/check.sh werror     # just the -Werror build
 #   ./scripts/check.sh asan       # just the ASan/UBSan build + full suite
 #   ./scripts/check.sh tsan       # just the TSan build + threaded tests
+#   ./scripts/check.sh perf       # just the perf regression gate
+#
+# S2A_SKIP_PERF=1 skips the perf gate (use on noisy shared runners where
+# p95 latencies aren't meaningful).
 #
 # Each stage uses its own build tree (build/, build-werror/, build-asan/,
 # build-tsan/) so they don't invalidate each other's caches.
@@ -44,13 +48,26 @@ run_tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-tsan -j "$JOBS" \
-    --target thread_pool_test obs_test lidar_test federated_test
-  # Force a multi-threaded global pool so the parallel paths actually run
-  # under TSan even on small CI machines.
+    --target thread_pool_test obs_test nn_kernels_test lidar_test federated_test
+  # Force a multi-threaded global pool — and force the sharded paths past
+  # the effective_parallelism() serial fallback — so the parallel paths
+  # actually run under TSan even on small CI machines.
   S2A_THREADS=4 ./build-tsan/tests/thread_pool_test
   S2A_THREADS=4 ./build-tsan/tests/obs_test
-  S2A_THREADS=4 ./build-tsan/tests/lidar_test
+  S2A_THREADS=4 S2A_FORCE_PARALLEL=1 ./build-tsan/tests/nn_kernels_test
+  S2A_THREADS=4 S2A_FORCE_PARALLEL=1 ./build-tsan/tests/lidar_test
   S2A_THREADS=4 ./build-tsan/tests/federated_test
+}
+
+run_perf() {
+  if [[ "${S2A_SKIP_PERF:-0}" == "1" ]]; then
+    echo "==> perf gate skipped (S2A_SKIP_PERF=1)"
+    return 0
+  fi
+  echo "==> perf regression gate (BENCH_budgets.json, build/)"
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target bench_perf_micro
+  S2A_BENCH_BUDGETS=BENCH_budgets.json ./build/bench/bench_perf_micro
 }
 
 case "$STAGE" in
@@ -58,15 +75,17 @@ case "$STAGE" in
   werror) run_werror ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
+  perf) run_perf ;;
   all)
     run_tier1
     run_werror
     run_asan
     run_tsan
+    run_perf
     echo "==> all checks passed"
     ;;
   *)
-    echo "usage: $0 [tier1|werror|asan|tsan|all]" >&2
+    echo "usage: $0 [tier1|werror|asan|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

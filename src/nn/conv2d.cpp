@@ -1,8 +1,12 @@
 #include "nn/conv2d.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -10,19 +14,48 @@ namespace s2a::nn {
 
 namespace {
 
+std::atomic<ConvBackend> g_backend{ConvBackend::kAuto};
+
 // Forward passes below this many MACs run inline: pool dispatch would
 // cost more than the convolution itself.
 constexpr std::size_t kMinParallelMacs = 1 << 15;
 
 // Splits `total` units of independent work into chunks sized for the
 // global pool (~4 chunks per slot hides worker imbalance) and runs
-// fn(lo, hi) over them. Falls back to one inline call when the work is
-// too small or the pool has a single slot. fn must write disjoint
-// outputs per unit so results are bit-exact at every thread count.
+// fn(lo, hi, band_arena) over them, giving each chunk a private
+// ScratchArena slot for its im2col panel. Falls back to one inline call
+// (slot 0) when the work is too small or effective_parallelism() says
+// sharding cannot win — e.g. an S2A_THREADS override on a 1-core box.
+// fn must write disjoint outputs per unit so results are bit-exact at
+// every thread count.
+void parallel_bands(
+    std::size_t total, std::size_t macs, util::ScratchArena& arena,
+    const std::function<void(std::size_t, std::size_t, util::ScratchArena&)>&
+        fn) {
+  util::ThreadPool& pool = util::global_pool();
+  if (util::effective_parallelism() <= 1 || macs < kMinParallelMacs ||
+      total <= 1) {
+    arena.ensure_slots(1);
+    fn(0, total, arena.slot(0));
+    return;
+  }
+  const std::size_t grain = std::max<std::size_t>(
+      1, total / (static_cast<std::size_t>(pool.size()) * 4));
+  const std::size_t chunks = util::ThreadPool::num_chunks(0, total, grain);
+  arena.ensure_slots(chunks);
+  pool.parallel_for_chunks(0, total, grain,
+                           [&fn, &arena](std::size_t lo, std::size_t hi,
+                                         std::size_t c) {
+                             fn(lo, hi, arena.slot(c));
+                           });
+}
+
+// Row-sharded variant without arena slots, for the naive oracle loops.
 void parallel_rows(std::size_t total, std::size_t macs,
                    const std::function<void(std::size_t, std::size_t)>& fn) {
   util::ThreadPool& pool = util::global_pool();
-  if (pool.size() <= 1 || macs < kMinParallelMacs || total <= 1) {
+  if (util::effective_parallelism() <= 1 || macs < kMinParallelMacs ||
+      total <= 1) {
     fn(0, total);
     return;
   }
@@ -45,6 +78,16 @@ inline std::size_t idx4(int a, int b, int c, int d, int db, int dc, int dd) {
   return ((static_cast<std::size_t>(a) * db + b) * dc + c) * dd + d;
 }
 }  // namespace
+
+void set_conv_backend(ConvBackend backend) { g_backend.store(backend); }
+
+ConvBackend conv_backend() {
+  const ConvBackend b = g_backend.load();
+  if (b != ConvBackend::kAuto) return b;
+  const char* s = std::getenv("S2A_NAIVE_CONV");
+  return (s != nullptr && *s == '1') ? ConvBackend::kNaive
+                                     : ConvBackend::kGemm;
+}
 
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride,
                int padding, Rng& rng)
@@ -70,11 +113,63 @@ Tensor Conv2D::forward(const Tensor& x) {
   last_out_hw_ = static_cast<std::size_t>(oh) * ow;
 
   Tensor y({n, cout_, oh, ow});
+  if (conv_backend() == ConvBackend::kNaive)
+    forward_naive(x, y, n, h, w, oh, ow);
+  else
+    forward_gemm(x, y, n, h, w, oh, ow);
+  return y;
+}
+
+// im2col + blocked-GEMM path. Per image: each band of output rows
+// lowers its input patches into a private column panel (band arena) and
+// multiplies the packed weight panel against it, writing the band's
+// slice of y directly. Bands are disjoint in y and the GEMM accumulates
+// every element in ascending (ic, ky, kx) order — the naive loop's
+// order — so this is bit-exact vs. forward_naive and across thread
+// counts (the band split only changes which elements go together).
+void Conv2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w,
+                          int oh, int ow) {
+  const int kdim = im2col_rows(cin_, k_);
+  const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
+  arena_.reset();
+  // Weights move between forwards during training, so repack per call —
+  // O(cout*cin*k^2), noise next to the GEMM itself.
+  double* wp = arena_.alloc(packed_a_size(cout_, kdim));
+  pack_a(w_.data(), kdim, cout_, kdim, wp);
+
+  const std::size_t macs = static_cast<std::size_t>(cout_) * kdim *
+                           static_cast<std::size_t>(n) * out_hw;
+  for (int b = 0; b < n; ++b) {
+    const double* xb =
+        x.data() + static_cast<std::size_t>(b) * cin_ * h * w;
+    double* yb = y.data() + static_cast<std::size_t>(b) * cout_ * out_hw;
+    parallel_bands(
+        static_cast<std::size_t>(oh), macs, arena_,
+        [&](std::size_t lo, std::size_t hi, util::ScratchArena& band_arena) {
+          const int oy_lo = static_cast<int>(lo), oy_hi = static_cast<int>(hi);
+          const int width = (oy_hi - oy_lo) * ow;
+          band_arena.reset();
+          double* col =
+              band_arena.alloc(static_cast<std::size_t>(kdim) * width);
+          im2col(xb, cin_, h, w, k_, stride_, pad_, ow, oy_lo, oy_hi, col);
+          double* cband = yb + static_cast<std::size_t>(oy_lo) * ow;
+          for (int oc = 0; oc < cout_; ++oc)
+            std::fill_n(cband + static_cast<std::size_t>(oc) * out_hw, width,
+                        b_[static_cast<std::size_t>(oc)]);
+          gemm_packed(cout_, width, kdim, wp, col, width, cband,
+                      static_cast<int>(out_hw));
+        });
+  }
+}
+
+// Direct-loop oracle (S2A_NAIVE_CONV=1): the original implementation,
+// kept verbatim so the kernel equivalence tests have a fixed reference.
+void Conv2D::forward_naive(const Tensor& x, Tensor& y, int n, int h, int w,
+                           int oh, int ow) {
   // Rows (b, oc, oy) are independent — each output element is produced by
   // exactly one row, with a fixed inner summation order, so the sharded
   // and serial passes are bit-identical.
-  const std::size_t total_rows =
-      static_cast<std::size_t>(n) * cout_ * oh;
+  const std::size_t total_rows = static_cast<std::size_t>(n) * cout_ * oh;
   const std::size_t macs = static_cast<std::size_t>(cout_) * cin_ * k_ * k_ *
                            static_cast<std::size_t>(n) * oh * ow;
   parallel_rows(total_rows, macs, [&](std::size_t lo, std::size_t hi) {
@@ -101,7 +196,6 @@ Tensor Conv2D::forward(const Tensor& x) {
       }
     }
   });
-  return y;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_out) {
@@ -163,6 +257,172 @@ Tensor ConvTranspose2D::forward(const Tensor& x) {
   last_in_hw_ = static_cast<std::size_t>(h) * w;
 
   Tensor y({n, cout_, oh, ow});
+  if (conv_backend() == ConvBackend::kNaive)
+    forward_naive(x, y, n, h, w, oh, ow);
+  else
+    forward_gemm(x, y, n, h, w, oh, ow);
+  return y;
+}
+
+// Deconv as flipped-kernel im2col with sub-pixel phase decomposition.
+//
+// Gathering output pixel (oy, ox) over flipped taps visits the
+// scattering inputs in exactly the naive loop's (ic, iy, ix) order
+// (iy/ix ascend as the flipped taps ascend), so the GEMM chain matches
+// the naive scatter per element.
+//
+// For stride 1 every tap can contribute to every output pixel and a
+// single full-K GEMM over im2col_flipped is efficient. For stride s > 1
+// only taps with ky % s == (oy+pad) % s (and likewise for x) pass the
+// phase gate — a full-K GEMM would spend (s*s-1)/(s*s) of its MACs
+// multiplying structural zeros. So the output is split into its s*s
+// sub-pixel phase grids, each with a dense tap list and its own
+// repacked weight panel, and each phase runs a compact GEMM into a
+// scratch tile that is scattered onto y. Dropping the structural zeros
+// removes exact no-op additions from each element's chain, so the
+// result stays bit-identical to the naive scatter.
+void ConvTranspose2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h,
+                                   int w, int oh, int ow) {
+  const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
+  const int s = stride_;
+  arena_.reset();
+
+  // Tap lists per phase: ky values with ky % s == phase, descending so
+  // ascending list order is ascending source row iy.
+  std::vector<std::vector<int>> phase_taps(static_cast<std::size_t>(s));
+  for (int p = 0; p < s; ++p)
+    for (int t = k_ - 1; t >= 0; --t)
+      if (t % s == p) phase_taps[static_cast<std::size_t>(p)].push_back(t);
+
+  // Repacked weight panel per (py, px) phase pair: rows (ic, jy, jx)
+  // over the dense tap lists, matching the phase column matrix below.
+  std::vector<double*> wp(static_cast<std::size_t>(s) * s, nullptr);
+  std::vector<int> kdim_ph(static_cast<std::size_t>(s) * s, 0);
+  for (int py = 0; py < s; ++py)
+    for (int px = 0; px < s; ++px) {
+      const auto& kys = phase_taps[static_cast<std::size_t>(py)];
+      const auto& kxs = phase_taps[static_cast<std::size_t>(px)];
+      const int nky = static_cast<int>(kys.size());
+      const int nkx = static_cast<int>(kxs.size());
+      const int kdim = cin_ * nky * nkx;
+      kdim_ph[static_cast<std::size_t>(py) * s + px] = kdim;
+      if (kdim == 0) continue;
+      double* wph = arena_.alloc(static_cast<std::size_t>(cout_) * kdim);
+      for (int ic = 0; ic < cin_; ++ic)
+        for (int jy = 0; jy < nky; ++jy)
+          for (int jx = 0; jx < nkx; ++jx) {
+            const int r = (ic * nky + jy) * nkx + jx;
+            for (int oc = 0; oc < cout_; ++oc)
+              wph[static_cast<std::size_t>(oc) * kdim + r] =
+                  w_[idx4(ic, oc, kys[static_cast<std::size_t>(jy)],
+                          kxs[static_cast<std::size_t>(jx)], cout_, k_, k_)];
+          }
+      double* packed = arena_.alloc(packed_a_size(cout_, kdim));
+      pack_a(wph, kdim, cout_, kdim, packed);
+      wp[static_cast<std::size_t>(py) * s + px] = packed;
+    }
+
+  const std::size_t macs = static_cast<std::size_t>(cin_) * cout_ * k_ * k_ *
+                           static_cast<std::size_t>(n) * h * w;
+  for (int b = 0; b < n; ++b) {
+    const double* xb =
+        x.data() + static_cast<std::size_t>(b) * cin_ * h * w;
+    double* yb = y.data() + static_cast<std::size_t>(b) * cout_ * out_hw;
+    parallel_bands(
+        static_cast<std::size_t>(oh), macs, arena_,
+        [&](std::size_t lo, std::size_t hi, util::ScratchArena& band_arena) {
+          const int oy_lo = static_cast<int>(lo), oy_hi = static_cast<int>(hi);
+          band_arena.reset();
+          for (int py = 0; py < s; ++py)
+            for (int px = 0; px < s; ++px) {
+              // This phase's output subgrid within the band: rows
+              // oy0, oy0+s, ... and columns ox0, ox0+s, ...
+              int oy0 = oy_lo;
+              while (oy0 < oy_hi && (oy0 + pad_) % s != py) ++oy0;
+              const int ny = oy0 < oy_hi ? (oy_hi - oy0 + s - 1) / s : 0;
+              const int ox0_raw = (px - pad_) % s;
+              const int ox0 = ox0_raw < 0 ? ox0_raw + s : ox0_raw;
+              const int nx = ox0 < ow ? (ow - ox0 + s - 1) / s : 0;
+              if (ny == 0 || nx == 0) continue;
+
+              const int kdim = kdim_ph[static_cast<std::size_t>(py) * s + px];
+              const int nph = ny * nx;
+              if (kdim == 0) {
+                // No tap reaches this phase (kernel shorter than the
+                // stride): those pixels are pure bias.
+                for (int oc = 0; oc < cout_; ++oc)
+                  for (int yi = 0; yi < ny; ++yi) {
+                    double* yrow = yb + static_cast<std::size_t>(oc) * out_hw +
+                                   static_cast<std::size_t>(oy0 + yi * s) * ow;
+                    for (int xi = 0; xi < nx; ++xi)
+                      yrow[ox0 + xi * s] = b_[static_cast<std::size_t>(oc)];
+                  }
+                continue;
+              }
+
+              const auto& kys = phase_taps[static_cast<std::size_t>(py)];
+              const auto& kxs = phase_taps[static_cast<std::size_t>(px)];
+              const int nky = static_cast<int>(kys.size());
+              const int nkx = static_cast<int>(kxs.size());
+              double* col =
+                  band_arena.alloc(static_cast<std::size_t>(kdim) * nph);
+              double* row = col;
+              for (int ic = 0; ic < cin_; ++ic) {
+                const double* plane =
+                    xb + static_cast<std::size_t>(ic) * h * w;
+                for (int jy = 0; jy < nky; ++jy) {
+                  const int ky = kys[static_cast<std::size_t>(jy)];
+                  for (int jx = 0; jx < nkx; ++jx) {
+                    const int kx = kxs[static_cast<std::size_t>(jx)];
+                    for (int yi = 0; yi < ny; ++yi) {
+                      // Phase membership guarantees s divides num_y.
+                      const int num_y = oy0 + yi * s + pad_ - ky;
+                      const int iy = num_y / s;
+                      double* dst = row + static_cast<std::size_t>(yi) * nx;
+                      if (num_y < 0 || iy >= h) {
+                        std::fill_n(dst, nx, 0.0);
+                        continue;
+                      }
+                      const double* src =
+                          plane + static_cast<std::size_t>(iy) * w;
+                      for (int xi = 0; xi < nx; ++xi) {
+                        const int num_x = ox0 + xi * s + pad_ - kx;
+                        const int ix = num_x / s;
+                        dst[xi] = (num_x < 0 || ix >= w) ? 0.0 : src[ix];
+                      }
+                    }
+                    row += static_cast<std::size_t>(nph);
+                  }
+                }
+              }
+
+              double* tile =
+                  band_arena.alloc(static_cast<std::size_t>(cout_) * nph);
+              for (int oc = 0; oc < cout_; ++oc)
+                std::fill_n(tile + static_cast<std::size_t>(oc) * nph, nph,
+                            b_[static_cast<std::size_t>(oc)]);
+              gemm_packed(cout_, nph, kdim,
+                          wp[static_cast<std::size_t>(py) * s + px], col, nph,
+                          tile, nph);
+              for (int oc = 0; oc < cout_; ++oc) {
+                const double* trow = tile + static_cast<std::size_t>(oc) * nph;
+                for (int yi = 0; yi < ny; ++yi) {
+                  double* yrow =
+                      yb + static_cast<std::size_t>(oc) * out_hw +
+                      static_cast<std::size_t>(oy0 + yi * s) * ow;
+                  for (int xi = 0; xi < nx; ++xi)
+                    yrow[ox0 + xi * s] =
+                        trow[static_cast<std::size_t>(yi) * nx + xi];
+                }
+              }
+            }
+        });
+  }
+}
+
+// Direct scatter oracle (S2A_NAIVE_CONV=1): the original implementation.
+void ConvTranspose2D::forward_naive(const Tensor& x, Tensor& y, int n, int h,
+                                    int w, int oh, int ow) {
   // Sharded over bands of output rows: each band scatters only from the
   // input rows that can reach it (iy such that iy*stride + ky - pad lands
   // in [lo, hi)) and skips contributions outside its band, so every
@@ -204,7 +464,6 @@ Tensor ConvTranspose2D::forward(const Tensor& x) {
                   }
               }
       });
-  return y;
 }
 
 Tensor ConvTranspose2D::backward(const Tensor& grad_out) {

@@ -1,14 +1,37 @@
 // 2-D convolution and transposed convolution over NCHW tensors.
 //
 // These back the BEV detector backbones (lidar), the occupancy decoder's
-// upsampling stages, and the optical-flow networks (neuro). Implementations
-// are direct loops — the networks are small and the hot path is measured,
-// not raced.
+// upsampling stages, and the optical-flow networks (neuro).
+//
+// Forward passes run as im2col + cache-blocked GEMM (nn/im2col.hpp,
+// nn/gemm.hpp) with per-layer ScratchArena workspaces — ~4-6x faster
+// than the original direct loops on the occupancy autoencoder shapes —
+// and stay bit-exact against those loops because the lowered matrix
+// rows follow the naive accumulation order (see docs/ARCHITECTURE.md,
+// "Kernels & memory"). The direct loops are retained as the oracle:
+// set S2A_NAIVE_CONV=1 (or set_conv_backend(ConvBackend::kNaive)) to
+// run them instead; the kernel equivalence tests diff the two paths.
+// Backward passes keep the direct loops — pretraining is offline and
+// the analytic gradient checks pin their arithmetic.
 #pragma once
 
 #include "nn/layer.hpp"
+#include "util/scratch_arena.hpp"
 
 namespace s2a::nn {
+
+/// Which forward implementation the conv layers use.
+///  kAuto  — S2A_NAIVE_CONV=1 selects the naive loops, else GEMM.
+///  kGemm  — im2col + blocked GEMM (the default resolution).
+///  kNaive — the original direct loops (the bit-exactness oracle).
+enum class ConvBackend { kAuto, kGemm, kNaive };
+
+/// Process-wide override, primarily for tests and benches; kAuto (the
+/// initial state) defers to the S2A_NAIVE_CONV environment variable,
+/// which is re-read on every forward so setenv mid-process works.
+void set_conv_backend(ConvBackend backend);
+/// The backend the next forward will take: kGemm or kNaive, never kAuto.
+ConvBackend conv_backend();
 
 class Conv2D : public Layer {
  public:
@@ -29,10 +52,17 @@ class Conv2D : public Layer {
   int kernel() const { return k_; }
 
  private:
+  void forward_naive(const Tensor& x, Tensor& y, int n, int h, int w, int oh,
+                     int ow);
+  void forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w, int oh,
+                    int ow);
+
   int cin_, cout_, k_, stride_, pad_;
   Tensor w_, b_, gw_, gb_;  // w: [Cout, Cin, k, k]
   Tensor last_x_;
   mutable std::size_t last_out_hw_ = 0;  // set by forward, used by macs
+  // im2col panels + packed weights; sized on first forward, reused after.
+  util::ScratchArena arena_;
 };
 
 /// Transposed convolution (a.k.a. deconvolution) for decoder upsampling.
@@ -53,10 +83,16 @@ class ConvTranspose2D : public Layer {
   }
 
  private:
+  void forward_naive(const Tensor& x, Tensor& y, int n, int h, int w, int oh,
+                     int ow);
+  void forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w, int oh,
+                    int ow);
+
   int cin_, cout_, k_, stride_, pad_;
   Tensor w_, b_, gw_, gb_;  // w: [Cin, Cout, k, k]
   Tensor last_x_;
   mutable std::size_t last_in_hw_ = 0;
+  util::ScratchArena arena_;
 };
 
 }  // namespace s2a::nn

@@ -1,0 +1,116 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace s2a::nn {
+
+namespace {
+
+// Full MR x NR micro-kernel with compile-time loop bounds so the
+// compiler unrolls the register block and vectorizes the NR loop. The
+// accumulators are loaded from C, swept over the k panel in ascending
+// order, and stored back — one contiguous slice of each C element's
+// accumulation chain.
+void micro_full(int kc, const double* ap, const double* b, int ldb,
+                double* c, int ldc) {
+  double acc[kGemmMR][kGemmNR];
+  for (int i = 0; i < kGemmMR; ++i)
+    for (int j = 0; j < kGemmNR; ++j)
+      acc[i][j] = c[static_cast<std::size_t>(i) * ldc + j];
+  for (int kk = 0; kk < kc; ++kk) {
+    const double* brow = b + static_cast<std::size_t>(kk) * ldb;
+    const double* acol = ap + static_cast<std::size_t>(kk) * kGemmMR;
+    for (int i = 0; i < kGemmMR; ++i) {
+      const double a = acol[i];
+      for (int j = 0; j < kGemmNR; ++j) acc[i][j] += a * brow[j];
+    }
+  }
+  for (int i = 0; i < kGemmMR; ++i)
+    for (int j = 0; j < kGemmNR; ++j)
+      c[static_cast<std::size_t>(i) * ldc + j] = acc[i][j];
+}
+
+// Remainder tile (mr < MR and/or nr < NR). Same per-element arithmetic —
+// `acc += a*b` in ascending k — just with runtime bounds, so edge tiles
+// stay bit-identical to what a bigger kernel would have produced.
+void micro_tail(int kc, const double* ap, const double* b, int ldb,
+                double* c, int ldc, int mr, int nr) {
+  double acc[kGemmMR][kGemmNR] = {};
+  for (int i = 0; i < mr; ++i)
+    for (int j = 0; j < nr; ++j)
+      acc[i][j] = c[static_cast<std::size_t>(i) * ldc + j];
+  for (int kk = 0; kk < kc; ++kk) {
+    const double* brow = b + static_cast<std::size_t>(kk) * ldb;
+    const double* acol = ap + static_cast<std::size_t>(kk) * kGemmMR;
+    for (int i = 0; i < mr; ++i) {
+      const double a = acol[i];
+      for (int j = 0; j < nr; ++j) acc[i][j] += a * brow[j];
+    }
+  }
+  for (int i = 0; i < mr; ++i)
+    for (int j = 0; j < nr; ++j)
+      c[static_cast<std::size_t>(i) * ldc + j] = acc[i][j];
+}
+
+}  // namespace
+
+std::size_t packed_a_size(int m, int k) {
+  const std::size_t panels =
+      (static_cast<std::size_t>(m) + kGemmMR - 1) / kGemmMR;
+  return panels * kGemmMR * static_cast<std::size_t>(k);
+}
+
+void pack_a(const double* a, int lda, int m, int k, double* out) {
+  for (int i0 = 0; i0 < m; i0 += kGemmMR) {
+    const int rows = std::min(kGemmMR, m - i0);
+    for (int kk = 0; kk < k; ++kk) {
+      for (int i = 0; i < rows; ++i)
+        out[i] = a[static_cast<std::size_t>(i0 + i) * lda + kk];
+      for (int i = rows; i < kGemmMR; ++i) out[i] = 0.0;
+      out += kGemmMR;
+    }
+  }
+}
+
+void gemm_packed(int m, int n, int k, const double* a_packed,
+                 const double* b, int ldb, double* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const std::size_t panel_stride =
+      static_cast<std::size_t>(k) * kGemmMR;  // one MR row-panel, all of k
+  for (int jc = 0; jc < n; jc += kGemmNC) {
+    const int nc = std::min(kGemmNC, n - jc);
+    // k panels ascend so each C element's chain stays in k order.
+    for (int pc = 0; pc < k; pc += kGemmKC) {
+      const int kc = std::min(kGemmKC, k - pc);
+      const double* bpanel = b + static_cast<std::size_t>(pc) * ldb + jc;
+      for (int ic = 0; ic < m; ic += kGemmMR) {
+        const int mr = std::min(kGemmMR, m - ic);
+        const double* ap = a_packed +
+                           static_cast<std::size_t>(ic / kGemmMR) *
+                               panel_stride +
+                           static_cast<std::size_t>(pc) * kGemmMR;
+        double* crow = c + static_cast<std::size_t>(ic) * ldc + jc;
+        int jr = 0;
+        if (mr == kGemmMR)
+          for (; jr + kGemmNR <= nc; jr += kGemmNR)
+            micro_full(kc, ap, bpanel + jr, ldb, crow + jr, ldc);
+        for (; jr < nc; jr += kGemmNR)
+          micro_tail(kc, ap, bpanel + jr, ldb, crow + jr, ldc, mr,
+                     std::min(kGemmNR, nc - jr));
+      }
+    }
+  }
+}
+
+void gemm(int m, int n, int k, const double* a, int lda, const double* b,
+          int ldb, double* c, int ldc, util::ScratchArena& arena) {
+  S2A_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0 || k == 0) return;
+  double* ap = arena.alloc(packed_a_size(m, k));
+  pack_a(a, lda, m, k, ap);
+  gemm_packed(m, n, k, ap, b, ldb, c, ldc);
+}
+
+}  // namespace s2a::nn

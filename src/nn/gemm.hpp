@@ -1,0 +1,68 @@
+// Cache-blocked double-precision GEMM for the conv/deconv hot path.
+//
+// Computes C += A * B where A is [m,k], B is [k,n] (row-major, strided)
+// and C is [m,n] (row-major, strided). C must be pre-initialized by the
+// caller — the conv layers seed it with the bias so the whole
+// bias-plus-dot-product chain is a single accumulation stream.
+//
+// Determinism contract (load-bearing — see docs/ARCHITECTURE.md):
+// every C element accumulates its k products in ascending-k order, as
+// one chain of rounded `c += a*b` updates starting from the caller's
+// initial value. Cache blocking (KC panels), register tiling (MR x NR
+// micro-kernel) and any column partitioning the caller layers on top
+// only regroup *which elements* are computed together, never the order
+// of additions within an element — so results are bit-identical to the
+// naive triple loop and invariant under thread-count or tile-size
+// changes. k panels are visited in ascending order and the micro-kernel
+// reloads C between panels, which keeps the per-element chain unbroken.
+//
+// A is consumed in packed form: pack_a() lays the matrix out as
+// row-panels of kGemmMR rows, k-major within the panel, zero-padding the
+// final partial panel. For the conv layers A is the weight matrix, so
+// the packed form is the "repacked weight panel" that lives in the
+// layer's ScratchArena and is rebuilt once per forward (weights move
+// between forwards during training).
+#pragma once
+
+#include <cstddef>
+
+#include "util/scratch_arena.hpp"
+
+namespace s2a::nn {
+
+/// Register micro-tile: MR rows of A against NR columns of B are held in
+/// MR*NR scalar accumulators for the whole k sweep. 2x4 keeps the eight
+/// accumulators plus the A broadcasts and B row inside the 16 SSE2 xmm
+/// registers of baseline x86-64 — larger tiles (4x8 etc.) spill to the
+/// stack and measured ~2x slower on the conv shapes this kernel serves.
+inline constexpr int kGemmMR = 2;
+inline constexpr int kGemmNR = 4;
+/// k-panel depth: one MR-strip of packed A (kGemmKC * kGemmMR doubles =
+/// 4 KiB) plus the touched B rows stay cache-resident per panel.
+inline constexpr int kGemmKC = 256;
+/// Column block: bounds the B working set of a panel sweep to
+/// kGemmKC * kGemmNC doubles (2 MiB worst case; real conv stripes are
+/// far narrower).
+inline constexpr int kGemmNC = 1024;
+
+/// Doubles needed by pack_a for an [m,k] matrix (includes padding of the
+/// last partial MR panel).
+std::size_t packed_a_size(int m, int k);
+
+/// Packs row-major A ([m,k], row stride lda) into MR row-panels:
+/// panel p holds rows [p*MR, p*MR+MR), stored k-major so the micro-kernel
+/// reads MR contiguous values per k step. Rows beyond m are zero-filled.
+void pack_a(const double* a, int lda, int m, int k, double* out);
+
+/// C += A_packed * B with the determinism contract above.
+/// B: row-major [k,n] with row stride ldb; C: row-major [m,n] with row
+/// stride ldc, pre-initialized.
+void gemm_packed(int m, int n, int k, const double* a_packed,
+                 const double* b, int ldb, double* c, int ldc);
+
+/// Convenience wrapper: packs A into `arena` (one alloc, freed by the
+/// caller's next arena.reset()) and runs gemm_packed.
+void gemm(int m, int n, int k, const double* a, int lda, const double* b,
+          int ldb, double* c, int ldc, util::ScratchArena& arena);
+
+}  // namespace s2a::nn

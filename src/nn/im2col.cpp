@@ -1,0 +1,73 @@
+#include "nn/im2col.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace s2a::nn {
+
+void im2col(const double* x, int cin, int h, int w, int k, int stride,
+            int pad, int ow, int oy_lo, int oy_hi, double* col) {
+  const int band = oy_hi - oy_lo;
+  double* out = col;
+  for (int ic = 0; ic < cin; ++ic) {
+    const double* plane = x + static_cast<std::size_t>(ic) * h * w;
+    for (int ky = 0; ky < k; ++ky)
+      for (int kx = 0; kx < k; ++kx) {
+        // One lowered row: tap (ic, ky, kx) for every output pixel in
+        // the band, in (oy, ox) order.
+        for (int oy = oy_lo; oy < oy_hi; ++oy) {
+          double* row = out + static_cast<std::size_t>(oy - oy_lo) * ow;
+          const int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= h) {
+            std::memset(row, 0, sizeof(double) * static_cast<std::size_t>(ow));
+            continue;
+          }
+          const double* src = plane + static_cast<std::size_t>(iy) * w;
+          if (stride == 1) {
+            // Contiguous case: the valid ox span is one memcpy.
+            const int ix0 = kx - pad;  // ix at ox = 0
+            const int ox_lo = std::max(0, -ix0);
+            const int ox_hi = std::min(ow, w - ix0);
+            for (int ox = 0; ox < std::min(ox_lo, ow); ++ox) row[ox] = 0.0;
+            if (ox_hi > ox_lo)
+              std::memcpy(row + ox_lo, src + ix0 + ox_lo,
+                          sizeof(double) *
+                              static_cast<std::size_t>(ox_hi - ox_lo));
+            for (int ox = std::max(ox_lo, ox_hi); ox < ow; ++ox) row[ox] = 0.0;
+          } else {
+            for (int ox = 0; ox < ow; ++ox) {
+              const int ix = ox * stride + kx - pad;
+              row[ox] = (ix < 0 || ix >= w) ? 0.0 : src[ix];
+            }
+          }
+        }
+        out += static_cast<std::size_t>(band) * ow;
+      }
+  }
+}
+
+void col2im(const double* col, int cin, int h, int w, int k, int stride,
+            int pad, int ow, int oy_lo, int oy_hi, double* x) {
+  const int band = oy_hi - oy_lo;
+  const double* in = col;
+  for (int ic = 0; ic < cin; ++ic) {
+    double* plane = x + static_cast<std::size_t>(ic) * h * w;
+    for (int ky = 0; ky < k; ++ky)
+      for (int kx = 0; kx < k; ++kx) {
+        for (int oy = oy_lo; oy < oy_hi; ++oy) {
+          const double* row = in + static_cast<std::size_t>(oy - oy_lo) * ow;
+          const int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= h) continue;
+          double* dst = plane + static_cast<std::size_t>(iy) * w;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= w) continue;
+            dst[ix] += row[ox];
+          }
+        }
+        in += static_cast<std::size_t>(band) * ow;
+      }
+  }
+}
+
+}  // namespace s2a::nn

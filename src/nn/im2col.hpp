@@ -1,0 +1,40 @@
+// Patch lowering for the conv/deconv GEMM path.
+//
+// im2col turns a convolution into a dense matrix product: column j of
+// the lowered matrix holds every input tap that output pixel j reads,
+// and row r walks the kernel taps in the order (in-channel, ky, kx) —
+// the *same* order the naive Conv2D loops accumulate in, so
+// W[cout, cin*k*k] x col[cin*k*k, oh*ow] reproduces the naive forward
+// bit-for-bit (out-of-bounds taps become 0.0, which is an exact no-op
+// on the accumulation chain). See docs/ARCHITECTURE.md.
+//
+// The transposed convolution uses the same idea with the kernel flipped
+// and the taps phase-split by stride; that lowering is specialised
+// enough (dense per-phase tap lists, compact output tiles) that it
+// lives with its only caller in conv2d.cpp rather than here.
+//
+// Both functions operate on a horizontal band of output rows
+// [oy_lo, oy_hi): the pool-sharded conv forwards give each task its own
+// band (and its own ScratchArena slot to hold it).
+#pragma once
+
+namespace s2a::nn {
+
+/// Lowered-matrix row count for a (cin, k) convolution.
+inline int im2col_rows(int cin, int k) { return cin * k * k; }
+
+/// Writes the im2col matrix for output rows [oy_lo, oy_hi) of a direct
+/// convolution over x (one image, [cin, h, w] row-major): col is
+/// [cin*k*k, (oy_hi-oy_lo)*ow] row-major.
+void im2col(const double* x, int cin, int h, int w, int k, int stride,
+            int pad, int ow, int oy_lo, int oy_hi, double* col);
+
+/// Adjoint of im2col: scatters col (layout as above) back onto x,
+/// *accumulating* into it — each input pixel receives one addend per
+/// output pixel that reads it. col2im(im2col(x)) therefore multiplies
+/// every pixel by its read count; the kernel tests rely on that
+/// identity, and conv backward can use it to fold gradient columns.
+void col2im(const double* col, int cin, int h, int w, int k, int stride,
+            int pad, int ow, int oy_lo, int oy_hi, double* x);
+
+}  // namespace s2a::nn

@@ -1,0 +1,89 @@
+#include "util/scratch_arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "util/check.hpp"
+
+namespace s2a::util {
+
+namespace {
+// Smallest block worth carving up: below this the bump pointer's
+// per-alloc rounding overhead rivals the block itself.
+constexpr std::size_t kMinBlockDoubles = 4096;  // 32 KiB
+
+// Doubles per alignment unit; every allocation is rounded up to this so
+// the *next* bump stays kAlignment-aligned without per-call arithmetic
+// on byte addresses.
+constexpr std::size_t kAlignDoubles =
+    ScratchArena::kAlignment / sizeof(double);
+
+std::size_t round_up(std::size_t n) {
+  return (n + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+}
+}  // namespace
+
+void ScratchArena::Block::Free::operator()(double* p) const {
+  ::operator delete[](p, std::align_val_t{ScratchArena::kAlignment});
+}
+
+ScratchArena::Block ScratchArena::make_block(std::size_t count) {
+  double* p = static_cast<double*>(::operator new[](
+      count * sizeof(double), std::align_val_t{kAlignment}));
+  return Block(p, count);
+}
+
+double* ScratchArena::alloc(std::size_t count) {
+  const std::size_t need = round_up(count == 0 ? 1 : count);
+  // Advance through existing blocks first (they survive reset()), then
+  // chain a new block that at least doubles total capacity so a growing
+  // workload converges in O(log size) allocations.
+  while (cur_block_ < blocks_.size() &&
+         blocks_[cur_block_].cap - cur_off_ < need) {
+    ++cur_block_;
+    cur_off_ = 0;
+  }
+  if (cur_block_ == blocks_.size()) {
+    const std::size_t grown =
+        std::max({need, capacity(), kMinBlockDoubles});
+    blocks_.push_back(make_block(grown));
+    cur_off_ = 0;
+  }
+  double* p = blocks_[cur_block_].data.get() + cur_off_;
+  cur_off_ += need;
+  used_ += need;
+  return p;
+}
+
+void ScratchArena::reset() {
+  if (blocks_.size() > 1) {
+    // Coalesce: one block of the combined capacity replaces the chain,
+    // so steady-state frames never hit the allocator again.
+    std::size_t total = capacity();
+    blocks_.clear();
+    blocks_.push_back(make_block(total));
+  }
+  cur_block_ = 0;
+  cur_off_ = 0;
+  used_ = 0;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.cap;
+  return total;
+}
+
+void ScratchArena::ensure_slots(std::size_t n) {
+  while (slots_.size() < n) slots_.push_back(std::make_unique<ScratchArena>());
+}
+
+ScratchArena& ScratchArena::slot(std::size_t i) {
+  S2A_CHECK_MSG(i < slots_.size(),
+                "ScratchArena slot " << i << " requested but only "
+                                     << slots_.size()
+                                     << " reserved (call ensure_slots first)");
+  return *slots_[i];
+}
+
+}  // namespace s2a::util

@@ -93,6 +93,16 @@ class ThreadPool {
 /// hardware_concurrency.
 ThreadPool& global_pool();
 
+/// Parallelism the sharded hot paths can actually convert into speed:
+/// min(global_pool().size(), hardware cores). An S2A_THREADS=4 override
+/// on a 1-core box gives a 4-slot pool but 1 here — BENCH_parallel.json
+/// measured voxelization 7x *slower* sharded in that configuration, so
+/// the hot paths fall back to their serial loops when this is <= 1
+/// (results are bit-exact either way; only the schedule changes).
+/// S2A_FORCE_PARALLEL=1 restores pool.size() regardless of cores, so
+/// tests and TSan runs can drive the sharded paths on any machine.
+std::size_t effective_parallelism();
+
 /// Replaces the global pool with one of the given size (<= 0 restores
 /// the environment/hardware default). Must not race with in-flight
 /// parallel work — intended for tests and benchmark harnesses sweeping

@@ -677,6 +677,7 @@ TEST(DistanceAp, PrefersNearestUnmatchedGroundTruth) {
 // conv/deconv output element is produced by exactly one task in the
 // serial summation order, so all comparisons are bit-exact — no float
 // tolerance is needed at any thread count.
+#include <cstdlib>
 #include <thread>
 
 #include "util/thread_pool.hpp"
@@ -691,6 +692,14 @@ std::vector<int> equivalence_thread_counts() {
   return counts;
 }
 
+// Forces the sharded paths on even when the host has fewer cores than
+// pool slots — util::effective_parallelism() would otherwise fall back
+// to serial and make these equivalence tests vacuous on small CI boxes.
+struct ScopedForceParallel {
+  ScopedForceParallel() { setenv("S2A_FORCE_PARALLEL", "1", 1); }
+  ~ScopedForceParallel() { unsetenv("S2A_FORCE_PARALLEL"); }
+};
+
 std::size_t count_mismatches(const nn::Tensor& a, const nn::Tensor& b) {
   if (a.numel() != b.numel()) return a.numel() + b.numel();
   std::size_t bad = 0;
@@ -701,13 +710,13 @@ std::size_t count_mismatches(const nn::Tensor& a, const nn::Tensor& b) {
 
 TEST(ParallelEquivalence, VoxelizeBitExactAcrossThreadCounts) {
   sim::LidarConfig lc;
-  lc.azimuth_steps = 360;
-  lc.elevation_steps = 16;  // 5760 returns: above the parallel threshold
+  lc.azimuth_steps = 720;
+  lc.elevation_steps = 16;  // 11520 returns: above the parallel threshold
   sim::LidarSimulator lidar(lc);
   Rng rng(101);
   const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, rng);
   const sim::PointCloud pc = lidar.full_scan(scene, rng);
-  ASSERT_GE(pc.returns.size(), 4096u);
+  ASSERT_GE(pc.returns.size(), 10000u);
 
   VoxelGridConfig gc;
   nn::Tensor serial;
@@ -715,6 +724,7 @@ TEST(ParallelEquivalence, VoxelizeBitExactAcrossThreadCounts) {
     util::ScopedGlobalThreads threads(1);
     serial = VoxelGrid::from_cloud(pc, gc).to_tensor();
   }
+  ScopedForceParallel force;
   for (int threads : equivalence_thread_counts()) {
     util::ScopedGlobalThreads scoped(threads);
     const nn::Tensor parallel = VoxelGrid::from_cloud(pc, gc).to_tensor();
@@ -734,6 +744,7 @@ TEST(ParallelEquivalence, AutoencoderReconstructBitExactAcrossThreadCounts) {
     util::ScopedGlobalThreads threads(1);
     serial = ae.reconstruct(in);
   }
+  ScopedForceParallel force;
   for (int threads : equivalence_thread_counts()) {
     util::ScopedGlobalThreads scoped(threads);
     const nn::Tensor parallel = ae.reconstruct(in);
@@ -759,6 +770,7 @@ TEST(ParallelEquivalence, DetectorOutputIdenticalAcrossThreadCounts) {
     util::ScopedGlobalThreads threads(1);
     serial = det.detect(grid);
   }
+  ScopedForceParallel force;
   for (int threads : equivalence_thread_counts()) {
     util::ScopedGlobalThreads scoped(threads);
     const std::vector<Detection> parallel = det.detect(grid);

@@ -1,0 +1,347 @@
+// Equivalence and memory-contract tests for the im2col + blocked-GEMM
+// conv path (nn/gemm.hpp, nn/im2col.hpp, util/scratch_arena.hpp).
+//
+// The load-bearing property is the determinism contract from
+// docs/ARCHITECTURE.md: the GEMM path must reproduce the naive loops
+// bit-for-bit (EXPECT_EQ on doubles, no tolerance) for every shape,
+// stride, padding, and thread count, because the ParallelEquivalence
+// suites and the S2A_NAIVE_CONV oracle both lean on it.
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/scratch_arena.hpp"
+#include "util/thread_pool.hpp"
+
+namespace s2a::nn {
+namespace {
+
+// Restores the backend (and leaves kAuto's env untouched) on scope exit.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(ConvBackend b) { set_conv_backend(b); }
+  ~ScopedBackend() { set_conv_backend(ConvBackend::kAuto); }
+};
+
+// Forces the sharded paths to engage regardless of core count so the
+// thread-count sweeps actually shard on 1-core machines.
+class ScopedForceParallel {
+ public:
+  ScopedForceParallel() { setenv("S2A_FORCE_PARALLEL", "1", 1); }
+  ~ScopedForceParallel() { unsetenv("S2A_FORCE_PARALLEL"); }
+};
+
+// Reference GEMM: the naive triple loop with the same per-element
+// accumulation chain the blocked kernel promises (init from C, then
+// ascending-k `acc += a*b`).
+void naive_gemm(int m, int n, int k, const std::vector<double>& a,
+                const std::vector<double>& b, std::vector<double>& c) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = c[static_cast<std::size_t>(i) * n + j];
+      for (int kk = 0; kk < k; ++kk)
+        acc += a[static_cast<std::size_t>(i) * k + kk] *
+               b[static_cast<std::size_t>(kk) * n + j];
+      c[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+}
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal(0.0, 1.0);
+  return v;
+}
+
+struct GemmShape {
+  int m, n, k;
+};
+
+TEST(Gemm, MatchesNaiveTripleLoopBitExact) {
+  // Shapes chosen to hit k=1, single elements, non-square panels, and
+  // remainder tiles in every dimension (m % MR, n % NR, k % KC).
+  const GemmShape shapes[] = {
+      {1, 1, 1},     {1, 8, 1},    {4, 8, 1},    {3, 5, 7},
+      {4, 16, 36},   {16, 24, 36}, {17, 31, 130}, {5, 9, 257},
+      {32, 144, 144}, {4, 300, 513}, {12, 1, 40},
+  };
+  Rng rng(1234);
+  for (const auto& s : shapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m) * s.k, rng);
+    const auto b = random_vec(static_cast<std::size_t>(s.k) * s.n, rng);
+    // Non-zero init: the contract starts each chain from C's prior value.
+    auto c_ref = random_vec(static_cast<std::size_t>(s.m) * s.n, rng);
+    auto c_gemm = c_ref;
+    naive_gemm(s.m, s.n, s.k, a, b, c_ref);
+    util::ScratchArena arena;
+    gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c_gemm.data(), s.n,
+         arena);
+    for (std::size_t i = 0; i < c_ref.size(); ++i)
+      ASSERT_EQ(c_ref[i], c_gemm[i])
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k << " at " << i;
+  }
+}
+
+TEST(Gemm, PackedASizeCoversPadding) {
+  EXPECT_EQ(packed_a_size(1, 5), static_cast<std::size_t>(kGemmMR) * 5);
+  EXPECT_EQ(packed_a_size(kGemmMR, 3), static_cast<std::size_t>(kGemmMR) * 3);
+  EXPECT_EQ(packed_a_size(kGemmMR + 1, 2),
+            static_cast<std::size_t>(2 * kGemmMR) * 2);
+}
+
+TEST(Im2Col, RoundTripScalesByReadCount) {
+  // col2im(im2col(x)) multiplies each pixel by the number of output
+  // pixels reading it. Integer-valued inputs keep the repeated sums
+  // exact, so the identity can be checked with EXPECT_EQ.
+  const int cin = 3, h = 9, w = 7, k = 3, pad = 1;
+  for (int stride : {1, 2, 3}) {
+    const int oh = (h + 2 * pad - k) / stride + 1;
+    const int ow = (w + 2 * pad - k) / stride + 1;
+    Rng rng(77);
+    std::vector<double> x(static_cast<std::size_t>(cin) * h * w);
+    for (double& v : x)
+      v = static_cast<double>(rng.uniform_int(0, 9));
+    std::vector<double> ones(x.size(), 1.0);
+
+    const std::size_t cols =
+        static_cast<std::size_t>(im2col_rows(cin, k)) * oh * ow;
+    std::vector<double> col(cols), col_ones(cols);
+    im2col(x.data(), cin, h, w, k, stride, pad, ow, 0, oh, col.data());
+    im2col(ones.data(), cin, h, w, k, stride, pad, ow, 0, oh,
+           col_ones.data());
+
+    std::vector<double> back(x.size(), 0.0), counts(x.size(), 0.0);
+    col2im(col.data(), cin, h, w, k, stride, pad, ow, 0, oh, back.data());
+    col2im(col_ones.data(), cin, h, w, k, stride, pad, ow, 0, oh,
+           counts.data());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      ASSERT_EQ(back[i], x[i] * counts[i]) << "stride=" << stride << " i=" << i;
+  }
+}
+
+TEST(Im2Col, BandDecompositionMatchesFullLowering) {
+  // Lowering [0, oh) in one shot must equal lowering bands and
+  // concatenating the column slices — the property the pool sharding
+  // relies on.
+  const int cin = 2, h = 11, w = 8, k = 4, stride = 2, pad = 1;
+  const int oh = (h + 2 * pad - k) / stride + 1;
+  const int ow = (w + 2 * pad - k) / stride + 1;
+  Rng rng(78);
+  const auto x = random_vec(static_cast<std::size_t>(cin) * h * w, rng);
+  const int rows = im2col_rows(cin, k);
+
+  std::vector<double> full(static_cast<std::size_t>(rows) * oh * ow);
+  im2col(x.data(), cin, h, w, k, stride, pad, ow, 0, oh, full.data());
+
+  for (int split = 1; split < oh; ++split) {
+    std::vector<double> lo_band(static_cast<std::size_t>(rows) * split * ow);
+    std::vector<double> hi_band(static_cast<std::size_t>(rows) *
+                                (oh - split) * ow);
+    im2col(x.data(), cin, h, w, k, stride, pad, ow, 0, split, lo_band.data());
+    im2col(x.data(), cin, h, w, k, stride, pad, ow, split, oh,
+           hi_band.data());
+    for (int r = 0; r < rows; ++r) {
+      for (int j = 0; j < split * ow; ++j)
+        ASSERT_EQ(full[static_cast<std::size_t>(r) * oh * ow + j],
+                  lo_band[static_cast<std::size_t>(r) * split * ow + j]);
+      for (int j = 0; j < (oh - split) * ow; ++j)
+        ASSERT_EQ(
+            full[static_cast<std::size_t>(r) * oh * ow + split * ow + j],
+            hi_band[static_cast<std::size_t>(r) * (oh - split) * ow + j]);
+    }
+  }
+}
+
+// ---- Conv forward: GEMM path vs. naive oracle ----
+
+std::size_t diff_count(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) return a.numel() + b.numel();
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    if (a[i] != b[i]) ++bad;
+  return bad;
+}
+
+TEST(ConvBackendEquivalence, Conv2DBitExactAcrossShapes) {
+  Rng rng(42);
+  struct Case {
+    int cin, cout, k, stride, pad, h, w;
+  };
+  const Case cases[] = {
+      {1, 1, 1, 1, 0, 5, 5},   {2, 3, 3, 1, 1, 7, 5},
+      {3, 4, 3, 2, 1, 9, 11},  {4, 16, 3, 2, 1, 48, 48},
+      {2, 5, 5, 3, 2, 13, 17}, {1, 2, 4, 2, 1, 10, 6},
+      {6, 4, 3, 1, 0, 9, 9},
+  };
+  for (const auto& c : cases) {
+    Conv2D conv(c.cin, c.cout, c.k, c.stride, c.pad, rng);
+    const Tensor x = Tensor::randn({2, c.cin, c.h, c.w}, rng);
+    Tensor naive, fast;
+    {
+      ScopedBackend backend(ConvBackend::kNaive);
+      naive = conv.forward(x);
+    }
+    {
+      ScopedBackend backend(ConvBackend::kGemm);
+      fast = conv.forward(x);
+    }
+    EXPECT_EQ(diff_count(naive, fast), 0u)
+        << "cin=" << c.cin << " cout=" << c.cout << " k=" << c.k
+        << " stride=" << c.stride << " pad=" << c.pad << " h=" << c.h
+        << " w=" << c.w;
+  }
+}
+
+TEST(ConvBackendEquivalence, ConvTranspose2DBitExactAcrossShapes) {
+  Rng rng(43);
+  struct Case {
+    int cin, cout, k, stride, pad, h, w;
+  };
+  const Case cases[] = {
+      {1, 1, 1, 1, 0, 5, 5},  {3, 2, 3, 1, 1, 7, 5},
+      {2, 3, 4, 2, 1, 9, 11}, {32, 16, 4, 2, 1, 12, 12},
+      {2, 2, 5, 3, 2, 6, 7},  {4, 1, 3, 2, 0, 5, 9},
+  };
+  for (const auto& c : cases) {
+    ConvTranspose2D deconv(c.cin, c.cout, c.k, c.stride, c.pad, rng);
+    const Tensor x = Tensor::randn({2, c.cin, c.h, c.w}, rng);
+    Tensor naive, fast;
+    {
+      ScopedBackend backend(ConvBackend::kNaive);
+      naive = deconv.forward(x);
+    }
+    {
+      ScopedBackend backend(ConvBackend::kGemm);
+      fast = deconv.forward(x);
+    }
+    EXPECT_EQ(diff_count(naive, fast), 0u)
+        << "cin=" << c.cin << " cout=" << c.cout << " k=" << c.k
+        << " stride=" << c.stride << " pad=" << c.pad << " h=" << c.h
+        << " w=" << c.w;
+  }
+}
+
+TEST(ConvBackendEquivalence, EnvVarSelectsNaiveOracle) {
+  set_conv_backend(ConvBackend::kAuto);
+  setenv("S2A_NAIVE_CONV", "1", 1);
+  EXPECT_EQ(conv_backend(), ConvBackend::kNaive);
+  unsetenv("S2A_NAIVE_CONV");
+  EXPECT_EQ(conv_backend(), ConvBackend::kGemm);
+}
+
+TEST(ConvBackendEquivalence, GemmPathBitExactAcrossThreadCounts) {
+  // The band split changes with the thread count; the per-element
+  // accumulation chain must not. Forced-parallel so this shards even on
+  // a 1-core box (and genuinely exercises arena slots under TSan).
+  ScopedForceParallel force;
+  ScopedBackend backend(ConvBackend::kGemm);
+  Rng rng(44);
+  Conv2D conv(4, 16, 3, 2, 1, rng);
+  ConvTranspose2D deconv(16, 4, 4, 2, 1, rng);
+  const Tensor x = Tensor::randn({1, 4, 48, 48}, rng);
+  const Tensor z = Tensor::randn({1, 16, 24, 24}, rng);
+
+  Tensor conv_serial, deconv_serial;
+  {
+    util::ScopedGlobalThreads threads(1);
+    conv_serial = conv.forward(x);
+    deconv_serial = deconv.forward(z);
+  }
+  for (int threads : {2, 3, 4, 7}) {
+    util::ScopedGlobalThreads scoped(threads);
+    EXPECT_EQ(diff_count(conv_serial, conv.forward(x)), 0u)
+        << threads << " threads";
+    EXPECT_EQ(diff_count(deconv_serial, deconv.forward(z)), 0u)
+        << threads << " threads";
+  }
+}
+
+// ---- ScratchArena ----
+
+TEST(ScratchArena, AllocationsAreAligned) {
+  util::ScratchArena arena;
+  for (std::size_t count : {1u, 3u, 64u, 1000u, 5000u}) {
+    double* p = arena.alloc(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                  util::ScratchArena::kAlignment,
+              0u)
+        << "count=" << count;
+  }
+}
+
+TEST(ScratchArena, FrameAllocationsDoNotOverlap) {
+  util::ScratchArena arena;
+  double* a = arena.alloc(100);
+  double* b = arena.alloc(50);
+  double* c = arena.alloc(7000);  // forces a second block mid-frame
+  for (int i = 0; i < 100; ++i) a[i] = 1.0;
+  for (int i = 0; i < 50; ++i) b[i] = 2.0;
+  for (int i = 0; i < 7000; ++i) c[i] = 3.0;
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a[i], 1.0);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(b[i], 2.0);
+  EXPECT_GE(arena.used(), 7150u);
+}
+
+TEST(ScratchArena, GrowOnlyReuseAfterReset) {
+  util::ScratchArena arena;
+  arena.alloc(3000);
+  arena.alloc(3000);
+  const std::size_t cap = arena.capacity();
+  EXPECT_GE(cap, 6000u);
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  // Same demand again: capacity must not grow (grow-only, but
+  // converged), and the first allocation must come from the coalesced
+  // block's base — i.e. no allocator traffic in steady state.
+  double* p1 = arena.alloc(3000);
+  arena.alloc(3000);
+  EXPECT_EQ(arena.capacity(), cap);
+  arena.reset();
+  EXPECT_EQ(arena.alloc(3000), p1);
+}
+
+TEST(ScratchArena, SlotsAreIndependentUnderPoolTasks) {
+  util::ScopedGlobalThreads threads(4);
+  util::ScratchArena arena;
+  const std::size_t kSlots = 8;
+  arena.ensure_slots(kSlots);
+  EXPECT_EQ(arena.slots(), kSlots);
+  // Each task hammers its own slot; any cross-slot sharing of the bump
+  // pointer or backing blocks shows up as corrupted sums (and as a race
+  // under TSan).
+  std::vector<double> sums(kSlots, 0.0);
+  util::global_pool().parallel_for_chunks(
+      0, kSlots, 1, [&](std::size_t lo, std::size_t, std::size_t c) {
+        util::ScratchArena& slot = arena.slot(c);
+        for (int rep = 0; rep < 50; ++rep) {
+          slot.reset();
+          double* buf = slot.alloc(512);
+          for (int i = 0; i < 512; ++i)
+            buf[i] = static_cast<double>(lo + 1);
+          double s = 0.0;
+          for (int i = 0; i < 512; ++i) s += buf[i];
+          sums[c] = s;
+        }
+      });
+  for (std::size_t i = 0; i < kSlots; ++i)
+    EXPECT_EQ(sums[i], 512.0 * static_cast<double>(i + 1));
+}
+
+TEST(ScratchArena, EnsureSlotsNeverShrinks) {
+  util::ScratchArena arena;
+  arena.ensure_slots(4);
+  arena.slot(3).alloc(100);
+  const std::size_t cap = arena.slot(3).capacity();
+  arena.ensure_slots(2);
+  EXPECT_EQ(arena.slots(), 4u);
+  EXPECT_EQ(arena.slot(3).capacity(), cap);
+}
+
+}  // namespace
+}  // namespace s2a::nn
