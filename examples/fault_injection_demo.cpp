@@ -1,0 +1,206 @@
+// Fault injection & graceful degradation (docs/RESILIENCE.md): a
+// sensing-to-action loop driven through a scripted gauntlet of sensor
+// faults — dropout, NaN payloads, a latency spike, a stuck frame, and a
+// spoofed-magnitude burst that a STARNet-style trust monitor vetoes.
+// The loop's NOMINAL → DEGRADED → (recover | SAFE_STOP) state machine
+// absorbs each fault; the demo prints the state timeline and the
+// resilience counters, then re-runs a harsher plan that latches SAFE_STOP.
+//
+// Knobs:  S2A_FAULT_SEED=<n>  appends a random fault plan phase seeded
+//         with n on top of the scripted windows (default: scripted only).
+//
+// Build & run:  ./build/examples/fault_injection_demo
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/loop.hpp"
+#include "core/policies.hpp"
+#include "fault/fault.hpp"
+#include "obs/exporter.hpp"
+#include "obs/obs.hpp"
+#include "util/table.hpp"
+
+using namespace s2a;
+
+namespace {
+
+/// A well-behaved rangefinder — except during the spoof window, when an
+/// adversarial emitter multiplies its readings far beyond anything the
+/// clean distribution produces. The payload stays finite, so only the
+/// trust monitor can catch it.
+class RangeSensor : public core::Sensor {
+ public:
+  core::Observation sense(double now, Rng& rng) override {
+    core::Observation obs;
+    double v = 10.0 + 2.0 * std::sin(0.8 * now) + rng.normal(0.0, 0.05);
+    if (now >= spoof_start && now < spoof_end) v *= 40.0;
+    obs.data = {v};
+    obs.timestamp = now;
+    obs.energy_j = 2e-3;
+    return obs;
+  }
+  double spoof_start = 0.0, spoof_end = 0.0;
+};
+
+class GainProcessor : public core::Processor {
+ public:
+  std::vector<double> process(const core::Observation& obs, Rng&) override {
+    return {0.1 * obs.data[0]};
+  }
+};
+
+class LoggingActuator : public core::Actuator {
+ public:
+  void actuate(const core::Action& action, Rng&) override {
+    last = action.data[0];
+    ++count;
+  }
+  double last = 0.0;
+  long count = 0;
+};
+
+/// STARNet stand-in: trusts an observation iff its magnitude lies inside
+/// the band the clean sensor was calibrated on.
+class MagnitudeMonitor : public core::TrustMonitor {
+ public:
+  MagnitudeMonitor(double lo, double hi) : lo_(lo), hi_(hi) {}
+  bool trusted(const core::Observation& obs, Rng&) override {
+    for (double v : obs.data)
+      if (v < lo_ || v > hi_) return false;
+    return true;
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+const char* phase_label(double t) {
+  if (t < 2.0) return "clean";
+  if (t < 3.0) return "dropout";
+  if (t < 4.0) return "clean";
+  if (t < 5.0) return "nan payload";
+  if (t < 6.0) return "clean";
+  if (t < 7.0) return "latency spike";
+  if (t < 8.0) return "clean";
+  if (t < 9.0) return "stuck frame";
+  if (t < 10.0) return "clean";
+  if (t < 11.0) return "spoofed magnitude";
+  return "clean tail";
+}
+
+core::LoopConfig demo_config() {
+  core::LoopConfig cfg;
+  cfg.dt = 0.1;
+  cfg.sensing_latency = 0.02;
+  cfg.resilience.max_sense_retries = 1;
+  cfg.resilience.max_staleness_s = 0.5;
+  cfg.resilience.fallback = core::FallbackPolicy::kHoldLastAction;
+  cfg.resilience.degrade_after = 2;
+  cfg.resilience.recover_after = 3;
+  cfg.resilience.safe_stop_after = 25;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const bool obs_on = obs::init_from_env();
+  std::cout << "Fault injection gauntlet on the sensing-to-action loop\n\n";
+
+  // Scripted component faults, one window per failure mode.
+  std::vector<fault::FaultEvent> events{
+      {fault::FaultKind::kDropout, 2.0, 3.0, -1, 0.0},
+      {fault::FaultKind::kNaNPayload, 4.0, 5.0, -1, 0.0},
+      {fault::FaultKind::kLatencySpike, 6.0, 7.0, -1, 0.8},
+      {fault::FaultKind::kStuckPayload, 8.0, 9.0, -1, 0.0},
+  };
+  if (const char* seed_env = std::getenv("S2A_FAULT_SEED")) {
+    const auto extra = fault::FaultPlan::random_component_plan(
+        std::strtoull(seed_env, nullptr, 10), 12.0, 3, 0.6);
+    events.insert(events.end(), extra.events().begin(), extra.events().end());
+    std::cout << "(S2A_FAULT_SEED=" << seed_env << ": added "
+              << extra.events().size() << " random fault windows)\n\n";
+  }
+
+  RangeSensor inner;
+  inner.spoof_start = 10.0;  // handled by the monitor, not the fault plan
+  inner.spoof_end = 11.0;
+  fault::FaultySensor sensor(inner, fault::FaultPlan(events));
+  GainProcessor processor;
+  LoggingActuator actuator;
+  core::PeriodicPolicy policy(1);
+  MagnitudeMonitor monitor(5.0, 15.0);
+  core::SensingActionLoop loop(sensor, processor, actuator, policy,
+                               demo_config(), &monitor);
+
+  Rng rng(11);
+  Table timeline("State timeline (dt = 0.1 s, 13 s horizon)");
+  timeline.set_header({"t (s)", "phase", "transition"});
+  core::LoopState prev = loop.state();
+  for (int tick = 0; tick < 130; ++tick) {
+    const double t = loop.now();
+    loop.tick(rng);
+    if (loop.state() != prev) {
+      timeline.add_row({Table::num(t, 1), phase_label(t),
+                        std::string(core::state_name(prev)) + " -> " +
+                            core::state_name(loop.state())});
+      prev = loop.state();
+    }
+  }
+  timeline.print(std::cout);
+
+  const core::LoopMetrics& m = loop.metrics();
+  Table counters("Resilience counters after the gauntlet");
+  counters.set_header({"counter", "value"});
+  counters.add_row({"ticks", std::to_string(m.ticks)});
+  counters.add_row({"actions actuated", std::to_string(actuator.count)});
+  counters.add_row({"sensor faults (dropouts)", std::to_string(m.sensor_faults)});
+  counters.add_row({"sense retries", std::to_string(m.sense_retries)});
+  counters.add_row({"non-finite obs quarantined", std::to_string(m.quarantined)});
+  counters.add_row({"monitor vetoes", std::to_string(m.vetoed)});
+  counters.add_row({"staleness violations", std::to_string(m.staleness_violations)});
+  counters.add_row({"fallback actions", std::to_string(m.fallback_actions)});
+  counters.add_row({"degradations / recoveries",
+                    std::to_string(m.degradations) + " / " +
+                        std::to_string(m.recoveries)});
+  counters.add_row({"ticks spent degraded", std::to_string(m.degraded_ticks)});
+  counters.add_row({"safe stops", std::to_string(m.safe_stops)});
+  std::cout << "\n";
+  counters.print(std::cout);
+  std::cout << "\nFinal state: " << core::state_name(loop.state())
+            << " — every fault window was absorbed and the loop recovered;\n"
+            << "no NaN ever reached the actuator (last command = "
+            << Table::num(actuator.last, 3) << ").\n\n";
+
+  // Second act: a sensor that dies for good. The hold-last fallback keeps
+  // commands flowing only until the bad streak crosses safe_stop_after,
+  // then the loop latches SAFE_STOP and refuses to actuate on fiction.
+  std::cout << "Re-running with a permanently dead sensor...\n";
+  RangeSensor inner2;
+  fault::FaultySensor dead(
+      inner2, fault::FaultPlan({{fault::FaultKind::kDropout, 3.0, 1e9}}));
+  LoggingActuator actuator2;
+  core::SensingActionLoop doomed(dead, processor, actuator2, policy,
+                                 demo_config(), &monitor);
+  Rng rng2(12);
+  doomed.run(200, rng2);
+  const core::LoopMetrics& dm = doomed.metrics();
+  std::cout << "  state after 20 s: " << core::state_name(doomed.state())
+            << " (degraded at tick "
+            << (dm.ticks - dm.safe_stop_ticks - dm.degraded_ticks)
+            << ", latched after " << dm.degraded_ticks << " degraded ticks; "
+            << dm.safe_stop_ticks << " ticks parked in SAFE_STOP)\n";
+
+  if (obs_on) {
+    std::cout << "\n";
+    obs::TableExporter().export_metrics(obs::registry().snapshot(),
+                                        std::cout);
+    if (obs::dump_trace())
+      std::cout << "\nWrote Chrome trace to " << obs::trace_path()
+                << " — open it at https://ui.perfetto.dev\n";
+  }
+  return 0;
+}

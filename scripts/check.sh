@@ -48,7 +48,7 @@ run_tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-tsan -j "$JOBS" \
-    --target thread_pool_test obs_test nn_kernels_test lidar_test federated_test
+    --target thread_pool_test obs_test nn_kernels_test lidar_test federated_test fault_test
   # Force a multi-threaded global pool — and force the sharded paths past
   # the effective_parallelism() serial fallback — so the parallel paths
   # actually run under TSan even on small CI machines.
@@ -57,6 +57,8 @@ run_tsan() {
   S2A_THREADS=4 S2A_FORCE_PARALLEL=1 ./build-tsan/tests/nn_kernels_test
   S2A_THREADS=4 S2A_FORCE_PARALLEL=1 ./build-tsan/tests/lidar_test
   S2A_THREADS=4 ./build-tsan/tests/federated_test
+  # Chaos suite: fault injection + degradation under a threaded pool.
+  S2A_THREADS=4 ./build-tsan/tests/fault_test
 }
 
 run_perf() {

@@ -2,8 +2,33 @@
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/finite.hpp"
 
 namespace s2a::core {
+
+const char* fallback_name(FallbackPolicy policy) {
+  switch (policy) {
+    case FallbackPolicy::kHoldLastAction:
+      return "hold_last_action";
+    case FallbackPolicy::kZeroAction:
+      return "zero_action";
+    case FallbackPolicy::kSafeStop:
+      return "safe_stop";
+  }
+  return "?";
+}
+
+const char* state_name(LoopState state) {
+  switch (state) {
+    case LoopState::kNominal:
+      return "NOMINAL";
+    case LoopState::kDegraded:
+      return "DEGRADED";
+    case LoopState::kSafeStop:
+      return "SAFE_STOP";
+  }
+  return "?";
+}
 
 SensingActionLoop::SensingActionLoop(Sensor& sensor, Processor& processor,
                                      Actuator& actuator, SensingPolicy& policy,
@@ -16,25 +41,52 @@ SensingActionLoop::SensingActionLoop(Sensor& sensor, Processor& processor,
       monitor_(monitor) {
   S2A_CHECK(cfg_.dt > 0.0);
   S2A_CHECK(cfg_.sensing_latency >= 0.0 && cfg_.processing_latency >= 0.0);
+  const ResilienceConfig& rc = cfg_.resilience;
+  S2A_CHECK(rc.max_sense_retries >= 0);
+  S2A_CHECK(rc.retry_backoff_s >= 0.0);
+  S2A_CHECK(rc.max_staleness_s > 0.0);
+  S2A_CHECK(rc.degrade_after >= 0 && rc.safe_stop_after >= 0);
+  S2A_CHECK(rc.recover_after >= 1);
 }
 
-void SensingActionLoop::tick(Rng& rng) {
-  S2A_TRACE_SCOPE_CAT("loop.tick", "core");
-  ++metrics_.ticks;
-
-  const Observation* current = has_observation_ ? &last_obs_ : nullptr;
-  if (policy_.should_sense(now_, current, rng)) {
+bool SensingActionLoop::sense_with_retries(Rng& rng) {
+  const ResilienceConfig& rc = cfg_.resilience;
+  const int attempts = 1 + rc.max_sense_retries;
+  double backoff_s = 0.0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++metrics_.sense_retries;
+      S2A_COUNTER_ADD("loop.sense_retries", 1);
+      // Linear backoff: the k-th retry waits k * retry_backoff_s. The
+      // wait is modeled, not slept — it ages the eventual observation.
+      backoff_s += rc.retry_backoff_s * attempt;
+    }
     Observation obs;
-    {
+    try {
       S2A_TRACE_SCOPE_CAT("loop.sense", "core");
       obs = sensor_.sense(now_, rng);
+    } catch (const SensorFault&) {
+      ++metrics_.sensor_faults;
+      S2A_COUNTER_ADD("loop.sensor_faults", 1);
+      continue;
     }
     ++metrics_.senses;
     S2A_COUNTER_ADD("loop.senses", 1);
     metrics_.sensing_energy_j += obs.energy_j;
     // Acquisition latency: the data describes the world as of now, but it
-    // becomes available `sensing_latency` later; model by backdating.
-    obs.timestamp = now_ - cfg_.sensing_latency;
+    // becomes available `sensing_latency` (plus any sensor-reported extra
+    // delay and retry backoff) later; model by backdating.
+    obs.timestamp =
+        now_ - cfg_.sensing_latency - obs.extra_latency_s - backoff_s;
+
+    // Boundary validation: a payload with NaN/Inf anywhere is quarantined
+    // — it never becomes the loop's current observation. Treated like a
+    // fault: the remaining retry budget may still yield clean data.
+    if (!util::all_finite(obs.data)) {
+      ++metrics_.quarantined;
+      S2A_COUNTER_ADD("loop.quarantined", 1);
+      continue;
+    }
 
     bool trusted = true;
     if (monitor_ != nullptr) {
@@ -44,32 +96,150 @@ void SensingActionLoop::tick(Rng& rng) {
     if (trusted) {
       last_obs_ = std::move(obs);
       has_observation_ = true;
-    } else {
-      ++metrics_.vetoed;
-      S2A_COUNTER_ADD("loop.vetoed", 1);
+      return true;
     }
+    ++metrics_.vetoed;
+    S2A_COUNTER_ADD("loop.vetoed", 1);
+    // A veto is a judgement on well-formed data, not an acquisition
+    // failure — retrying the same instant would just re-sample the same
+    // distrusted world, so the tick gives up here.
+    return false;
+  }
+  return false;
+}
+
+void SensingActionLoop::apply_fallback(Rng& rng) {
+  switch (cfg_.resilience.fallback) {
+    case FallbackPolicy::kHoldLastAction:
+      if (has_action_) {
+        ++metrics_.fallback_actions;
+        S2A_COUNTER_ADD("loop.fallback_actions", 1);
+        S2A_TRACE_SCOPE_CAT("loop.actuate", "core");
+        actuator_.actuate(last_action_, rng);
+      }
+      break;
+    case FallbackPolicy::kZeroAction:
+      if (has_action_) {
+        Action zero;
+        zero.data.assign(last_action_.data.size(), 0.0);
+        zero.based_on_timestamp = last_action_.based_on_timestamp;
+        last_action_ = zero;
+        ++metrics_.fallback_actions;
+        S2A_COUNTER_ADD("loop.fallback_actions", 1);
+        S2A_TRACE_SCOPE_CAT("loop.actuate", "core");
+        actuator_.actuate(zero, rng);
+      }
+      break;
+    case FallbackPolicy::kSafeStop:
+      enter_safe_stop();
+      break;
+  }
+}
+
+void SensingActionLoop::enter_safe_stop() {
+  if (state_ == LoopState::kSafeStop) return;
+  state_ = LoopState::kSafeStop;
+  ++metrics_.safe_stops;
+  S2A_COUNTER_ADD("loop.safe_stops", 1);
+}
+
+void SensingActionLoop::update_state_machine(bool bad_tick) {
+  const ResilienceConfig& rc = cfg_.resilience;
+  if (bad_tick) {
+    ++bad_streak_;
+    good_streak_ = 0;
+  } else {
+    ++good_streak_;
+    bad_streak_ = 0;
+  }
+  switch (state_) {
+    case LoopState::kNominal:
+      if (rc.degrade_after > 0 && bad_streak_ >= rc.degrade_after) {
+        state_ = LoopState::kDegraded;
+        ++metrics_.degradations;
+        S2A_COUNTER_ADD("loop.degradations", 1);
+      }
+      break;
+    case LoopState::kDegraded:
+      if (good_streak_ >= rc.recover_after) {
+        state_ = LoopState::kNominal;
+        ++metrics_.recoveries;
+        S2A_COUNTER_ADD("loop.recoveries", 1);
+      } else if (rc.safe_stop_after > 0 && bad_streak_ >= rc.safe_stop_after) {
+        enter_safe_stop();
+      }
+      break;
+    case LoopState::kSafeStop:
+      break;
+  }
+  if (state_ == LoopState::kDegraded) {
+    ++metrics_.degraded_ticks;
+    S2A_COUNTER_ADD("loop.degraded_ticks", 1);
+    S2A_GAUGE_SET("loop.time_in_degraded_s", metrics_.degraded_ticks * cfg_.dt);
+  }
+  S2A_GAUGE_SET("loop.state", static_cast<double>(state_));
+}
+
+void SensingActionLoop::tick(Rng& rng) {
+  S2A_TRACE_SCOPE_CAT("loop.tick", "core");
+  ++metrics_.ticks;
+
+  if (state_ == LoopState::kSafeStop) {
+    // Latched halt: no sensing, no actuation; only time advances.
+    ++metrics_.safe_stop_ticks;
+    S2A_COUNTER_ADD("loop.safe_stop_ticks", 1);
+    now_ += cfg_.dt;
+    return;
+  }
+
+  bool bad_tick = false;
+  const Observation* current = has_observation_ ? &last_obs_ : nullptr;
+  if (policy_.should_sense(now_, current, rng)) {
+    if (!sense_with_retries(rng)) bad_tick = true;
   }
 
   if (has_observation_) {
-    Action action;
-    {
-      S2A_TRACE_SCOPE_CAT("loop.process", "core");
-      action.data = processor_.process(last_obs_, rng);
-    }
-    metrics_.processing_energy_j += processor_.energy_per_call_j();
-    action.based_on_timestamp = last_obs_.timestamp;
-
     const double act_time = now_ + cfg_.processing_latency;
-    metrics_.total_staleness_s += act_time - last_obs_.timestamp;
-    S2A_HISTOGRAM_RECORD("loop.staleness_s", act_time - last_obs_.timestamp);
-    ++metrics_.actions;
-    S2A_COUNTER_ADD("loop.actions", 1);
-    {
-      S2A_TRACE_SCOPE_CAT("loop.actuate", "core");
-      actuator_.actuate(action, rng);
+    const double age = act_time - last_obs_.timestamp;
+    if (age > cfg_.resilience.max_staleness_s) {
+      // Too stale to act on: substitute per the fallback policy instead
+      // of processing year-old data as if it were fresh.
+      bad_tick = true;
+      ++metrics_.staleness_violations;
+      S2A_COUNTER_ADD("loop.staleness_violations", 1);
+      apply_fallback(rng);
+    } else {
+      Action action;
+      {
+        S2A_TRACE_SCOPE_CAT("loop.process", "core");
+        action.data = processor_.process(last_obs_, rng);
+      }
+      metrics_.processing_energy_j += processor_.energy_per_call_j();
+      action.based_on_timestamp = last_obs_.timestamp;
+
+      if (!util::all_finite(action.data)) {
+        // Actuation boundary: a non-finite command never reaches the
+        // plant. Blocked, counted, and substituted like a stale tick.
+        bad_tick = true;
+        ++metrics_.quarantined_actions;
+        S2A_COUNTER_ADD("loop.quarantined_actions", 1);
+        apply_fallback(rng);
+      } else {
+        metrics_.total_staleness_s += age;
+        S2A_HISTOGRAM_RECORD("loop.staleness_s", age);
+        ++metrics_.actions;
+        S2A_COUNTER_ADD("loop.actions", 1);
+        {
+          S2A_TRACE_SCOPE_CAT("loop.actuate", "core");
+          actuator_.actuate(action, rng);
+        }
+        last_action_ = std::move(action);
+        has_action_ = true;
+      }
     }
   }
 
+  update_state_machine(bad_tick);
   now_ += cfg_.dt;
 }
 

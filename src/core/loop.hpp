@@ -14,13 +14,23 @@
 // rate/resolution adaptation), and an optional trust monitor can veto
 // acting on an untrusted observation (Sec. V).
 //
+// Robustness (Sec. I/V, docs/RESILIENCE.md): sensors may fail at runtime
+// by throwing SensorFault — the loop retries with configurable backoff,
+// quarantines non-finite payloads at the sense boundary, bounds the age
+// of acted-on data (`ResilienceConfig::max_staleness_s`) with a
+// configurable fallback policy, and drives a NOMINAL → DEGRADED →
+// SAFE_STOP state machine with hysteresis so transient faults recover
+// and persistent ones latch into a safe halt. Actions are validated
+// before actuation: a non-finite action never reaches the Actuator.
+//
 // tick() is instrumented with s2a::obs spans (loop.tick with nested
 // loop.sense / loop.trust_check / loop.process / loop.actuate) and
 // counters; see docs/OBSERVABILITY.md. Inert unless obs is enabled.
 #pragma once
 
-#include <functional>
-#include <memory>
+#include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -31,6 +41,9 @@ struct Observation {
   std::vector<double> data;
   double timestamp = 0.0;
   double energy_j = 0.0;  ///< sensing energy spent acquiring it
+  /// Additional acquisition delay beyond LoopConfig::sensing_latency
+  /// (e.g. an injected latency spike); ages the observation.
+  double extra_latency_s = 0.0;
 };
 
 struct Action {
@@ -38,7 +51,17 @@ struct Action {
   double based_on_timestamp = 0.0;  ///< timestamp of the observation used
 };
 
+/// Thrown by a Sensor whose acquisition failed outright (hardware
+/// dropout, bus error, injected fault). The loop catches exactly this
+/// type and retries within the configured budget; any other exception
+/// propagates as a programming error.
+class SensorFault : public std::runtime_error {
+ public:
+  explicit SensorFault(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Sensing front-end: acquire an observation of the environment now.
+/// May throw SensorFault when acquisition fails.
 class Sensor {
  public:
   virtual ~Sensor() = default;
@@ -76,20 +99,71 @@ class TrustMonitor {
   virtual bool trusted(const Observation& obs, Rng& rng) = 0;
 };
 
+/// What to do when the freshest trusted observation is older than
+/// `max_staleness_s` (or the processor emitted a non-finite action).
+enum class FallbackPolicy {
+  kHoldLastAction = 0,  ///< re-issue the last good action
+  kZeroAction,          ///< issue an all-zero action of the last size
+  kSafeStop,            ///< latch into SAFE_STOP immediately
+};
+const char* fallback_name(FallbackPolicy policy);
+
+/// Degradation state machine (docs/RESILIENCE.md). SAFE_STOP is latched:
+/// once entered the loop stops sensing and actuating for good.
+enum class LoopState { kNominal = 0, kDegraded, kSafeStop };
+const char* state_name(LoopState state);
+
+/// Runtime-robustness knobs. The defaults change nothing for healthy
+/// components: retries only trigger on SensorFault, the staleness bound
+/// defaults to +inf, and SAFE_STOP escalation is off until
+/// `safe_stop_after` is set.
+struct ResilienceConfig {
+  /// Extra sense attempts after a SensorFault, within the same tick.
+  int max_sense_retries = 2;
+  /// Modeled delay added per failed attempt (linear backoff: attempt k
+  /// adds k * retry_backoff_s); ages the eventually-acquired observation.
+  double retry_backoff_s = 0.0;
+  /// Acting on data older than this triggers the fallback policy.
+  double max_staleness_s = std::numeric_limits<double>::infinity();
+  FallbackPolicy fallback = FallbackPolicy::kHoldLastAction;
+  /// Consecutive bad ticks before NOMINAL → DEGRADED (0 disables).
+  int degrade_after = 3;
+  /// Consecutive good ticks before DEGRADED → NOMINAL.
+  int recover_after = 3;
+  /// Consecutive bad ticks before DEGRADED → SAFE_STOP (0 disables).
+  int safe_stop_after = 0;
+};
+
 struct LoopConfig {
   double dt = 0.05;               ///< tick period (s)
   double sensing_latency = 0.0;   ///< acquisition delay (s)
   double processing_latency = 0.0;
+  ResilienceConfig resilience;
 };
 
 struct LoopMetrics {
   long ticks = 0;
-  long senses = 0;
-  long actions = 0;
-  long vetoed = 0;  ///< observations rejected by the trust monitor
+  long senses = 0;   ///< successful acquisitions
+  long actions = 0;  ///< actuations driven by a processed observation
+  long vetoed = 0;   ///< observations rejected by the trust monitor
   double sensing_energy_j = 0.0;
   double processing_energy_j = 0.0;
-  double total_staleness_s = 0.0;  ///< summed over actions
+  double total_staleness_s = 0.0;  ///< summed over observation-driven actions
+
+  // Robustness counters (docs/RESILIENCE.md).
+  long sensor_faults = 0;       ///< SensorFault throws caught
+  long sense_retries = 0;       ///< extra attempts made after a fault
+  long quarantined = 0;         ///< non-finite observations rejected
+  long quarantined_actions = 0; ///< non-finite actions blocked pre-actuate
+  long staleness_violations = 0;
+  long fallback_actions = 0;    ///< actuations issued by the fallback policy
+  long degraded_ticks = 0;      ///< ticks spent in DEGRADED
+  long safe_stop_ticks = 0;     ///< ticks spent halted in SAFE_STOP
+  long degradations = 0;        ///< NOMINAL → DEGRADED transitions
+  long recoveries = 0;          ///< DEGRADED → NOMINAL transitions
+  long safe_stops = 0;          ///< → SAFE_STOP transitions (0 or 1)
+
+  friend bool operator==(const LoopMetrics&, const LoopMetrics&) = default;
 
   double mean_staleness_s() const {
     return actions > 0 ? total_staleness_s / actions : 0.0;
@@ -110,20 +184,35 @@ class SensingActionLoop {
                     SensingPolicy& policy, LoopConfig config = {},
                     TrustMonitor* monitor = nullptr);
 
-  /// One iteration: consult the policy, maybe sense (through the trust
-  /// gate), process, actuate. When the policy skips sensing, the last
-  /// trusted observation is reused — its growing age shows up in the
-  /// staleness metric.
+  /// One iteration: consult the policy, maybe sense (through the retry /
+  /// finite-check / trust gates), process, validate, actuate. When the
+  /// policy skips sensing, the last trusted observation is reused — its
+  /// growing age shows up in the staleness metric and, past
+  /// `max_staleness_s`, triggers the fallback policy. In SAFE_STOP the
+  /// tick only advances time.
   void tick(Rng& rng);
   void run(int ticks, Rng& rng);
 
   double now() const { return now_; }
   const LoopMetrics& metrics() const { return metrics_; }
+  LoopState state() const { return state_; }
   const Observation* last_observation() const {
     return has_observation_ ? &last_obs_ : nullptr;
   }
+  const Action* last_action() const {
+    return has_action_ ? &last_action_ : nullptr;
+  }
 
  private:
+  /// Sense with bounded retry; returns true when a trusted, finite
+  /// observation was stored into last_obs_.
+  bool sense_with_retries(Rng& rng);
+  /// Action substitution for stale/blocked ticks per the fallback policy
+  /// (hold-last / zero / latch SAFE_STOP).
+  void apply_fallback(Rng& rng);
+  void enter_safe_stop();
+  void update_state_machine(bool bad_tick);
+
   Sensor& sensor_;
   Processor& processor_;
   Actuator& actuator_;
@@ -134,6 +223,11 @@ class SensingActionLoop {
   double now_ = 0.0;
   Observation last_obs_;
   bool has_observation_ = false;
+  Action last_action_;
+  bool has_action_ = false;
+  LoopState state_ = LoopState::kNominal;
+  int bad_streak_ = 0;
+  int good_streak_ = 0;
   LoopMetrics metrics_;
 };
 

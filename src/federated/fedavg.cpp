@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/finite.hpp"
 #include "util/thread_pool.hpp"
 
 namespace s2a::federated {
@@ -216,13 +218,26 @@ PrecisionConfig select_precision(const HardwareProfile& hw,
   return cfg.precision_candidates.front();  // nothing fits: cheapest
 }
 
+namespace {
+
+/// Whether a client's update participates in this round's aggregation.
+enum class ClientStatus {
+  kOk = 0,      ///< responded in time; update eligible for aggregation
+  kNoResponse,  ///< plan dropout: never computed, never responded
+  kTimedOut,    ///< computed, but response missed the server deadline
+};
+
+}  // namespace
+
 FlResult run_federated(FlStrategy strategy,
                        const sim::ClassificationDataset& train,
                        const sim::ClassificationDataset& test,
                        const std::vector<std::vector<int>>& shards,
                        const std::vector<HardwareProfile>& fleet,
-                       const FlConfig& cfg, Rng& rng) {
+                       const FlConfig& cfg, Rng& rng,
+                       const fault::FaultPlan* faults) {
   S2A_CHECK(shards.size() == fleet.size());
+  S2A_CHECK(cfg.client_timeout_s > 0.0);
   const int clients = static_cast<int>(shards.size());
   MlpParams global = init_mlp(train.feature_dim, cfg.hidden,
                               train.num_classes, rng);
@@ -250,9 +265,6 @@ FlResult run_federated(FlStrategy strategy,
   }
 
   double total_area = 0.0;
-  double total_weight = 0.0;
-  for (int c = 0; c < clients; ++c)
-    total_weight += static_cast<double>(shards[static_cast<std::size_t>(c)].size());
 
   for (int round = 0; round < cfg.rounds; ++round) {
     S2A_TRACE_SCOPE_CAT("fed.round", "federated");
@@ -267,12 +279,40 @@ FlResult run_federated(FlStrategy strategy,
     client_rngs.reserve(static_cast<std::size_t>(clients));
     for (int c = 0; c < clients; ++c) client_rngs.push_back(rng.spawn());
 
+    // Resolve this round's client faults up front — a pure lookup in the
+    // plan, so the failure schedule is identical at every thread count.
+    std::vector<ClientStatus> status(static_cast<std::size_t>(clients),
+                                     ClientStatus::kOk);
+    std::vector<double> latency_mult(static_cast<std::size_t>(clients), 1.0);
+    std::vector<bool> corrupt(static_cast<std::size_t>(clients), false);
+    if (faults != nullptr) {
+      for (int c = 0; c < clients; ++c) {
+        const fault::FaultEvent* ev = faults->client_fault_at(round, c);
+        if (ev == nullptr) continue;
+        switch (ev->kind) {
+          case fault::FaultKind::kClientDropout:
+            status[static_cast<std::size_t>(c)] = ClientStatus::kNoResponse;
+            break;
+          case fault::FaultKind::kClientStraggler:
+            latency_mult[static_cast<std::size_t>(c)] = ev->magnitude;
+            break;
+          case fault::FaultKind::kClientCorrupt:
+            corrupt[static_cast<std::size_t>(c)] = true;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+
     std::vector<MlpParams> deltas(static_cast<std::size_t>(clients));
     std::vector<std::vector<bool>> masks(static_cast<std::size_t>(clients));
     std::vector<double> client_macs(static_cast<std::size_t>(clients), 0.0);
 
     util::global_pool().parallel_for(
         0, static_cast<std::size_t>(clients), 1, [&](std::size_t ci) {
+          // A plan-dropped client never computes: no delta, no energy.
+          if (status[ci] == ClientStatus::kNoResponse) return;
           S2A_TRACE_SCOPE_CAT("fed.client_update", "federated");
           MlpParams local = global;
 
@@ -311,14 +351,24 @@ FlResult run_federated(FlStrategy strategy,
             local.w2[i] -= global.w2[i];
           for (std::size_t i = 0; i < local.b2.numel(); ++i)
             local.b2[i] -= global.b2[i];
+          // An injected transmission corruption: the update arrives with
+          // a poisoned payload, which the server-side finite check below
+          // must quarantine before it can touch the global model.
+          if (corrupt[ci] && local.w1.numel() > 0)
+            local.w1[0] = std::numeric_limits<double>::quiet_NaN();
           deltas[ci] = std::move(local);
           masks[ci] = std::move(active);
         });
 
     // Cost accounting, serial and client-ordered so the float sums are
-    // identical at every thread count.
+    // identical at every thread count. Plan-dropped clients cost nothing
+    // (they never ran); stragglers burn their energy even when the
+    // server stops waiting for them, and the server's wait for a
+    // timed-out client is capped at exactly the deadline.
     double round_latency = 0.0;
     for (int c = 0; c < clients; ++c) {
+      if (status[static_cast<std::size_t>(c)] == ClientStatus::kNoResponse)
+        continue;
       const double model_fraction =
           static_cast<double>(res.client_widths[static_cast<std::size_t>(c)]) /
           cfg.hidden;
@@ -328,7 +378,12 @@ FlResult run_federated(FlStrategy strategy,
                      res.client_precisions[static_cast<std::size_t>(c)],
                      model_fraction);
       res.total_energy_j += cost.energy_j;
-      round_latency = std::max(round_latency, cost.latency_s);
+      const double latency =
+          cost.latency_s * latency_mult[static_cast<std::size_t>(c)];
+      if (latency > cfg.client_timeout_s)
+        status[static_cast<std::size_t>(c)] = ClientStatus::kTimedOut;
+      round_latency =
+          std::max(round_latency, std::min(latency, cfg.client_timeout_s));
       total_area += cost.area_mm2;
     }
     res.total_latency_s += round_latency;
@@ -339,7 +394,12 @@ FlResult run_federated(FlStrategy strategy,
       // batched deltas are accumulated client-ordered into one scratch
       // set and applied once, instead of averaging full per-client
       // parameter copies. Units no client trained keep their zero
-      // aggregate weight and are left untouched.
+      // aggregate weight and are left untouched. Only the surviving
+      // client set participates — dropped and timed-out clients are
+      // skipped, and any delta carrying a non-finite value is
+      // quarantined here, at the server boundary. The iteration stays
+      // client-ordered, so the surviving aggregation is bit-identical
+      // at every thread count.
       S2A_TRACE_SCOPE_CAT("fed.aggregate", "federated");
       MlpParams agg = global;
       agg.w1.fill(0.0);
@@ -347,9 +407,35 @@ FlResult run_federated(FlStrategy strategy,
       agg.w2.fill(0.0);
       agg.b2.fill(0.0);
       std::vector<double> unit_weight(static_cast<std::size_t>(cfg.hidden), 0.0);
+      std::vector<bool> aggregated(static_cast<std::size_t>(clients), false);
+      double round_weight = 0.0;
+      int survivors = 0;
       for (int c = 0; c < clients; ++c) {
-        const double wgt = static_cast<double>(shards[static_cast<std::size_t>(c)].size());
+        if (status[static_cast<std::size_t>(c)] != ClientStatus::kOk) {
+          ++res.dropped_client_rounds;
+          S2A_COUNTER_ADD("fed.client_dropouts", 1);
+          continue;
+        }
         const auto& d = deltas[static_cast<std::size_t>(c)];
+        if (!util::all_finite(d.w1.data(), d.w1.numel()) ||
+            !util::all_finite(d.b1.data(), d.b1.numel()) ||
+            !util::all_finite(d.w2.data(), d.w2.numel()) ||
+            !util::all_finite(d.b2.data(), d.b2.numel())) {
+          ++res.nonfinite_deltas;
+          S2A_COUNTER_ADD("fed.nonfinite_deltas", 1);
+          continue;
+        }
+        aggregated[static_cast<std::size_t>(c)] = true;
+        ++survivors;
+        round_weight +=
+            static_cast<double>(shards[static_cast<std::size_t>(c)].size());
+      }
+      res.survivors_per_round.push_back(survivors);
+      S2A_GAUGE_SET("fed.round_survivors", survivors);
+      for (int c = 0; c < clients; ++c) {
+        if (!aggregated[static_cast<std::size_t>(c)]) continue;
+        const auto& d = deltas[static_cast<std::size_t>(c)];
+        const double wgt = static_cast<double>(shards[static_cast<std::size_t>(c)].size());
         for (int j = 0; j < cfg.hidden; ++j) {
           if (!masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) continue;
           unit_weight[static_cast<std::size_t>(j)] += wgt;
@@ -375,9 +461,11 @@ FlResult run_federated(FlStrategy strategy,
           global.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
               agg.w2[static_cast<std::size_t>(k) * global.hidden + j] / uw;
       }
-      for (int k = 0; k < global.classes; ++k)
-        global.b2[static_cast<std::size_t>(k)] +=
-            agg.b2[static_cast<std::size_t>(k)] / total_weight;
+      // A round that lost every client leaves the global model untouched.
+      if (round_weight > 0.0)
+        for (int k = 0; k < global.classes; ++k)
+          global.b2[static_cast<std::size_t>(k)] +=
+              agg.b2[static_cast<std::size_t>(k)] / round_weight;
     }
 
     {

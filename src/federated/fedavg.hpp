@@ -11,8 +11,10 @@
 //    model; training uses fake quantization at the chosen widths.
 #pragma once
 
+#include <limits>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "federated/hardware.hpp"
 #include "nn/tensor.hpp"
 #include "sim/dataset.hpp"
@@ -59,6 +61,11 @@ struct FlConfig {
   /// HaLo-FL candidate precisions, cheapest-first.
   std::vector<PrecisionConfig> precision_candidates{
       {6, 6, 8}, {8, 8, 8}, {8, 8, 16}, {16, 16, 16}, {32, 32, 32}};
+  /// Per-round client response deadline: a client whose (possibly
+  /// straggler-inflated) round latency exceeds this is dropped from
+  /// aggregation — the server waits out exactly the deadline, no longer.
+  /// Infinity (the default) waits for everyone.
+  double client_timeout_s = std::numeric_limits<double>::infinity();
 };
 
 struct FlResult {
@@ -70,14 +77,25 @@ struct FlResult {
   /// Per-client adaptation choices (width or precision), for reporting.
   std::vector<int> client_widths;
   std::vector<PrecisionConfig> client_precisions;
+  // Robustness accounting (docs/RESILIENCE.md).
+  long dropped_client_rounds = 0;  ///< plan dropouts + deadline timeouts
+  long nonfinite_deltas = 0;       ///< corrupt updates quarantined at the server
+  std::vector<int> survivors_per_round;  ///< clients aggregated per round
 };
 
+/// Runs `config.rounds` of federated training. `faults` (optional)
+/// schedules per-(round, client) failures — dropouts, stragglers,
+/// corrupt updates (fault::FaultPlan client kinds); aggregation runs
+/// deterministically over the surviving client set, and any update
+/// containing a non-finite value is quarantined server-side. A round
+/// that loses every client leaves the global model unchanged.
 FlResult run_federated(FlStrategy strategy,
                        const sim::ClassificationDataset& train,
                        const sim::ClassificationDataset& test,
                        const std::vector<std::vector<int>>& shards,
                        const std::vector<HardwareProfile>& fleet,
-                       const FlConfig& config, Rng& rng);
+                       const FlConfig& config, Rng& rng,
+                       const fault::FaultPlan* faults = nullptr);
 
 /// DC-NAS width selection: largest candidate whose fp32 round latency
 /// fits the client's budget. Exposed for tests.

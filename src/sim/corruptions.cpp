@@ -79,7 +79,10 @@ void scatter_weather(PointCloud& pc, double clutter_prob, double drop_prob,
 
 PointCloud apply_corruption(const PointCloud& cloud, CorruptionType type,
                             int severity, const LidarConfig& cfg, Rng& rng) {
-  S2A_CHECK_MSG(severity >= 0 && severity <= 5, "severity " << severity);
+  // Validate instead of trusting the caller: severities outside {0..5}
+  // saturate (negative → clean, >5 → severity 5), and kNone returns the
+  // input unchanged no matter what severity rides along.
+  severity = std::clamp(severity, 0, 5);
   if (type == CorruptionType::kNone || severity == 0) return cloud;
 
   PointCloud pc = cloud;

@@ -30,7 +30,10 @@ const char* corruption_name(CorruptionType type);
 std::vector<CorruptionType> all_corruptions();
 
 /// Returns a corrupted copy. Severity 1 (mild) .. 5 (severe); severity 0
-/// or kNone return the input unchanged.
+/// or kNone return the input unchanged (kNone ignores severity
+/// entirely). Out-of-range severities are clamped into {0..5} rather
+/// than trusted — sweep harnesses feeding severity+1 off the end get
+/// the saturated corruption, not undefined behaviour.
 PointCloud apply_corruption(const PointCloud& cloud, CorruptionType type,
                             int severity, const LidarConfig& config, Rng& rng);
 

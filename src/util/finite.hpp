@@ -1,0 +1,29 @@
+// Finite-value boundary checks (docs/RESILIENCE.md).
+//
+// The sensing-to-action loop and the federated aggregator validate every
+// payload that crosses a trust boundary (sensor → loop, client delta →
+// server) with these helpers: a single NaN/Inf anywhere in an
+// observation or an update quarantines the whole payload instead of
+// silently poisoning downstream state. Header-only so the checks inline
+// into the boundary code.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace s2a::util {
+
+/// True when every element of [data, data + n) is finite (no NaN/Inf).
+/// An empty range is vacuously finite.
+inline bool all_finite(const double* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (!std::isfinite(data[i])) return false;
+  return true;
+}
+
+inline bool all_finite(const std::vector<double>& v) {
+  return all_finite(v.data(), v.size());
+}
+
+}  // namespace s2a::util

@@ -452,6 +452,49 @@ INSTANTIATE_TEST_SUITE_P(
       return corruption_name(info.param);
     });
 
+TEST(Corruptions, OutOfRangeSeverityIsClampedNotRejected) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 36;
+  cfg.elevation_steps = 4;
+  LidarSimulator lidar(cfg);
+  Rng rng(26);
+  const PointCloud pc = lidar.full_scan(Scene{}, rng);
+
+  // Negative severities saturate to 0 (identity).
+  Rng neg_rng(27);
+  const PointCloud neg = apply_corruption(pc, CorruptionType::kSnow, -3, cfg, neg_rng);
+  ASSERT_EQ(neg.returns.size(), pc.returns.size());
+  for (std::size_t i = 0; i < neg.returns.size(); ++i)
+    EXPECT_DOUBLE_EQ(neg.returns[i].range, pc.returns[i].range);
+
+  // Severities past 5 saturate to 5: same RNG seed → identical output.
+  Rng over_rng(28), max_rng(28);
+  const PointCloud over = apply_corruption(pc, CorruptionType::kSnow, 99, cfg, over_rng);
+  const PointCloud max = apply_corruption(pc, CorruptionType::kSnow, 5, cfg, max_rng);
+  ASSERT_EQ(over.returns.size(), max.returns.size());
+  for (std::size_t i = 0; i < over.returns.size(); ++i) {
+    EXPECT_EQ(over.returns[i].hit, max.returns[i].hit);
+    EXPECT_DOUBLE_EQ(over.returns[i].range, max.returns[i].range);
+  }
+}
+
+TEST(Corruptions, NoneIgnoresNonzeroSeverity) {
+  LidarConfig cfg;
+  cfg.azimuth_steps = 36;
+  cfg.elevation_steps = 4;
+  LidarSimulator lidar(cfg);
+  Rng rng(29);
+  const PointCloud pc = lidar.full_scan(Scene{}, rng);
+  for (int severity : {-1, 3, 99}) {
+    Rng crng(30);
+    const PointCloud out =
+        apply_corruption(pc, CorruptionType::kNone, severity, cfg, crng);
+    ASSERT_EQ(out.returns.size(), pc.returns.size());
+    for (std::size_t i = 0; i < out.returns.size(); ++i)
+      EXPECT_DOUBLE_EQ(out.returns[i].range, pc.returns[i].range);
+  }
+}
+
 TEST(Corruptions, FogPreferentiallyDropsFarReturns) {
   LidarConfig cfg;
   cfg.azimuth_steps = 360;

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/finite.hpp"
 #include "util/geometry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -305,6 +308,25 @@ TEST(Geometry, AveragePrecisionOrderMatters) {
   std::vector<std::pair<double, bool>> worse{{0.9, false}, {0.8, true}};
   std::vector<std::pair<double, bool>> better{{0.9, true}, {0.8, false}};
   EXPECT_GT(average_precision(better, 1), average_precision(worse, 1));
+}
+
+TEST(Finite, AcceptsCleanVectors) {
+  EXPECT_TRUE(util::all_finite(std::vector<double>{}));
+  EXPECT_TRUE(util::all_finite({0.0, -1.5, 1e300, -1e-300}));
+  const double raw[3] = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(util::all_finite(raw, 3));
+  EXPECT_TRUE(util::all_finite(raw, 0));  // empty range is vacuously finite
+}
+
+TEST(Finite, RejectsNaNAndInfAnywhere) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(util::all_finite({nan}));
+  EXPECT_FALSE(util::all_finite({inf}));
+  EXPECT_FALSE(util::all_finite({-inf}));
+  EXPECT_FALSE(util::all_finite({0.0, 1.0, nan}));  // last element
+  EXPECT_FALSE(util::all_finite({inf, 0.0, 1.0}));  // first element
+  EXPECT_FALSE(util::all_finite({0.0, nan, 1.0}));  // middle
 }
 
 }  // namespace
