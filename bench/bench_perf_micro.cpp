@@ -15,6 +15,11 @@
 // With S2A_BENCH_KERNELS=<out.json> it times the GEMM conv path against
 // the naive-loop oracle (single-threaded) plus the raw nn::gemm shapes
 // the autoencoder runs, and writes BENCH_kernels.json.
+// With S2A_BENCH_TRAIN=<out.json> it times the *training* hot paths:
+// one autoencoder pretrain step under the GEMM backward kernels vs the
+// naive oracle (single-threaded, fresh identically-seeded models per
+// backend), plus one federated client update, and writes
+// BENCH_train.json.
 // With S2A_BENCH_BUDGETS=<budgets.json> it becomes the perf regression
 // gate: re-times the budgeted hot paths and exits non-zero if any p95
 // exceeds its recorded budget by more than the file's tolerance.
@@ -271,6 +276,14 @@ struct HotPathFixtures {
   std::vector<std::vector<int>> shards;
   std::vector<federated::HardwareProfile> fleet;
   federated::FlConfig fc;
+  // Training fixtures: a sparse occupancy target with a ~10% sensed
+  // subset as input (the R-MAE masking regime), an optimizer attached to
+  // `ae` (layer tensors are heap-owned, so the attachment survives the
+  // fixture being moved), and a global MLP for one client update.
+  nn::Tensor ae_masked, ae_target;
+  nn::Adam ae_opt{1e-3};
+  federated::MlpParams fed_global;
+  std::vector<bool> fed_active;
 
   static HotPathFixtures make() {
     // lidar.voxelize: a 360x32 scan (11520 returns) is well above the
@@ -301,10 +314,34 @@ struct HotPathFixtures {
     auto fleet = federated::make_heterogeneous_fleet(5, fed_rng);
     federated::FlConfig fc;
     fc.rounds = 1;
-    return {std::move(pc),    lidar::VoxelGridConfig{}, ac,
-            std::move(ae),    std::move(bev),           std::move(train),
-            std::move(test),  std::move(shards),        std::move(fleet),
-            fc};
+    // Trailing members (training fixtures) start empty and are filled
+    // in below.
+    HotPathFixtures fx{std::move(pc),   lidar::VoxelGridConfig{},
+                       ac,              std::move(ae),
+                       std::move(bev),  std::move(train),
+                       std::move(test), std::move(shards),
+                       std::move(fleet), fc,
+                       nn::Tensor{},    nn::Tensor{},
+                       nn::Adam{1e-3},  federated::MlpParams{},
+                       std::vector<bool>{}};
+
+    // lidar.ae_pretrain_step: sparse occupancy target (~6% occupied),
+    // masked input keeping ~10% of sensed voxels.
+    fx.ae_target = nn::Tensor({1, fx.ac.grid.nz, fx.ac.grid.ny, fx.ac.grid.nx});
+    fx.ae_masked = fx.ae_target;
+    for (std::size_t i = 0; i < fx.ae_target.numel(); ++i) {
+      const double occ = rng.uniform(0.0, 1.0) < 0.06 ? 1.0 : 0.0;
+      fx.ae_target[i] = occ;
+      fx.ae_masked[i] = rng.uniform(0.0, 1.0) < 0.1 ? occ : 0.0;
+    }
+    fx.ae_opt.attach(fx.ae.params(), fx.ae.grads());
+
+    // fed.client_update: one client's local_train against the initial
+    // global model (copied per rep so every rep trains the same weights).
+    fx.fed_global = federated::init_mlp(fx.train.feature_dim, fx.fc.hidden,
+                                        fx.train.num_classes, rng);
+    fx.fed_active.assign(static_cast<std::size_t>(fx.fc.hidden), true);
+    return fx;
   }
 
   std::vector<ParallelWorkload> workloads() {
@@ -322,9 +359,32 @@ struct HotPathFixtures {
                        federated::FlStrategy::kStaticFl, train, test, shards,
                        fleet, fc, round_rng));
                  }});
+    w.push_back({"lidar.ae_pretrain_step", 25, [this] {
+                   benchmark::DoNotOptimize(
+                       ae.train_step(ae_masked, ae_target, ae_opt));
+                 }});
+    w.push_back({"fed.client_update", 60, [this] {
+                   federated::MlpParams local = fed_global;
+                   Rng client_rng(13);
+                   benchmark::DoNotOptimize(federated::local_train(
+                       local, train, shards[0], fed_active,
+                       federated::PrecisionConfig{}, fc.local_epochs, fc.batch,
+                       fc.lr, client_rng));
+                 }});
     return w;
   }
 };
+
+// Full autoencoder pretrain step (forward + weighted BCE + backward +
+// Adam). Under S2A_TRACE this is what puts the nn.conv_backward /
+// nn.deconv_backward spans on the timeline.
+void BM_AePretrainStep(benchmark::State& state) {
+  static HotPathFixtures& fx = *new HotPathFixtures(HotPathFixtures::make());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fx.ae.train_step(fx.ae_masked, fx.ae_target,
+                                              fx.ae_opt));
+}
+BENCHMARK(BM_AePretrainStep);
 
 int run_parallel_report(const char* out_path) {
   HotPathFixtures fx = HotPathFixtures::make();
@@ -443,6 +503,68 @@ int run_kernels_report(const char* out_path) {
   return 0;
 }
 
+// ---- Training report (S2A_BENCH_TRAIN=<out.json>) ----
+//
+// Times one autoencoder pretrain step (forward + BCE + GEMM backward +
+// Adam) single-threaded under the GEMM kernels and under the naive
+// oracle. Each backend gets a fresh model from the same seed so both
+// time identical weight trajectories; the gradients agree bit-for-bit
+// between the backends, so the speedup is pure kernel efficiency. Also
+// times one federated client update (local_train, backend-independent —
+// the federated MLP is hand-rolled).
+int run_train_report(const char* out_path) {
+  HotPathFixtures fx = HotPathFixtures::make();
+  util::ScopedGlobalThreads threads(1);
+  const int reps = 25;
+
+  const auto time_backend = [&](nn::ConvBackend backend) {
+    nn::set_conv_backend(backend);
+    Rng rng(7);  // same seed per backend -> identical initial weights
+    lidar::OccupancyAutoencoder ae(fx.ac, rng);
+    nn::Adam opt(1e-3);
+    opt.attach(ae.params(), ae.grads());
+    return percentiles(time_reps(reps, [&] {
+      benchmark::DoNotOptimize(
+          ae.train_step(fx.ae_masked, fx.ae_target, opt));
+    }));
+  };
+  const Percentiles gemm_path = time_backend(nn::ConvBackend::kGemm);
+  const Percentiles naive_path = time_backend(nn::ConvBackend::kNaive);
+  nn::set_conv_backend(nn::ConvBackend::kAuto);
+  const double speedup =
+      gemm_path.p50_ms > 0.0 ? naive_path.p50_ms / gemm_path.p50_ms : 0.0;
+  printf("lidar.ae_pretrain_step gemm p50 %8.3f ms p95 %8.3f ms | naive p50 %8.3f ms p95 %8.3f ms | speedup %.2fx\n",
+         gemm_path.p50_ms, gemm_path.p95_ms, naive_path.p50_ms,
+         naive_path.p95_ms, speedup);
+
+  const Percentiles fed = percentiles(time_reps(60, [&] {
+    federated::MlpParams local = fx.fed_global;
+    Rng client_rng(13);
+    benchmark::DoNotOptimize(federated::local_train(
+        local, fx.train, fx.shards[0], fx.fed_active,
+        federated::PrecisionConfig{}, fx.fc.local_epochs, fx.fc.batch,
+        fx.fc.lr, client_rng));
+  }));
+  printf("fed.client_update      p50 %8.3f ms p95 %8.3f ms\n", fed.p50_ms,
+         fed.p95_ms);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  out << "{\n  \"threads\": 1,\n  \"ae_pretrain_step\": {\n"
+      << "    \"gemm\": {\"p50_ms\": " << gemm_path.p50_ms
+      << ", \"p95_ms\": " << gemm_path.p95_ms << "},\n"
+      << "    \"naive\": {\"p50_ms\": " << naive_path.p50_ms
+      << ", \"p95_ms\": " << naive_path.p95_ms << "},\n"
+      << "    \"p50_speedup\": " << speedup << "\n  },\n"
+      << "  \"fed_client_update\": {\"p50_ms\": " << fed.p50_ms
+      << ", \"p95_ms\": " << fed.p95_ms << "}\n}\n";
+  printf("Wrote training report to %s\n", out_path);
+  return 0;
+}
+
 // ---- Perf regression gate (S2A_BENCH_BUDGETS=<budgets.json>) ----
 //
 // Re-times the budgeted hot paths single-threaded and fails if any p95
@@ -542,6 +664,8 @@ int main(int argc, char** argv) {
     return run_parallel_report(out);
   if (const char* out = std::getenv("S2A_BENCH_KERNELS"))
     return run_kernels_report(out);
+  if (const char* out = std::getenv("S2A_BENCH_TRAIN"))
+    return run_train_report(out);
   if (const char* budgets = std::getenv("S2A_BENCH_BUDGETS"))
     return run_budget_gate(budgets);
   benchmark::Initialize(&argc, argv);

@@ -51,7 +51,9 @@ run_tsan() {
     --target thread_pool_test obs_test nn_kernels_test lidar_test federated_test fault_test
   # Force a multi-threaded global pool — and force the sharded paths past
   # the effective_parallelism() serial fallback — so the parallel paths
-  # actually run under TSan even on small CI machines.
+  # actually run under TSan even on small CI machines. nn_kernels_test
+  # covers the forward AND backward kernel sharding (im2col/col2im bands,
+  # gw column stripes, arena slots).
   S2A_THREADS=4 ./build-tsan/tests/thread_pool_test
   S2A_THREADS=4 ./build-tsan/tests/obs_test
   S2A_THREADS=4 S2A_FORCE_PARALLEL=1 ./build-tsan/tests/nn_kernels_test

@@ -124,6 +124,7 @@ double local_train(MlpParams& p, const sim::ClassificationDataset& data,
                    const std::vector<bool>& active,
                    const PrecisionConfig& precision, int epochs, int batch,
                    double lr, Rng& rng) {
+  S2A_TRACE_SCOPE_CAT("fed.local_train", "federated");
   S2A_CHECK(!shard.empty());
   S2A_CHECK(static_cast<int>(active.size()) == p.hidden);
 

@@ -79,8 +79,14 @@ double OccupancyAutoencoder::train_step(const nn::Tensor& masked,
   auto loss = nn::bce_with_logits(logits, target);
 
   // Counteract occupancy sparsity (see AutoencoderConfig::pos_weight).
-  for (std::size_t i = 0; i < loss.grad.numel(); ++i)
-    if (target[i] > 0.5) loss.grad[i] *= cfg_.pos_weight;
+  // Per-element independent, so sharding it (like the backward kernels
+  // it feeds) keeps the step bit-exact at every thread count.
+  nn::Tensor& grad = loss.grad;
+  const double pos_weight = cfg_.pos_weight;
+  util::global_pool().parallel_for(
+      0, grad.numel(), 4096, [&grad, &target, pos_weight](std::size_t i) {
+        if (target[i] > 0.5) grad[i] *= pos_weight;
+      });
 
   if (objective == PretrainObjective::kSurfaceWeighted) {
     const auto w = surface_weights(target, cfg_.grid);

@@ -7,6 +7,7 @@
 
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -199,35 +200,161 @@ void Conv2D::forward_naive(const Tensor& x, Tensor& y, int n, int h, int w,
 }
 
 Tensor Conv2D::backward(const Tensor& grad_out) {
+  S2A_TRACE_SCOPE_CAT("nn.conv_backward", "nn");
   S2A_CHECK(!last_x_.empty());
   const int n = last_x_.dim(0), h = last_x_.dim(2), w = last_x_.dim(3);
   const int oh = out_size(h), ow = out_size(w);
   S2A_CHECK(grad_out.shape().size() == 4 && grad_out.dim(1) == cout_ &&
             grad_out.dim(2) == oh && grad_out.dim(3) == ow);
 
-  Tensor dx({n, cin_, h, w});
+  // Bias gradient, shared by both backends: one addend per output pixel
+  // of the channel, accumulated in (b, oy, ox) order.
+  const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
   for (int b = 0; b < n; ++b)
+    for (int oc = 0; oc < cout_; ++oc) {
+      const double* g = grad_out.data() +
+                        (static_cast<std::size_t>(b) * cout_ + oc) * out_hw;
+      double acc = gb_[static_cast<std::size_t>(oc)];
+      for (std::size_t i = 0; i < out_hw; ++i) acc += g[i];
+      gb_[static_cast<std::size_t>(oc)] = acc;
+    }
+
+  Tensor dx({n, cin_, h, w});
+  if (conv_backend() == ConvBackend::kNaive)
+    backward_naive(grad_out, dx, n, h, w, oh, ow);
+  else
+    backward_gemm(grad_out, dx, n, h, w, oh, ow);
+  return dx;
+}
+
+// Direct-loop oracle (S2A_NAIVE_CONV=1), written in the GEMM chain
+// order so the two backends agree bit-for-bit (the finite-difference
+// tests independently pin the arithmetic):
+//  - each gW element sums g*x over (b; oy, ox) ascending,
+//  - each dx element sums per-tap (ky, kx ascending) sub-chains, each
+//    sub-chain reducing over out-channels from zero first.
+// Out-of-range taps are skipped here and zero-filled in the lowered
+// matrices; adding a*0.0 to a finite accumulator is exact, so both
+// treatments leave identical bits.
+void Conv2D::backward_naive(const Tensor& grad_out, Tensor& dx, int n, int h,
+                            int w, int oh, int ow) {
+  for (int b = 0; b < n; ++b) {
     for (int oc = 0; oc < cout_; ++oc)
-      for (int oy = 0; oy < oh; ++oy)
-        for (int ox = 0; ox < ow; ++ox) {
-          const double g = grad_out[idx4(b, oc, oy, ox, cout_, oh, ow)];
-          if (g == 0.0) continue;
-          gb_[static_cast<std::size_t>(oc)] += g;
-          for (int ic = 0; ic < cin_; ++ic)
-            for (int ky = 0; ky < k_; ++ky) {
+      for (int ic = 0; ic < cin_; ++ic)
+        for (int ky = 0; ky < k_; ++ky)
+          for (int kx = 0; kx < k_; ++kx) {
+            double acc = gw_[idx4(oc, ic, ky, kx, cin_, k_, k_)];
+            for (int oy = 0; oy < oh; ++oy) {
               const int iy = oy * stride_ + ky - pad_;
               if (iy < 0 || iy >= h) continue;
-              for (int kx = 0; kx < k_; ++kx) {
+              for (int ox = 0; ox < ow; ++ox) {
                 const int ix = ox * stride_ + kx - pad_;
                 if (ix < 0 || ix >= w) continue;
-                gw_[idx4(oc, ic, ky, kx, cin_, k_, k_)] +=
-                    g * last_x_[idx4(b, ic, iy, ix, cin_, h, w)];
-                dx[idx4(b, ic, iy, ix, cin_, h, w)] +=
-                    g * w_[idx4(oc, ic, ky, kx, cin_, k_, k_)];
+                acc += grad_out[idx4(b, oc, oy, ox, cout_, oh, ow)] *
+                       last_x_[idx4(b, ic, iy, ix, cin_, h, w)];
               }
             }
+            gw_[idx4(oc, ic, ky, kx, cin_, k_, k_)] = acc;
+          }
+    for (int ic = 0; ic < cin_; ++ic)
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < w; ++ix) {
+          double acc = 0.0;
+          for (int ky = 0; ky < k_; ++ky) {
+            const int num_y = iy + pad_ - ky;
+            if (num_y < 0 || num_y % stride_ != 0) continue;
+            const int oy = num_y / stride_;
+            if (oy >= oh) continue;
+            for (int kx = 0; kx < k_; ++kx) {
+              const int num_x = ix + pad_ - kx;
+              if (num_x < 0 || num_x % stride_ != 0) continue;
+              const int ox = num_x / stride_;
+              if (ox >= ow) continue;
+              double t = 0.0;
+              for (int oc = 0; oc < cout_; ++oc)
+                t += grad_out[idx4(b, oc, oy, ox, cout_, oh, ow)] *
+                     w_[idx4(oc, ic, ky, kx, cin_, k_, k_)];
+              acc += t;
+            }
+          }
+          dx[idx4(b, ic, iy, ix, cin_, h, w)] = acc;
         }
-  return dx;
+  }
+}
+
+// GEMM backward. Per image:
+//   gW += G_b x im2col(x_b)ᵀ   (reduction over output pixels, ascending)
+//   dcol = Wᵀ x G_b ; dx_b = col2im(dcol)   (per-tap oc-sums, folded in
+//                                            (ky, kx) order)
+// Sharding keeps every gradient element's complete reduction chain
+// inside one task — im2col_t bands write disjoint rows, the gW/dcol
+// GEMMs are striped over *columns* (never over the reduction axis), and
+// col2im_band splits by input row — so results are bit-identical to
+// backward_naive at every thread count.
+void Conv2D::backward_gemm(const Tensor& grad_out, Tensor& dx, int n, int h,
+                           int w, int oh, int ow) {
+  const int kdim = im2col_rows(cin_, k_);
+  const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
+  const std::size_t in_hw = static_cast<std::size_t>(h) * w;
+  arena_.reset();
+  // Root allocations happen on the calling thread before any parallel
+  // section; tasks only read them (or write disjoint slices).
+  double* wt = arena_.alloc(static_cast<std::size_t>(kdim) * cout_);
+  transpose(w_.data(), cout_, kdim, wt);
+  double* wtp = arena_.alloc(packed_a_size(kdim, cout_));
+  pack_a(wt, cout_, kdim, cout_, wtp);
+  double* colt = arena_.alloc(out_hw * static_cast<std::size_t>(kdim));
+  double* gpk = arena_.alloc(packed_a_size(cout_, static_cast<int>(out_hw)));
+  double* dcol = arena_.alloc(static_cast<std::size_t>(kdim) * out_hw);
+
+  const std::size_t macs = static_cast<std::size_t>(cout_) * kdim *
+                           static_cast<std::size_t>(n) * out_hw;
+  for (int b = 0; b < n; ++b) {
+    const double* gb =
+        grad_out.data() + static_cast<std::size_t>(b) * cout_ * out_hw;
+    const double* xb =
+        last_x_.data() + static_cast<std::size_t>(b) * cin_ * in_hw;
+    double* dxb = dx.data() + static_cast<std::size_t>(b) * cin_ * in_hw;
+
+    // im2col(x_b)ᵀ: bands of output rows write disjoint row ranges.
+    parallel_rows(static_cast<std::size_t>(oh), macs,
+                  [&](std::size_t lo, std::size_t hi) {
+                    im2col_t(xb, cin_, h, w, k_, stride_, pad_, ow,
+                             static_cast<int>(lo), static_cast<int>(hi),
+                             colt + lo * ow * kdim);
+                  });
+
+    // gW += G_b x colt, striped over gW columns: each element's whole
+    // per-image reduction (ascending output pixels) runs in one stripe.
+    pack_a(gb, static_cast<int>(out_hw), cout_, static_cast<int>(out_hw),
+           gpk);
+    parallel_rows(static_cast<std::size_t>(kdim), macs,
+                  [&](std::size_t lo, std::size_t hi) {
+                    gemm_packed(cout_, static_cast<int>(hi - lo),
+                                static_cast<int>(out_hw), gpk, colt + lo,
+                                kdim, gw_.data() + lo, kdim);
+                  });
+
+    // dcol = Wᵀ x G_b, striped over output pixels (zero-init per stripe
+    // so each element's oc-reduction starts from 0 like the oracle's t).
+    parallel_rows(out_hw, macs, [&](std::size_t lo, std::size_t hi) {
+      for (int r = 0; r < kdim; ++r)
+        std::fill_n(dcol + static_cast<std::size_t>(r) * out_hw + lo, hi - lo,
+                    0.0);
+      gemm_packed(kdim, static_cast<int>(hi - lo), cout_, wtp, gb + lo,
+                  static_cast<int>(out_hw), dcol + lo,
+                  static_cast<int>(out_hw));
+    });
+
+    // Fold dcol onto dx_b, banded over input rows: each dx element gets
+    // all of its (ky, kx) addends inside one band.
+    parallel_rows(static_cast<std::size_t>(h), macs,
+                  [&](std::size_t lo, std::size_t hi) {
+                    col2im_band(dcol, cin_, h, w, k_, stride_, pad_, ow,
+                                static_cast<int>(lo), static_cast<int>(hi),
+                                dxb);
+                  });
+  }
 }
 
 std::size_t Conv2D::macs_per_sample() const {
@@ -467,20 +594,38 @@ void ConvTranspose2D::forward_naive(const Tensor& x, Tensor& y, int n, int h,
 }
 
 Tensor ConvTranspose2D::backward(const Tensor& grad_out) {
+  S2A_TRACE_SCOPE_CAT("nn.deconv_backward", "nn");
   S2A_CHECK(!last_x_.empty());
   const int n = last_x_.dim(0), h = last_x_.dim(2), w = last_x_.dim(3);
   const int oh = out_size(h), ow = out_size(w);
   S2A_CHECK(grad_out.shape().size() == 4 && grad_out.dim(1) == cout_ &&
             grad_out.dim(2) == oh && grad_out.dim(3) == ow);
 
+  // Bias gradient, shared by both backends ((b, oy, ox) order).
+  const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
   for (int b = 0; b < n; ++b)
-    for (int oc = 0; oc < cout_; ++oc)
-      for (int oy = 0; oy < oh; ++oy)
-        for (int ox = 0; ox < ow; ++ox)
-          gb_[static_cast<std::size_t>(oc)] +=
-              grad_out[idx4(b, oc, oy, ox, cout_, oh, ow)];
+    for (int oc = 0; oc < cout_; ++oc) {
+      const double* g = grad_out.data() +
+                        (static_cast<std::size_t>(b) * cout_ + oc) * out_hw;
+      double acc = gb_[static_cast<std::size_t>(oc)];
+      for (std::size_t i = 0; i < out_hw; ++i) acc += g[i];
+      gb_[static_cast<std::size_t>(oc)] = acc;
+    }
 
   Tensor dx({n, cin_, h, w});
+  if (conv_backend() == ConvBackend::kNaive)
+    backward_naive(grad_out, dx, n, h, w, oh, ow);
+  else
+    backward_gemm(grad_out, dx, n, h, w, oh, ow);
+  return dx;
+}
+
+// Direct-loop oracle (S2A_NAIVE_CONV=1): the original gather loops,
+// whose per-element chains already match the GEMM lowering — gW
+// elements sum g*x over (b; iy, ix) ascending, dx elements sum g*w over
+// (oc, ky, kx) ascending.
+void ConvTranspose2D::backward_naive(const Tensor& grad_out, Tensor& dx,
+                                     int n, int h, int w, int oh, int ow) {
   for (int b = 0; b < n; ++b)
     for (int ic = 0; ic < cin_; ++ic)
       for (int iy = 0; iy < h; ++iy)
@@ -501,7 +646,75 @@ Tensor ConvTranspose2D::backward(const Tensor& grad_out) {
             }
           dx[idx4(b, ic, iy, ix, cin_, h, w)] = acc;
         }
-  return dx;
+}
+
+// GEMM backward. The deconv's backward-input pass is a *plain* strided
+// convolution of grad_out with the un-flipped kernel (W viewed as
+// [cin, cout*k*k]): the forward's scatter oy = iy*s + ky - pad becomes
+// a gather with the stride folded into the im2col addressing, so no
+// phase decomposition is needed — unlike the forward there are no
+// structural zeros to skip. Per image:
+//   gW += X_b x im2col(G_b)ᵀ   (reduction over input pixels, ascending)
+//   dx_b = W x im2col(G_b)      (banded over input rows, like a forward)
+// Same sharding rules as Conv2D::backward_gemm, so bit-identical to the
+// oracle at every thread count.
+void ConvTranspose2D::backward_gemm(const Tensor& grad_out, Tensor& dx,
+                                    int n, int h, int w, int oh, int ow) {
+  const int kdim = im2col_rows(cout_, k_);
+  const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
+  const std::size_t in_hw = static_cast<std::size_t>(h) * w;
+  arena_.reset();
+  // w_ is [Cin, Cout, k, k] row-major — already the [cin, kdim] A matrix
+  // of the adjoint convolution; no transpose needed.
+  double* wp = arena_.alloc(packed_a_size(cin_, kdim));
+  pack_a(w_.data(), kdim, cin_, kdim, wp);
+  double* colt = arena_.alloc(in_hw * static_cast<std::size_t>(kdim));
+  double* xpk = arena_.alloc(packed_a_size(cin_, static_cast<int>(in_hw)));
+
+  const std::size_t macs = static_cast<std::size_t>(cin_) * kdim *
+                           static_cast<std::size_t>(n) * in_hw;
+  for (int b = 0; b < n; ++b) {
+    const double* gb =
+        grad_out.data() + static_cast<std::size_t>(b) * cout_ * out_hw;
+    const double* xb =
+        last_x_.data() + static_cast<std::size_t>(b) * cin_ * in_hw;
+    double* dxb = dx.data() + static_cast<std::size_t>(b) * cin_ * in_hw;
+
+    // im2col(G_b)ᵀ over the adjoint-conv geometry: its "output" pixels
+    // are the deconv's input pixels, so bands split input rows.
+    parallel_rows(static_cast<std::size_t>(h), macs,
+                  [&](std::size_t lo, std::size_t hi) {
+                    im2col_t(gb, cout_, oh, ow, k_, stride_, pad_, w,
+                             static_cast<int>(lo), static_cast<int>(hi),
+                             colt + lo * w * kdim);
+                  });
+
+    // gW += X_b x colt, striped over gW columns.
+    pack_a(xb, static_cast<int>(in_hw), cin_, static_cast<int>(in_hw), xpk);
+    parallel_rows(static_cast<std::size_t>(kdim), macs,
+                  [&](std::size_t lo, std::size_t hi) {
+                    gemm_packed(cin_, static_cast<int>(hi - lo),
+                                static_cast<int>(in_hw), xpk, colt + lo,
+                                kdim, gw_.data() + lo, kdim);
+                  });
+
+    // dx_b = W x im2col(G_b), banded over input rows with per-band
+    // column panels (mirrors Conv2D::forward_gemm; dx is zero-init so
+    // each element's chain starts from 0 like the oracle's acc).
+    parallel_bands(
+        static_cast<std::size_t>(h), macs, arena_,
+        [&](std::size_t lo, std::size_t hi, util::ScratchArena& band_arena) {
+          const int iy_lo = static_cast<int>(lo), iy_hi = static_cast<int>(hi);
+          const int width = (iy_hi - iy_lo) * w;
+          band_arena.reset();
+          double* col =
+              band_arena.alloc(static_cast<std::size_t>(kdim) * width);
+          im2col(gb, cout_, oh, ow, k_, stride_, pad_, w, iy_lo, iy_hi, col);
+          gemm_packed(cin_, width, kdim, wp, col, width,
+                      dxb + static_cast<std::size_t>(iy_lo) * w,
+                      static_cast<int>(in_hw));
+        });
+  }
 }
 
 std::size_t ConvTranspose2D::macs_per_sample() const {

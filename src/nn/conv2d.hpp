@@ -3,16 +3,19 @@
 // These back the BEV detector backbones (lidar), the occupancy decoder's
 // upsampling stages, and the optical-flow networks (neuro).
 //
-// Forward passes run as im2col + cache-blocked GEMM (nn/im2col.hpp,
-// nn/gemm.hpp) with per-layer ScratchArena workspaces — ~4-6x faster
-// than the original direct loops on the occupancy autoencoder shapes —
-// and stay bit-exact against those loops because the lowered matrix
-// rows follow the naive accumulation order (see docs/ARCHITECTURE.md,
-// "Kernels & memory"). The direct loops are retained as the oracle:
-// set S2A_NAIVE_CONV=1 (or set_conv_backend(ConvBackend::kNaive)) to
-// run them instead; the kernel equivalence tests diff the two paths.
-// Backward passes keep the direct loops — pretraining is offline and
-// the analytic gradient checks pin their arithmetic.
+// Forward AND backward passes run as im2col + cache-blocked GEMM
+// (nn/im2col.hpp, nn/gemm.hpp) with per-layer ScratchArena workspaces —
+// several times faster than the original direct loops on the occupancy
+// autoencoder shapes — and stay bit-exact against those loops because
+// the lowered matrix rows follow the naive accumulation order (see
+// docs/ARCHITECTURE.md, "Kernels & memory"). Weight gradients lower to
+// grad_out x im2col(input)ᵀ, input gradients to Wᵀ x grad_out folded by
+// col2im (Conv2D) or to a plain strided convolution of grad_out by the
+// adjoint kernel (ConvTranspose2D). The direct loops are retained as
+// the oracle: set S2A_NAIVE_CONV=1 (or
+// set_conv_backend(ConvBackend::kNaive)) to run them instead; the
+// kernel equivalence tests diff the two paths bit-for-bit and the
+// finite-difference gradient checks pin the arithmetic of both.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -20,17 +23,20 @@
 
 namespace s2a::nn {
 
-/// Which forward implementation the conv layers use.
+/// Which implementation the conv/dense layers use (forward and backward).
 ///  kAuto  — S2A_NAIVE_CONV=1 selects the naive loops, else GEMM.
 ///  kGemm  — im2col + blocked GEMM (the default resolution).
-///  kNaive — the original direct loops (the bit-exactness oracle).
+///  kNaive — direct loops in the GEMM chain order (the bit-exactness
+///           oracle).
 enum class ConvBackend { kAuto, kGemm, kNaive };
 
 /// Process-wide override, primarily for tests and benches; kAuto (the
 /// initial state) defers to the S2A_NAIVE_CONV environment variable,
-/// which is re-read on every forward so setenv mid-process works.
+/// which is re-read on every forward/backward so setenv mid-process
+/// works.
 void set_conv_backend(ConvBackend backend);
-/// The backend the next forward will take: kGemm or kNaive, never kAuto.
+/// The backend the next forward/backward will take: kGemm or kNaive,
+/// never kAuto.
 ConvBackend conv_backend();
 
 class Conv2D : public Layer {
@@ -50,12 +56,17 @@ class Conv2D : public Layer {
   int in_channels() const { return cin_; }
   int out_channels() const { return cout_; }
   int kernel() const { return k_; }
+  const util::ScratchArena* scratch() const override { return &arena_; }
 
  private:
   void forward_naive(const Tensor& x, Tensor& y, int n, int h, int w, int oh,
                      int ow);
   void forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w, int oh,
                     int ow);
+  void backward_naive(const Tensor& grad_out, Tensor& dx, int n, int h, int w,
+                      int oh, int ow);
+  void backward_gemm(const Tensor& grad_out, Tensor& dx, int n, int h, int w,
+                     int oh, int ow);
 
   int cin_, cout_, k_, stride_, pad_;
   Tensor w_, b_, gw_, gb_;  // w: [Cout, Cin, k, k]
@@ -81,12 +92,17 @@ class ConvTranspose2D : public Layer {
   int out_size(int in_size) const {
     return (in_size - 1) * stride_ - 2 * pad_ + k_;
   }
+  const util::ScratchArena* scratch() const override { return &arena_; }
 
  private:
   void forward_naive(const Tensor& x, Tensor& y, int n, int h, int w, int oh,
                      int ow);
   void forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w, int oh,
                     int ow);
+  void backward_naive(const Tensor& grad_out, Tensor& dx, int n, int h, int w,
+                      int oh, int ow);
+  void backward_gemm(const Tensor& grad_out, Tensor& dx, int n, int h, int w,
+                     int oh, int ow);
 
   int cin_, cout_, k_, stride_, pad_;
   Tensor w_, b_, gw_, gb_;  // w: [Cin, Cout, k, k]

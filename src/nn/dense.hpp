@@ -1,9 +1,17 @@
 // Fully connected layer, plus a LoRA-adapted variant used by STARNet's
 // on-device fine-tuning (Sec. V): the base weights stay frozen and only a
 // rank-r update B·A is trained.
+//
+// Dense forward/backward route through the same cache-blocked gemm entry
+// point as the conv layers (nn/gemm.hpp), drawing scratch from a
+// per-layer ScratchArena; S2A_NAIVE_CONV=1 / ConvBackend::kNaive selects
+// the original tensor matmuls instead. Both paths accumulate every
+// output element in the same ascending order, so they are bit-identical
+// for finite inputs (the kernel tests assert EXPECT_EQ, no tolerance).
 #pragma once
 
 #include "nn/layer.hpp"
+#include "util/scratch_arena.hpp"
 
 namespace s2a::nn {
 
@@ -29,12 +37,17 @@ class Dense : public Layer {
   void set_frozen(bool frozen) { frozen_ = frozen; }
   bool frozen() const { return frozen_; }
 
+  const util::ScratchArena* scratch() const override { return &arena_; }
+
  private:
   int in_, out_;
   bool has_bias_;
   bool frozen_ = false;
   Tensor w_, b_, gw_, gb_;
   Tensor last_x_;
+  // Transposed operands + packed panels for the gemm path; sized on the
+  // first call, reused after.
+  util::ScratchArena arena_;
 };
 
 /// Low-Rank Adaptation around a frozen weight matrix:

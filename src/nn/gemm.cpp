@@ -113,4 +113,12 @@ void gemm(int m, int n, int k, const double* a, int lda, const double* b,
   gemm_packed(m, n, k, ap, b, ldb, c, ldc);
 }
 
+void transpose(const double* a, int rows, int cols, double* out) {
+  for (int i = 0; i < rows; ++i) {
+    const double* src = a + static_cast<std::size_t>(i) * cols;
+    for (int j = 0; j < cols; ++j)
+      out[static_cast<std::size_t>(j) * rows + i] = src[j];
+  }
+}
+
 }  // namespace s2a::nn

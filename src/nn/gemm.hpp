@@ -65,4 +65,11 @@ void gemm_packed(int m, int n, int k, const double* a_packed,
 void gemm(int m, int n, int k, const double* a, int lda, const double* b,
           int ldb, double* c, int ldc, util::ScratchArena& arena);
 
+/// out[j*rows + i] = a[i*cols + j]: materializes Aᵀ so the backward
+/// kernels can feed gemm_packed operands whose reduction axis is
+/// contiguous (e.g. Wᵀ for input gradients, xᵀ/gᵀ for Dense). A plain
+/// copy — transposition changes element addresses, never values, so it
+/// is exact.
+void transpose(const double* a, int rows, int cols, double* out);
+
 }  // namespace s2a::nn

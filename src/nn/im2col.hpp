@@ -37,4 +37,24 @@ void im2col(const double* x, int cin, int h, int w, int k, int stride,
 void col2im(const double* col, int cin, int h, int w, int k, int stride,
             int pad, int ow, int oy_lo, int oy_hi, double* x);
 
+/// Transposed im2col for the weight-gradient GEMMs: writes the band's
+/// rows of im2col(x)ᵀ — row j is output pixel j's taps in (ic, ky, kx)
+/// order, so colt is [(oy_hi-oy_lo)*ow, cin*k*k] row-major. Used as the
+/// B operand of gW += grad_out × im2col(x)ᵀ, whose reduction then runs
+/// over output pixels in ascending (oy, ox) order — the naive
+/// accumulation order. Bands write disjoint row ranges of the full
+/// matrix (pass colt + oy_lo*ow*cin*k*k when assembling one).
+void im2col_t(const double* x, int cin, int h, int w, int k, int stride,
+              int pad, int ow, int oy_lo, int oy_hi, double* colt);
+
+/// Band-restricted col2im for the pool-sharded input-gradient scatter:
+/// col is the FULL [cin*k*k, oh*ow] matrix, but only input rows
+/// [iy_lo, iy_hi) of x are accumulated into — each (ky, kx) row visits
+/// just the output rows that land in the band. Covering [0, h) with
+/// disjoint bands reproduces col2im(col, ..., 0, oh, x) bit-for-bit:
+/// each x element's addends arrive in the same (ic, ky, kx, oy, ox)
+/// order, the bands merely split *which elements* each call touches.
+void col2im_band(const double* col, int cin, int h, int w, int k, int stride,
+                 int pad, int ow, int iy_lo, int iy_hi, double* x);
+
 }  // namespace s2a::nn

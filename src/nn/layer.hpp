@@ -12,6 +12,10 @@
 
 #include "nn/tensor.hpp"
 
+namespace s2a::util {
+class ScratchArena;
+}
+
 namespace s2a::nn {
 
 class Layer {
@@ -34,6 +38,11 @@ class Layer {
   /// Multiply-accumulate operations for one forward pass of a single sample.
   /// Used by the Fig. 5a / Table II compute-cost instrumentation.
   virtual std::size_t macs_per_sample() const { return 0; }
+
+  /// The layer's kernel workspace, if it owns one (conv/deconv/dense do).
+  /// Lets training loops and tests audit the zero-steady-state-allocation
+  /// invariant without knowing concrete layer types.
+  virtual const util::ScratchArena* scratch() const { return nullptr; }
 
   std::size_t param_count() {
     std::size_t n = 0;

@@ -3,6 +3,7 @@
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
 #include "util/check.hpp"
+#include "util/scratch_arena.hpp"
 
 namespace s2a::nn {
 
@@ -30,6 +31,22 @@ std::vector<Tensor*> Sequential::grads() {
   for (auto& l : layers_)
     for (Tensor* g : l->grads()) out.push_back(g);
   return out;
+}
+
+std::size_t Sequential::scratch_growth_count() const {
+  std::size_t total = 0;
+  for (const auto& l : layers_)
+    if (const util::ScratchArena* a = l->scratch())
+      total += a->total_growth_count();
+  return total;
+}
+
+std::size_t Sequential::scratch_capacity() const {
+  std::size_t total = 0;
+  for (const auto& l : layers_)
+    if (const util::ScratchArena* a = l->scratch())
+      total += a->total_capacity();
+  return total;
 }
 
 std::size_t Sequential::macs_per_sample() const {

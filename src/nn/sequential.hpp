@@ -34,6 +34,14 @@ class Sequential : public Layer {
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
 
+  /// Lifetime backing-block allocations across all layers' kernel
+  /// arenas (slots included). Training loops assert this stops growing
+  /// after the first couple of steps — the zero-steady-state-allocation
+  /// invariant of the GEMM forward/backward kernels.
+  std::size_t scratch_growth_count() const;
+  /// Total doubles reserved across all layers' kernel arenas.
+  std::size_t scratch_capacity() const;
+
  private:
   std::vector<LayerPtr> layers_;
 };

@@ -47,6 +47,7 @@ double* ScratchArena::alloc(std::size_t count) {
     const std::size_t grown =
         std::max({need, capacity(), kMinBlockDoubles});
     blocks_.push_back(make_block(grown));
+    ++growth_count_;
     cur_off_ = 0;
   }
   double* p = blocks_[cur_block_].data.get() + cur_off_;
@@ -62,6 +63,7 @@ void ScratchArena::reset() {
     std::size_t total = capacity();
     blocks_.clear();
     blocks_.push_back(make_block(total));
+    ++growth_count_;
   }
   cur_block_ = 0;
   cur_off_ = 0;
@@ -71,6 +73,18 @@ void ScratchArena::reset() {
 std::size_t ScratchArena::capacity() const {
   std::size_t total = 0;
   for (const Block& b : blocks_) total += b.cap;
+  return total;
+}
+
+std::size_t ScratchArena::total_growth_count() const {
+  std::size_t total = growth_count_;
+  for (const auto& s : slots_) total += s->total_growth_count();
+  return total;
+}
+
+std::size_t ScratchArena::total_capacity() const {
+  std::size_t total = capacity();
+  for (const auto& s : slots_) total += s->total_capacity();
   return total;
 }
 

@@ -59,6 +59,16 @@ class ScratchArena {
   /// Doubles handed out since the last reset().
   std::size_t used() const { return used_; }
 
+  /// Number of backing-block allocations this arena has ever performed
+  /// (slots not included). A steady-state training loop must stop
+  /// incrementing this after its first couple of frames — the arena
+  /// reuse tests pin that invariant.
+  std::size_t growth_count() const { return growth_count_; }
+  /// growth_count() summed over this arena and all slot sub-arenas.
+  std::size_t total_growth_count() const;
+  /// capacity() summed over this arena and all slot sub-arenas.
+  std::size_t total_capacity() const;
+
   /// Grows the slot table to at least `n` per-task sub-arenas. Call
   /// before dispatching pool tasks; not thread-safe against slot().
   void ensure_slots(std::size_t n);
@@ -83,6 +93,7 @@ class ScratchArena {
   std::size_t cur_block_ = 0;  // block serving the next alloc
   std::size_t cur_off_ = 0;    // doubles used in blocks_[cur_block_]
   std::size_t used_ = 0;       // doubles handed out this frame
+  std::size_t growth_count_ = 0;  // lifetime make_block calls
   std::vector<std::unique_ptr<ScratchArena>> slots_;
 };
 

@@ -13,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
+#include "nn/layer.hpp"
 #include "nn/tensor.hpp"
 #include "util/rng.hpp"
 #include "util/scratch_arena.hpp"
@@ -262,6 +264,289 @@ TEST(ConvBackendEquivalence, GemmPathBitExactAcrossThreadCounts) {
   }
 }
 
+TEST(Im2Col, TransposedGatherMatchesIm2Col) {
+  // im2col_t is the transposed gather the weight-gradient GEMMs consume:
+  // row per output pixel, taps in (ic, ky, kx) order — exactly im2col's
+  // column. Both are pure copies, so the match is bitwise.
+  struct Case {
+    int cin, h, w, k, stride, pad;
+  };
+  const Case cases[] = {
+      {1, 5, 5, 1, 1, 0}, {2, 9, 7, 3, 1, 1}, {3, 11, 8, 4, 2, 1},
+      {2, 6, 7, 5, 3, 2},
+  };
+  Rng rng(79);
+  for (const auto& c : cases) {
+    const int oh = (c.h + 2 * c.pad - c.k) / c.stride + 1;
+    const int ow = (c.w + 2 * c.pad - c.k) / c.stride + 1;
+    const int kdim = im2col_rows(c.cin, c.k);
+    const auto x = random_vec(static_cast<std::size_t>(c.cin) * c.h * c.w, rng);
+
+    std::vector<double> col(static_cast<std::size_t>(kdim) * oh * ow);
+    im2col(x.data(), c.cin, c.h, c.w, c.k, c.stride, c.pad, ow, 0, oh,
+           col.data());
+    std::vector<double> colt(static_cast<std::size_t>(oh) * ow * kdim);
+    im2col_t(x.data(), c.cin, c.h, c.w, c.k, c.stride, c.pad, ow, 0, oh,
+             colt.data());
+    for (int p = 0; p < oh * ow; ++p)
+      for (int r = 0; r < kdim; ++r)
+        ASSERT_EQ(colt[static_cast<std::size_t>(p) * kdim + r],
+                  col[static_cast<std::size_t>(r) * oh * ow + p])
+            << "p=" << p << " r=" << r;
+
+    // Band decomposition: rows [lo, hi) written at the band's base
+    // pointer must equal the same rows of the full lowering.
+    for (int split = 1; split < oh; ++split) {
+      std::vector<double> band(static_cast<std::size_t>(oh - split) * ow *
+                               kdim);
+      im2col_t(x.data(), c.cin, c.h, c.w, c.k, c.stride, c.pad, ow, split, oh,
+               band.data());
+      for (std::size_t i = 0; i < band.size(); ++i)
+        ASSERT_EQ(band[i],
+                  colt[static_cast<std::size_t>(split) * ow * kdim + i]);
+    }
+  }
+}
+
+TEST(Im2Col, Col2ImBandDecompositionMatchesFullScatter) {
+  // col2im_band restricted to input rows [iy_lo, iy_hi) must reproduce
+  // the full col2im bitwise on those rows: each destination element's
+  // terms arrive in the same (ic,ky,kx; oy asc) order, the band bounds
+  // only skip terms that land outside the band.
+  const int cin = 2, h = 11, w = 8, k = 4, stride = 2, pad = 1;
+  const int oh = (h + 2 * pad - k) / stride + 1;
+  const int ow = (w + 2 * pad - k) / stride + 1;
+  const int kdim = im2col_rows(cin, k);
+  Rng rng(80);
+  const auto col =
+      random_vec(static_cast<std::size_t>(kdim) * oh * ow, rng);
+
+  std::vector<double> full(static_cast<std::size_t>(cin) * h * w, 0.0);
+  col2im(col.data(), cin, h, w, k, stride, pad, ow, 0, oh, full.data());
+
+  for (int split = 1; split < h; ++split) {
+    std::vector<double> banded(full.size(), 0.0);
+    col2im_band(col.data(), cin, h, w, k, stride, pad, ow, 0, split,
+                banded.data());
+    col2im_band(col.data(), cin, h, w, k, stride, pad, ow, split, h,
+                banded.data());
+    for (std::size_t i = 0; i < full.size(); ++i)
+      ASSERT_EQ(banded[i], full[i]) << "split=" << split << " i=" << i;
+  }
+}
+
+// ---- Backward: GEMM path vs. naive oracle ----
+
+struct BackwardResult {
+  Tensor dx, gw, gb;
+};
+
+// One zero_grad + forward + backward under `backend`; returns dx and
+// copies of the accumulated parameter gradients.
+BackwardResult run_backward(Layer& layer, const Tensor& x,
+                            const Tensor& grad_out, ConvBackend backend) {
+  ScopedBackend scoped(backend);
+  layer.zero_grad();
+  layer.forward(x);
+  BackwardResult r;
+  r.dx = layer.backward(grad_out);
+  r.gw = *layer.grads()[0];
+  r.gb = *layer.grads()[1];
+  return r;
+}
+
+TEST(ConvBackendEquivalence, Conv2DBackwardBitExactAcrossShapes) {
+  Rng rng(45);
+  struct Case {
+    int cin, cout, k, stride, pad, h, w;
+  };
+  const Case cases[] = {
+      {1, 1, 1, 1, 0, 5, 5},   {2, 3, 3, 1, 1, 7, 5},
+      {3, 4, 3, 2, 1, 9, 11},  {4, 16, 3, 2, 1, 48, 48},
+      {2, 5, 5, 3, 2, 13, 17}, {1, 2, 4, 2, 1, 10, 6},
+      {6, 4, 3, 1, 0, 9, 9},
+  };
+  for (const auto& c : cases) {
+    Conv2D conv(c.cin, c.cout, c.k, c.stride, c.pad, rng);
+    const Tensor x = Tensor::randn({2, c.cin, c.h, c.w}, rng);
+    const Tensor g = Tensor::randn(
+        {2, c.cout, conv.out_size(c.h), conv.out_size(c.w)}, rng);
+    const auto naive = run_backward(conv, x, g, ConvBackend::kNaive);
+    const auto fast = run_backward(conv, x, g, ConvBackend::kGemm);
+    EXPECT_EQ(diff_count(naive.dx, fast.dx), 0u)
+        << "dx: cin=" << c.cin << " cout=" << c.cout << " k=" << c.k
+        << " stride=" << c.stride << " pad=" << c.pad;
+    EXPECT_EQ(diff_count(naive.gw, fast.gw), 0u)
+        << "gw: cin=" << c.cin << " cout=" << c.cout << " k=" << c.k
+        << " stride=" << c.stride << " pad=" << c.pad;
+    EXPECT_EQ(diff_count(naive.gb, fast.gb), 0u) << "gb";
+  }
+}
+
+TEST(ConvBackendEquivalence, ConvTranspose2DBackwardBitExactAcrossShapes) {
+  Rng rng(46);
+  struct Case {
+    int cin, cout, k, stride, pad, h, w;
+  };
+  const Case cases[] = {
+      {1, 1, 1, 1, 0, 5, 5},  {3, 2, 3, 1, 1, 7, 5},
+      {2, 3, 4, 2, 1, 9, 11}, {32, 16, 4, 2, 1, 12, 12},
+      {2, 2, 5, 3, 2, 6, 7},  {4, 1, 3, 2, 0, 5, 9},
+  };
+  for (const auto& c : cases) {
+    ConvTranspose2D deconv(c.cin, c.cout, c.k, c.stride, c.pad, rng);
+    const Tensor x = Tensor::randn({2, c.cin, c.h, c.w}, rng);
+    const Tensor g = Tensor::randn(
+        {2, c.cout, deconv.out_size(c.h), deconv.out_size(c.w)}, rng);
+    const auto naive = run_backward(deconv, x, g, ConvBackend::kNaive);
+    const auto fast = run_backward(deconv, x, g, ConvBackend::kGemm);
+    EXPECT_EQ(diff_count(naive.dx, fast.dx), 0u)
+        << "dx: cin=" << c.cin << " cout=" << c.cout << " k=" << c.k
+        << " stride=" << c.stride << " pad=" << c.pad;
+    EXPECT_EQ(diff_count(naive.gw, fast.gw), 0u)
+        << "gw: cin=" << c.cin << " cout=" << c.cout << " k=" << c.k
+        << " stride=" << c.stride << " pad=" << c.pad;
+    EXPECT_EQ(diff_count(naive.gb, fast.gb), 0u) << "gb";
+  }
+}
+
+TEST(ConvBackendEquivalence, DenseBitExactBothDirections) {
+  Rng rng(47);
+  struct Case {
+    int in, out, n;
+  };
+  const Case cases[] = {{1, 1, 1}, {3, 4, 2}, {17, 9, 5}, {64, 48, 16},
+                        {5, 130, 3}};
+  for (const auto& c : cases) {
+    Dense dense(c.in, c.out, rng);
+    const Tensor x = Tensor::randn({c.n, c.in}, rng);
+    Tensor y_naive, y_fast;
+    {
+      ScopedBackend backend(ConvBackend::kNaive);
+      y_naive = dense.forward(x);
+    }
+    {
+      ScopedBackend backend(ConvBackend::kGemm);
+      y_fast = dense.forward(x);
+    }
+    EXPECT_EQ(diff_count(y_naive, y_fast), 0u)
+        << "forward: in=" << c.in << " out=" << c.out << " n=" << c.n;
+
+    const Tensor g = Tensor::randn({c.n, c.out}, rng);
+    const auto naive = run_backward(dense, x, g, ConvBackend::kNaive);
+    const auto fast = run_backward(dense, x, g, ConvBackend::kGemm);
+    EXPECT_EQ(diff_count(naive.dx, fast.dx), 0u)
+        << "dx: in=" << c.in << " out=" << c.out << " n=" << c.n;
+    EXPECT_EQ(diff_count(naive.gw, fast.gw), 0u)
+        << "gw: in=" << c.in << " out=" << c.out << " n=" << c.n;
+    EXPECT_EQ(diff_count(naive.gb, fast.gb), 0u) << "gb";
+  }
+}
+
+TEST(ConvBackendEquivalence, BackwardBitExactAcrossThreadCounts) {
+  // Sharding stripes gw over columns and dx over bands — never over a
+  // reduction axis — so every gradient element's complete chain runs in
+  // one task and the bits cannot depend on the thread count. The naive
+  // oracle (always serial) anchors the comparison at each count.
+  ScopedForceParallel force;
+  Rng rng(48);
+  Conv2D conv(4, 16, 3, 2, 1, rng);
+  ConvTranspose2D deconv(16, 4, 4, 2, 1, rng);
+  const Tensor x = Tensor::randn({1, 4, 48, 48}, rng);
+  const Tensor gx = Tensor::randn({1, 16, 24, 24}, rng);
+  const Tensor z = Tensor::randn({1, 16, 24, 24}, rng);
+  const Tensor gz = Tensor::randn({1, 4, 48, 48}, rng);
+
+  BackwardResult conv_oracle, deconv_oracle;
+  {
+    util::ScopedGlobalThreads threads(1);
+    conv_oracle = run_backward(conv, x, gx, ConvBackend::kNaive);
+    deconv_oracle = run_backward(deconv, z, gz, ConvBackend::kNaive);
+  }
+  for (int threads : {1, 2, 4}) {
+    util::ScopedGlobalThreads scoped(threads);
+    const auto c = run_backward(conv, x, gx, ConvBackend::kGemm);
+    EXPECT_EQ(diff_count(conv_oracle.dx, c.dx), 0u) << threads << " threads";
+    EXPECT_EQ(diff_count(conv_oracle.gw, c.gw), 0u) << threads << " threads";
+    EXPECT_EQ(diff_count(conv_oracle.gb, c.gb), 0u) << threads << " threads";
+    const auto d = run_backward(deconv, z, gz, ConvBackend::kGemm);
+    EXPECT_EQ(diff_count(deconv_oracle.dx, d.dx), 0u) << threads << " threads";
+    EXPECT_EQ(diff_count(deconv_oracle.gw, d.gw), 0u) << threads << " threads";
+    EXPECT_EQ(diff_count(deconv_oracle.gb, d.gb), 0u) << threads << " threads";
+  }
+}
+
+// ---- Backward: finite-difference gradient checks ----
+
+// L = 0.5*||y||^2 so dL/dy = y (non-uniform output gradients), matching
+// the nn_test.cpp convention. Checks dL/d(input) and dL/d(params) by
+// central differences under the given backend.
+void check_gradients(Layer& layer, const Tensor& x, ConvBackend backend,
+                     double eps = 1e-5, double tol = 1e-6) {
+  ScopedBackend scoped(backend);
+  layer.zero_grad();
+  const Tensor y = layer.forward(x);
+  const Tensor dx = layer.backward(y);
+
+  Tensor xm = x;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    xm[i] = x[i] + eps;
+    const double lp = 0.5 * layer.forward(xm).squared_norm();
+    xm[i] = x[i] - eps;
+    const double lm = 0.5 * layer.forward(xm).squared_norm();
+    xm[i] = x[i];
+    const double num = (lp - lm) / (2 * eps);
+    ASSERT_NEAR(dx[i], num, tol * std::max(1.0, std::abs(num)))
+        << "input grad mismatch at " << i;
+  }
+
+  auto params = layer.params();
+  auto grads = layer.grads();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = *params[pi];
+    const Tensor& g = *grads[pi];
+    for (std::size_t i = 0; i < p.numel(); ++i) {
+      const double orig = p[i];
+      p[i] = orig + eps;
+      const double lp = 0.5 * layer.forward(x).squared_norm();
+      p[i] = orig - eps;
+      const double lm = 0.5 * layer.forward(x).squared_norm();
+      p[i] = orig;
+      const double num = (lp - lm) / (2 * eps);
+      ASSERT_NEAR(g[i], num, tol * std::max(1.0, std::abs(num)))
+          << "param " << pi << " grad mismatch at " << i;
+    }
+  }
+}
+
+TEST(BackwardGradientCheck, Conv2DBothBackends) {
+  for (ConvBackend backend : {ConvBackend::kNaive, ConvBackend::kGemm}) {
+    Rng rng(90);
+    Conv2D conv(2, 3, 3, 2, 1, rng);
+    const Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+    check_gradients(conv, x, backend);
+  }
+}
+
+TEST(BackwardGradientCheck, ConvTranspose2DBothBackends) {
+  for (ConvBackend backend : {ConvBackend::kNaive, ConvBackend::kGemm}) {
+    Rng rng(91);
+    ConvTranspose2D deconv(3, 2, 4, 2, 1, rng);
+    const Tensor x = Tensor::randn({1, 3, 4, 4}, rng);
+    check_gradients(deconv, x, backend);
+  }
+}
+
+TEST(BackwardGradientCheck, DenseBothBackends) {
+  for (ConvBackend backend : {ConvBackend::kNaive, ConvBackend::kGemm}) {
+    Rng rng(92);
+    Dense dense(3, 4, rng);
+    const Tensor x = Tensor::randn({2, 3}, rng);
+    check_gradients(dense, x, backend);
+  }
+}
+
 // ---- ScratchArena ----
 
 TEST(ScratchArena, AllocationsAreAligned) {
@@ -341,6 +626,58 @@ TEST(ScratchArena, EnsureSlotsNeverShrinks) {
   arena.ensure_slots(2);
   EXPECT_EQ(arena.slots(), 4u);
   EXPECT_EQ(arena.slot(3).capacity(), cap);
+}
+
+TEST(ScratchArena, TrainingStepsStopGrowingAfterWarmup) {
+  // The zero-steady-state-allocation invariant: after the first two full
+  // forward+backward steps (the second lets reset() coalesce multi-block
+  // chains into one backing block, which itself counts as a growth),
+  // further steps must perform zero arena growth and leave capacity
+  // untouched. Forced-parallel at a fixed thread count so the slot
+  // sub-arenas are exercised too.
+  ScopedForceParallel force;
+  util::ScopedGlobalThreads threads(4);
+  ScopedBackend backend(ConvBackend::kGemm);
+  Rng rng(93);
+  Conv2D conv(3, 8, 3, 2, 1, rng);
+  ConvTranspose2D deconv(8, 3, 4, 2, 1, rng);
+  Dense dense(32, 16, rng);
+
+  const Tensor xc = Tensor::randn({1, 3, 16, 16}, rng);
+  const Tensor xd = Tensor::randn({1, 8, 8, 8}, rng);
+  const Tensor xf = Tensor::randn({4, 32}, rng);
+  const auto step = [&] {
+    for (Layer* l : {static_cast<Layer*>(&conv), static_cast<Layer*>(&deconv),
+                     static_cast<Layer*>(&dense)}) {
+      l->zero_grad();
+    }
+    conv.backward(conv.forward(xc));
+    deconv.backward(deconv.forward(xd));
+    dense.backward(dense.forward(xf));
+  };
+
+  step();
+  step();
+  std::size_t growth = 0, capacity = 0;
+  for (const Layer* l : {static_cast<const Layer*>(&conv),
+                         static_cast<const Layer*>(&deconv),
+                         static_cast<const Layer*>(&dense)}) {
+    growth += l->scratch()->total_growth_count();
+    capacity += l->scratch()->total_capacity();
+  }
+  EXPECT_GT(growth, 0u);
+  EXPECT_GT(capacity, 0u);
+
+  for (int rep = 0; rep < 5; ++rep) step();
+  std::size_t growth_after = 0, capacity_after = 0;
+  for (const Layer* l : {static_cast<const Layer*>(&conv),
+                         static_cast<const Layer*>(&deconv),
+                         static_cast<const Layer*>(&dense)}) {
+    growth_after += l->scratch()->total_growth_count();
+    capacity_after += l->scratch()->total_capacity();
+  }
+  EXPECT_EQ(growth_after, growth);
+  EXPECT_EQ(capacity_after, capacity);
 }
 
 }  // namespace
