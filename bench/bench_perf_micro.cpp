@@ -20,6 +20,12 @@
 // naive oracle (single-threaded, fresh identically-seeded models per
 // backend), plus one federated client update, and writes
 // BENCH_train.json.
+// With S2A_BENCH_FLEET=<out.json> it times the execution engines: a
+// 64-loop fleet on a 4-slot pool vs the serial one-loop-at-a-time
+// baseline, the pipelined single-loop engine vs the synchronous one,
+// and a FaultPlan straggler chaos run with finite deadlines, writing
+// aggregate ticks/sec, per-loop p50/p95 tick latency, and the chaos
+// shed/stall outcome to BENCH_fleet.json.
 // With S2A_BENCH_BUDGETS=<budgets.json> it becomes the perf regression
 // gate: re-times the budgeted hot paths and exits non-zero if any p95
 // exceeds its recorded budget by more than the file's tolerance.
@@ -27,7 +33,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <fstream>
 #include <functional>
 #include <iterator>
@@ -35,8 +43,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/fleet.hpp"
 #include "core/loop.hpp"
+#include "core/pipeline.hpp"
 #include "core/policies.hpp"
+#include "fault/fault.hpp"
 #include "federated/fedavg.hpp"
 #include "federated/hardware.hpp"
 #include "lidar/autoencoder.hpp"
@@ -565,6 +576,252 @@ int run_train_report(const char* out_path) {
   return 0;
 }
 
+// ---- Fleet report (S2A_BENCH_FLEET=<out.json>) ----
+//
+// Times the execution engines on a loop whose stages have honest edge
+// latencies: the sensor models acquisition as a real blocking wait
+// (sensing latency is I/O-like — the core is idle while the ADC/DMA
+// fills the buffer), the processor burns CPU. The fleet's win is
+// overlapping many loops' acquisition waits; the pipeline's win is
+// hiding one loop's sensing latency behind its processing latency.
+// Three sections:
+//  * fleet:    64 loops, serial one-at-a-time baseline vs Fleet on a
+//              4-slot pool (the ISSUE's >= 2x acceptance bar).
+//  * pipeline: one loop, synchronous vs pipelined engine.
+//  * chaos:    finite-deadline fleet with FaultPlan-driven fault
+//              windows plus wall-clock stragglers — checks shedding
+//              isolates the stragglers and no healthy loop stalls.
+
+class BlockingSensor : public core::Sensor {
+ public:
+  explicit BlockingSensor(int acquire_us) : acquire_us_(acquire_us) {}
+  core::Observation sense(double now, Rng& rng) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(acquire_us_));
+    core::Observation obs;
+    obs.data = {rng.normal(), rng.normal(), rng.normal(), rng.normal()};
+    obs.timestamp = now;
+    obs.energy_j = 1e-3;
+    return obs;
+  }
+
+ private:
+  int acquire_us_;
+};
+
+class SpinProcessor : public core::Processor {
+ public:
+  explicit SpinProcessor(int iters) : iters_(iters) {}
+  std::vector<double> process(const core::Observation& obs, Rng&) override {
+    double acc = 0.0;
+    for (int i = 0; i < iters_; ++i) acc += std::sin(i * 1e-3);
+    std::vector<double> out = obs.data;
+    out[0] += acc * 1e-12;
+    return out;
+  }
+  double energy_per_call_j() const override { return 1e-4; }
+
+ private:
+  int iters_;
+};
+
+class WallStallProcessor : public core::Processor {
+ public:
+  explicit WallStallProcessor(int ms) : ms_(ms) {}
+  std::vector<double> process(const core::Observation& obs, Rng&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_));
+    return obs.data;
+  }
+
+ private:
+  int ms_;
+};
+
+class SinkActuator : public core::Actuator {
+ public:
+  void actuate(const core::Action& action, Rng&) override {
+    benchmark::DoNotOptimize(action.data.data());
+  }
+};
+
+// One self-contained loop stack for the fleet/pipeline sections.
+struct EdgeLoop {
+  BlockingSensor sensor;
+  std::unique_ptr<fault::FaultySensor> faulty;
+  std::unique_ptr<core::Processor> proc;
+  SinkActuator act;
+  core::PeriodicPolicy policy{1};
+  std::unique_ptr<core::SensingActionLoop> loop;
+
+  EdgeLoop(int acquire_us, std::unique_ptr<core::Processor> processor,
+           fault::FaultPlan plan = {})
+      : sensor(acquire_us), proc(std::move(processor)) {
+    core::Sensor* s = &sensor;
+    if (!plan.empty()) {
+      faulty = std::make_unique<fault::FaultySensor>(sensor, plan);
+      s = faulty.get();
+    }
+    core::LoopConfig cfg;
+    cfg.resilience.max_sense_retries = 1;
+    loop = std::make_unique<core::SensingActionLoop>(*s, *proc, act, policy,
+                                                     cfg);
+  }
+};
+
+int run_fleet_report(const char* out_path) {
+  constexpr int kLoops = 64, kTicks = 20;
+  constexpr int kAcquireUs = 400, kSpinIters = 4000;
+  const auto make_proc = [&] {
+    return std::make_unique<SpinProcessor>(kSpinIters);
+  };
+  const auto wall_of = [](const std::function<void()>& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  // Serial baseline: the same 64 loops, one at a time, one thread.
+  double serial_wall_s = 0.0;
+  {
+    util::ScopedGlobalThreads threads(1);
+    std::vector<std::unique_ptr<EdgeLoop>> loops;
+    for (int i = 0; i < kLoops; ++i)
+      loops.push_back(std::make_unique<EdgeLoop>(kAcquireUs, make_proc()));
+    serial_wall_s = wall_of([&] {
+      for (int i = 0; i < kLoops; ++i) {
+        Rng rng(1000 + i);
+        loops[i]->loop->run(kTicks, rng);
+      }
+    });
+  }
+  const double serial_tps = kLoops * kTicks / serial_wall_s;
+
+  // Fleet: same workload on a 4-slot pool (acquisition waits overlap).
+  core::FleetStats fs;
+  {
+    util::ScopedGlobalThreads threads(kParallelThreads);
+    std::vector<std::unique_ptr<EdgeLoop>> loops;
+    core::Fleet fleet(core::FleetConfig{/*batch=*/4});
+    for (int i = 0; i < kLoops; ++i) {
+      loops.push_back(std::make_unique<EdgeLoop>(kAcquireUs, make_proc()));
+      fleet.add(*loops.back()->loop, {kTicks}, /*seed=*/1000 + i);
+    }
+    fs = fleet.run();
+  }
+  double p50_sum = 0.0, p95_max = 0.0;
+  for (const auto& ls : fs.loops) {
+    p50_sum += ls.p50_tick_ms;
+    p95_max = std::max(p95_max, ls.p95_tick_ms);
+  }
+  const double mean_p50_ms = p50_sum / fs.loops.size();
+  const double fleet_speedup = fs.ticks_per_s / serial_tps;
+  printf("fleet      %3d loops x %d ticks  serial %8.0f ticks/s | fleet(%d threads) %8.0f ticks/s | speedup %.2fx (mean p50 %.3f ms, max p95 %.3f ms)\n",
+         kLoops, kTicks, serial_tps, kParallelThreads, fs.ticks_per_s,
+         fleet_speedup, mean_p50_ms, p95_max);
+
+  // Pipelined single loop: balanced stages so the overlap is visible —
+  // the pipelined rate is bounded by max(sense, commit) instead of
+  // their sum.
+  double sync_wall_s = 0.0, pipe_wall_s = 0.0;
+  constexpr int kPipeTicks = 300, kPipeSpin = 24000;
+  {
+    util::ScopedGlobalThreads threads(kParallelThreads);
+    EdgeLoop sync_loop(kAcquireUs,
+                       std::make_unique<SpinProcessor>(kPipeSpin));
+    core::PipelinedRunner sync_runner(
+        *sync_loop.loop, {core::PipelineMode::kSynchronous, 4});
+    sync_wall_s =
+        wall_of([&] { sync_runner.run(kPipeTicks, /*seed=*/42); });
+
+    EdgeLoop pipe_loop(kAcquireUs,
+                       std::make_unique<SpinProcessor>(kPipeSpin));
+    core::PipelinedRunner pipe_runner(
+        *pipe_loop.loop, {core::PipelineMode::kPipelined, 4});
+    pipe_wall_s =
+        wall_of([&] { pipe_runner.run(kPipeTicks, /*seed=*/42); });
+  }
+  const double pipe_speedup = sync_wall_s / pipe_wall_s;
+  printf("pipeline   1 loop x %d ticks     sync %8.0f ticks/s | pipelined %17.0f ticks/s | speedup %.2fx\n",
+         kPipeTicks, kPipeTicks / sync_wall_s, kPipeTicks / pipe_wall_s,
+         pipe_speedup);
+
+  // Chaos: finite deadlines, FaultPlan fault windows on every loop, and
+  // four wall-clock stragglers. Healthy loops must complete every tick
+  // with zero shedding (the fleet never stalls on a straggler);
+  // stragglers must be shed, not waited on.
+  constexpr int kChaosLoops = 32, kChaosTicks = 30, kStragglers = 4;
+  core::FleetStats cs;
+  {
+    util::ScopedGlobalThreads threads(kParallelThreads);
+    std::vector<std::unique_ptr<EdgeLoop>> loops;
+    core::Fleet fleet(core::FleetConfig{/*batch=*/4});
+    for (int i = 0; i < kChaosLoops; ++i) {
+      const bool straggler = i < kStragglers;
+      std::unique_ptr<core::Processor> proc =
+          straggler ? std::unique_ptr<core::Processor>(
+                          std::make_unique<WallStallProcessor>(20))
+                    : std::unique_ptr<core::Processor>(
+                          std::make_unique<SpinProcessor>(kSpinIters));
+      loops.push_back(std::make_unique<EdgeLoop>(
+          kAcquireUs, std::move(proc),
+          fault::FaultPlan::random_component_plan(
+              /*seed=*/7000 + i, /*horizon_s=*/kChaosTicks * 0.05,
+              /*events=*/4, /*mean_duration_s=*/0.2)));
+      core::FleetLoopConfig lc;
+      lc.ticks = kChaosTicks;
+      lc.deadline_s = straggler ? 2e-3 : 0.25;  // stragglers: hopeless
+      lc.shed_slack = 4.0;
+      fleet.add(*loops.back()->loop, lc, /*seed=*/3000 + i);
+    }
+    cs = fleet.run();
+  }
+  long straggler_shed = 0;
+  bool healthy_complete = true, healthy_unshed = true;
+  for (int i = 0; i < kChaosLoops; ++i) {
+    if (i < kStragglers) {
+      straggler_shed += cs.loops[i].shed;
+    } else {
+      healthy_complete &= cs.loops[i].executed == kChaosTicks;
+      healthy_unshed &= cs.loops[i].shed == 0;
+    }
+  }
+  const bool zero_stalls = healthy_complete && healthy_unshed;
+  printf("chaos      %d loops (%d stragglers)  straggler shed %ld ticks | healthy complete %s | zero stalls %s\n",
+         kChaosLoops, kStragglers, straggler_shed,
+         healthy_complete ? "yes" : "NO", zero_stalls ? "yes" : "NO");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  out << "{\n  \"threads\": " << kParallelThreads
+      << ",\n  \"fleet\": {\n    \"loops\": " << kLoops
+      << ", \"ticks_per_loop\": " << kTicks
+      << ",\n    \"serial_ticks_per_s\": " << serial_tps
+      << ",\n    \"fleet_ticks_per_s\": " << fs.ticks_per_s
+      << ",\n    \"speedup\": " << fleet_speedup
+      << ",\n    \"mean_p50_tick_ms\": " << mean_p50_ms
+      << ", \"max_p95_tick_ms\": " << p95_max
+      << ",\n    \"dispatches\": " << fs.dispatches
+      << ", \"deadline_misses\": " << fs.deadline_misses
+      << ", \"shed\": " << fs.shed << "\n  },\n"
+      << "  \"pipeline\": {\n    \"ticks\": " << kPipeTicks
+      << ",\n    \"sync_ticks_per_s\": " << kPipeTicks / sync_wall_s
+      << ",\n    \"pipelined_ticks_per_s\": " << kPipeTicks / pipe_wall_s
+      << ",\n    \"speedup\": " << pipe_speedup << "\n  },\n"
+      << "  \"chaos\": {\n    \"loops\": " << kChaosLoops
+      << ", \"stragglers\": " << kStragglers
+      << ",\n    \"straggler_shed_ticks\": " << straggler_shed
+      << ",\n    \"healthy_complete\": "
+      << (healthy_complete ? "true" : "false")
+      << ",\n    \"zero_stalls\": " << (zero_stalls ? "true" : "false")
+      << "\n  }\n}\n";
+  printf("Wrote fleet report to %s\n", out_path);
+  return zero_stalls ? 0 : 1;
+}
+
 // ---- Perf regression gate (S2A_BENCH_BUDGETS=<budgets.json>) ----
 //
 // Re-times the budgeted hot paths single-threaded and fails if any p95
@@ -666,6 +923,8 @@ int main(int argc, char** argv) {
     return run_kernels_report(out);
   if (const char* out = std::getenv("S2A_BENCH_TRAIN"))
     return run_train_report(out);
+  if (const char* out = std::getenv("S2A_BENCH_FLEET"))
+    return run_fleet_report(out);
   if (const char* budgets = std::getenv("S2A_BENCH_BUDGETS"))
     return run_budget_gate(budgets);
   benchmark::Initialize(&argc, argv);

@@ -9,6 +9,7 @@
 #   ./scripts/check.sh asan       # just the ASan/UBSan build + full suite
 #   ./scripts/check.sh tsan       # just the TSan build + threaded tests
 #   ./scripts/check.sh perf       # just the perf regression gate
+#   ./scripts/check.sh docs       # just the docs-consistency check
 #
 # S2A_SKIP_PERF=1 skips the perf gate (use on noisy shared runners where
 # p95 latencies aren't meaningful).
@@ -61,6 +62,9 @@ run_tsan() {
   S2A_THREADS=4 ./build-tsan/tests/federated_test
   # Chaos suite: fault injection + degradation under a threaded pool.
   S2A_THREADS=4 ./build-tsan/tests/fault_test
+  # Execution engines: SPSC stage queue, pipelined sense/commit overlap,
+  # fleet EDF dispatch + straggler shedding.
+  S2A_THREADS=4 ./build-tsan/tests/fleet_test
 }
 
 run_perf() {
@@ -74,22 +78,45 @@ run_perf() {
   S2A_BENCH_BUDGETS=BENCH_budgets.json ./build/bench/bench_perf_micro
 }
 
+run_docs() {
+  echo "==> docs consistency: every S2A_* env var read in the tree is documented"
+  # Every getenv("S2A_...") in src/bench/examples must appear in README.md
+  # or docs/ — undocumented knobs are how the manuals drift.
+  local missing=0
+  local vars
+  vars="$(grep -rhoE 'getenv\("S2A_[A-Z0-9_]+"\)' src bench examples tests 2>/dev/null \
+          | sed -E 's/getenv\("([^"]+)"\)/\1/' | sort -u)"
+  for var in $vars; do
+    if ! grep -rq "$var" README.md docs/; then
+      echo "ERROR: $var is read in the code but documented nowhere in README.md or docs/" >&2
+      missing=1
+    fi
+  done
+  if [[ "$missing" != 0 ]]; then
+    echo "==> docs consistency FAILED" >&2
+    return 1
+  fi
+  echo "    $(echo "$vars" | wc -l) env vars checked, all documented"
+}
+
 case "$STAGE" in
   tier1) run_tier1 ;;
   werror) run_werror ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
   perf) run_perf ;;
+  docs) run_docs ;;
   all)
     run_tier1
     run_werror
     run_asan
     run_tsan
     run_perf
+    run_docs
     echo "==> all checks passed"
     ;;
   *)
-    echo "usage: $0 [tier1|werror|asan|tsan|perf|all]" >&2
+    echo "usage: $0 [tier1|werror|asan|tsan|perf|docs|all]" >&2
     exit 2
     ;;
 esac

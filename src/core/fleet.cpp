@@ -1,0 +1,201 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace s2a::core {
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetConfig cfg) : cfg_(cfg) {
+  S2A_CHECK(cfg_.batch >= 1);
+  S2A_CHECK(cfg_.max_workers >= 0);
+}
+
+std::size_t Fleet::add(SensingActionLoop& loop, FleetLoopConfig cfg,
+                       std::uint64_t seed) {
+  S2A_CHECK(cfg.ticks >= 0);
+  S2A_CHECK(cfg.deadline_s > 0.0);
+  members_.emplace_back(&loop, cfg, seed);
+  return members_.size() - 1;
+}
+
+FleetStats Fleet::run() {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  const auto elapsed = [t0] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  FleetStats stats;
+  stats.loops.resize(members_.size());
+
+  // Ready heap keyed (next deadline, executed ticks, id): EDF, with the
+  // executed-ticks tie-break degenerating to round-robin fairness when
+  // every deadline is +inf (pure throughput mode).
+  struct Entry {
+    double deadline;
+    long executed;
+    std::size_t id;
+  };
+  const auto later = [](const Entry& a, const Entry& b) {
+    if (a.deadline != b.deadline) return a.deadline > b.deadline;
+    if (a.executed != b.executed) return a.executed > b.executed;
+    return a.id > b.id;
+  };
+
+  std::vector<Entry> ready;
+  ready.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Member& m = members_[i];
+    m.executed = 0;
+    m.shed = 0;
+    m.deadline_misses = 0;
+    m.remaining = m.cfg.ticks;
+    m.tick_ms.clear();
+    // The k-th tick (1-based) is due at k * deadline_s from now: a rate
+    // contract fixed at admission, not reset by late dispatches.
+    m.next_deadline = m.cfg.deadline_s;  // +inf stays +inf
+    if (m.remaining > 0) ready.push_back({m.next_deadline, 0, i});
+  }
+  std::make_heap(ready.begin(), ready.end(), later);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int active = 0;  // members currently owned by a worker
+  std::atomic<long> dispatches{0};
+
+  int workers = util::global_pool().size();
+  if (cfg_.max_workers > 0) workers = std::min(workers, cfg_.max_workers);
+  workers = std::min<int>(workers, static_cast<int>(members_.size()));
+  if (workers < 1) workers = 1;
+
+  const long batch = cfg_.batch;
+
+  const auto worker = [&](std::size_t /*worker_id*/) {
+    for (;;) {
+      Entry e{};
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return !ready.empty() || active == 0; });
+        if (ready.empty()) {
+          if (active == 0) return;  // fleet drained
+          continue;                 // lost a race; wait again
+        }
+        std::pop_heap(ready.begin(), ready.end(), later);
+        e = ready.back();
+        ready.pop_back();
+        ++active;
+        S2A_GAUGE_SET("fleet.ready_queue_depth",
+                      static_cast<double>(ready.size()));
+      }
+      dispatches.fetch_add(1, std::memory_order_relaxed);
+
+      // Exclusive ownership: `e.id` is out of the heap until requeued,
+      // so this member's loop, Rng, and counters are single-threaded.
+      Member& m = members_[e.id];
+      const bool timed = std::isfinite(m.cfg.deadline_s);
+      {
+        S2A_TRACE_SCOPE_CAT("fleet.dispatch", "core");
+
+        // Admission control: a member that has fallen hopelessly behind
+        // its rate contract is shed — its remaining ticks are abandoned
+        // so stragglers release their workers instead of stalling the
+        // fleet. (The member's loop keeps whatever state it reached;
+        // only future work is dropped.)
+        if (timed && m.cfg.shed_slack > 0.0 &&
+            elapsed() - m.next_deadline >
+                m.cfg.shed_slack * m.cfg.deadline_s) {
+          m.shed += m.remaining;
+          S2A_COUNTER_ADD("fleet.shed_ticks", m.remaining);
+          m.remaining = 0;
+        }
+
+        const long n = std::min<long>(batch, m.remaining);
+        for (long k = 0; k < n; ++k) {
+          const double start_s =
+              (cfg_.record_latencies || timed) ? elapsed() : 0.0;
+          m.loop->tick(m.rng);
+          --m.remaining;
+          ++m.executed;
+          if (cfg_.record_latencies || timed) {
+            const double end_s = elapsed();
+            if (cfg_.record_latencies)
+              m.tick_ms.push_back((end_s - start_s) * 1e3);
+            if (timed) {
+              if (end_s > m.next_deadline) {
+                ++m.deadline_misses;
+                S2A_COUNTER_ADD("fleet.deadline_misses", 1);
+              }
+              m.next_deadline += m.cfg.deadline_s;
+            }
+          }
+        }
+        S2A_COUNTER_ADD("fleet.ticks", n);
+      }
+
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        --active;
+        if (m.remaining > 0) {
+          ready.push_back({m.next_deadline, m.executed, e.id});
+          std::push_heap(ready.begin(), ready.end(), later);
+          cv.notify_one();
+        } else if (ready.empty() && active == 0) {
+          cv.notify_all();  // wake everyone so they can observe "drained"
+        }
+      }
+    }
+  };
+
+  if (!members_.empty())
+    util::global_pool().parallel_for(0, static_cast<std::size_t>(workers), 1,
+                                     worker);
+
+  stats.workers = workers;
+  stats.dispatches = dispatches.load(std::memory_order_relaxed);
+  stats.wall_s = elapsed();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Member& m = members_[i];
+    FleetLoopStats& ls = stats.loops[i];
+    ls.requested = m.cfg.ticks;
+    ls.executed = m.executed;
+    ls.shed = m.shed;
+    ls.deadline_misses = m.deadline_misses;
+    ls.final_state = m.loop->state();
+    if (!m.tick_ms.empty()) {
+      std::sort(m.tick_ms.begin(), m.tick_ms.end());
+      ls.p50_tick_ms = percentile(m.tick_ms, 0.50);
+      ls.p95_tick_ms = percentile(m.tick_ms, 0.95);
+      ls.max_tick_ms = m.tick_ms.back();
+    }
+    stats.executed += ls.executed;
+    stats.shed += ls.shed;
+    stats.deadline_misses += ls.deadline_misses;
+  }
+  stats.ticks_per_s =
+      stats.wall_s > 0.0 ? static_cast<double>(stats.executed) / stats.wall_s
+                         : 0.0;
+  return stats;
+}
+
+}  // namespace s2a::core

@@ -1,0 +1,123 @@
+// Fleet scheduler: hundreds-to-thousands of sensing-to-action loops
+// multiplexed over the shared util::ThreadPool — the "millions of
+// users" serving engine the ROADMAP calls for. Each admitted loop gets
+// a per-tick deadline budget; dispatch is EDF (earliest next deadline
+// first) from a ready heap, and admission control sheds the hopelessly
+// overdue rather than letting one straggler stall the fleet.
+//
+// Model:
+//  * add() admits a loop with a tick count, an optional per-tick
+//    deadline, and a seed — each member owns an independent Rng stream.
+//  * run() spins min(pool size, members, max_workers) workers. Each
+//    worker pops the earliest-deadline member, executes up to `batch`
+//    ticks of it serially (a member is owned by exactly one worker at a
+//    time — the per-loop NOMINAL→DEGRADED→SAFE_STOP machine and all
+//    loop state stay single-threaded), then requeues it.
+//  * A member's k-th tick is due at admission + k * deadline_s (a rate
+//    contract, not a per-dispatch timer). Ticks finishing late count as
+//    deadline misses; a member that falls more than
+//    shed_slack * deadline_s behind has its remaining ticks shed.
+//
+// Determinism: with the default deadline_s = +inf (pure throughput
+// mode) nothing wall-clock-dependent can fire, members are keyed by
+// (executed ticks, id) — round-robin fairness — and every per-loop
+// result is bit-exact for a given seed across any thread count, batch
+// size, or dispatch interleaving, because each loop's ticks run
+// serially against its own Rng. Finite deadlines buy load shedding at
+// the price of wall-clock dependence; per-loop metrics of *unshed*
+// loops remain exact, shed counts do not (docs/RESILIENCE.md).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/loop.hpp"
+
+namespace s2a::core {
+
+/// Per-member admission contract.
+struct FleetLoopConfig {
+  int ticks = 0;  ///< ticks to execute
+  /// Wall-clock budget per tick; the k-th tick is due at admission
+  /// + k * deadline_s. +inf (default) disables misses and shedding.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Shed a member once it is more than shed_slack * deadline_s behind
+  /// its schedule (<= 0 disables shedding; misses still count).
+  double shed_slack = 8.0;
+};
+
+/// Per-member outcome, in add() order.
+struct FleetLoopStats {
+  long requested = 0;
+  long executed = 0;
+  long shed = 0;  ///< requested ticks abandoned by admission control
+  long deadline_misses = 0;
+  double p50_tick_ms = 0.0;
+  double p95_tick_ms = 0.0;
+  double max_tick_ms = 0.0;
+  LoopState final_state = LoopState::kNominal;
+};
+
+struct FleetStats {
+  long executed = 0;
+  long shed = 0;
+  long deadline_misses = 0;
+  long dispatches = 0;  ///< ready-heap pops (batches, not ticks)
+  int workers = 0;
+  double wall_s = 0.0;
+  double ticks_per_s = 0.0;  ///< aggregate executed ticks / wall_s
+  std::vector<FleetLoopStats> loops;
+};
+
+struct FleetConfig {
+  /// Max ticks one dispatch executes before the member is requeued.
+  /// Larger batches amortize heap traffic; smaller ones interleave
+  /// finer under contention.
+  int batch = 4;
+  /// Cap on concurrent workers (0 = pool size).
+  int max_workers = 0;
+  /// Record per-tick latencies for the p50/p95/max stats. Turn off for
+  /// very long runs to skip the per-tick timestamping.
+  bool record_latencies = true;
+};
+
+/// Schedules many independently-seeded loops. Owns the per-member Rng
+/// streams but not the loops; every loop must outlive run().
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig cfg = {});
+
+  /// Admits a loop. Returns the member index (add() order, also the
+  /// index into FleetStats::loops).
+  std::size_t add(SensingActionLoop& loop, FleetLoopConfig cfg,
+                  std::uint64_t seed);
+
+  std::size_t size() const { return members_.size(); }
+
+  /// Executes every admitted member to completion (or shedding).
+  /// Callable repeatedly — each call re-arms the remaining tick counts
+  /// from the configs and continues the loops from their current state.
+  FleetStats run();
+
+ private:
+  struct Member {
+    SensingActionLoop* loop = nullptr;
+    FleetLoopConfig cfg;
+    Rng rng;
+    long executed = 0;  ///< ticks executed this run()
+    long shed = 0;
+    long deadline_misses = 0;
+    long remaining = 0;
+    double next_deadline = std::numeric_limits<double>::infinity();
+    std::vector<double> tick_ms;
+
+    Member(SensingActionLoop* l, FleetLoopConfig c, std::uint64_t seed)
+        : loop(l), cfg(c), rng(seed) {}
+  };
+
+  FleetConfig cfg_;
+  std::vector<Member> members_;
+};
+
+}  // namespace s2a::core

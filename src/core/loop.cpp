@@ -49,14 +49,19 @@ SensingActionLoop::SensingActionLoop(Sensor& sensor, Processor& processor,
   S2A_CHECK(rc.recover_after >= 1);
 }
 
-bool SensingActionLoop::sense_with_retries(Rng& rng) {
+SenseOutcome SensingActionLoop::sense_stage(double now,
+                                            const Observation* last,
+                                            Rng& rng) {
+  SenseOutcome out;
+  if (!policy_.should_sense(now, last, rng)) return out;
+  out.attempted = true;
+
   const ResilienceConfig& rc = cfg_.resilience;
   const int attempts = 1 + rc.max_sense_retries;
   double backoff_s = 0.0;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      ++metrics_.sense_retries;
-      S2A_COUNTER_ADD("loop.sense_retries", 1);
+      ++out.sense_retries;
       // Linear backoff: the k-th retry waits k * retry_backoff_s. The
       // wait is modeled, not slept — it ages the eventual observation.
       backoff_s += rc.retry_backoff_s * attempt;
@@ -64,27 +69,24 @@ bool SensingActionLoop::sense_with_retries(Rng& rng) {
     Observation obs;
     try {
       S2A_TRACE_SCOPE_CAT("loop.sense", "core");
-      obs = sensor_.sense(now_, rng);
+      obs = sensor_.sense(now, rng);
     } catch (const SensorFault&) {
-      ++metrics_.sensor_faults;
-      S2A_COUNTER_ADD("loop.sensor_faults", 1);
+      ++out.sensor_faults;
       continue;
     }
-    ++metrics_.senses;
-    S2A_COUNTER_ADD("loop.senses", 1);
-    metrics_.sensing_energy_j += obs.energy_j;
+    ++out.senses;
+    out.sensing_energy_j += obs.energy_j;
     // Acquisition latency: the data describes the world as of now, but it
     // becomes available `sensing_latency` (plus any sensor-reported extra
     // delay and retry backoff) later; model by backdating.
     obs.timestamp =
-        now_ - cfg_.sensing_latency - obs.extra_latency_s - backoff_s;
+        now - cfg_.sensing_latency - obs.extra_latency_s - backoff_s;
 
     // Boundary validation: a payload with NaN/Inf anywhere is quarantined
     // — it never becomes the loop's current observation. Treated like a
     // fault: the remaining retry budget may still yield clean data.
     if (!util::all_finite(obs.data)) {
-      ++metrics_.quarantined;
-      S2A_COUNTER_ADD("loop.quarantined", 1);
+      ++out.quarantined;
       continue;
     }
 
@@ -94,18 +96,17 @@ bool SensingActionLoop::sense_with_retries(Rng& rng) {
       trusted = monitor_->trusted(obs, rng);
     }
     if (trusted) {
-      last_obs_ = std::move(obs);
-      has_observation_ = true;
-      return true;
+      out.obs = std::move(obs);
+      out.ok = true;
+      return out;
     }
-    ++metrics_.vetoed;
-    S2A_COUNTER_ADD("loop.vetoed", 1);
+    ++out.vetoed;
     // A veto is a judgement on well-formed data, not an acquisition
     // failure — retrying the same instant would just re-sample the same
     // distrusted world, so the tick gives up here.
-    return false;
+    return out;
   }
-  return false;
+  return out;
 }
 
 void SensingActionLoop::apply_fallback(Rng& rng) {
@@ -180,22 +181,36 @@ void SensingActionLoop::update_state_machine(bool bad_tick) {
   S2A_GAUGE_SET("loop.state", static_cast<double>(state_));
 }
 
-void SensingActionLoop::tick(Rng& rng) {
-  S2A_TRACE_SCOPE_CAT("loop.tick", "core");
+void SensingActionLoop::commit_tick(SenseOutcome& outcome, Rng& rng) {
   ++metrics_.ticks;
 
   if (state_ == LoopState::kSafeStop) {
-    // Latched halt: no sensing, no actuation; only time advances.
+    // Latched halt: no sensing, no actuation; only time advances. An
+    // outcome produced speculatively by a pipelined engine is discarded
+    // wholesale here — none of its deltas apply, exactly as if the tick
+    // had never sensed, which is what the synchronous path does.
     ++metrics_.safe_stop_ticks;
     S2A_COUNTER_ADD("loop.safe_stop_ticks", 1);
     now_ += cfg_.dt;
     return;
   }
 
-  bool bad_tick = false;
-  const Observation* current = has_observation_ ? &last_obs_ : nullptr;
-  if (policy_.should_sense(now_, current, rng)) {
-    if (!sense_with_retries(rng)) bad_tick = true;
+  // Apply the sense stage's metric deltas and install its observation.
+  metrics_.senses += outcome.senses;
+  metrics_.sensor_faults += outcome.sensor_faults;
+  metrics_.sense_retries += outcome.sense_retries;
+  metrics_.quarantined += outcome.quarantined;
+  metrics_.vetoed += outcome.vetoed;
+  metrics_.sensing_energy_j += outcome.sensing_energy_j;
+  S2A_COUNTER_ADD("loop.senses", outcome.senses);
+  S2A_COUNTER_ADD("loop.sensor_faults", outcome.sensor_faults);
+  S2A_COUNTER_ADD("loop.sense_retries", outcome.sense_retries);
+  S2A_COUNTER_ADD("loop.quarantined", outcome.quarantined);
+  S2A_COUNTER_ADD("loop.vetoed", outcome.vetoed);
+  bool bad_tick = outcome.attempted && !outcome.ok;
+  if (outcome.ok) {
+    last_obs_ = std::move(outcome.obs);
+    has_observation_ = true;
   }
 
   if (has_observation_) {
@@ -241,6 +256,16 @@ void SensingActionLoop::tick(Rng& rng) {
 
   update_state_machine(bad_tick);
   now_ += cfg_.dt;
+}
+
+void SensingActionLoop::tick(Rng& rng) {
+  S2A_TRACE_SCOPE_CAT("loop.tick", "core");
+  SenseOutcome outcome;
+  if (state_ != LoopState::kSafeStop) {
+    outcome =
+        sense_stage(now_, has_observation_ ? &last_obs_ : nullptr, rng);
+  }
+  commit_tick(outcome, rng);
 }
 
 void SensingActionLoop::run(int ticks, Rng& rng) {

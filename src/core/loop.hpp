@@ -26,6 +26,12 @@
 // tick() is instrumented with s2a::obs spans (loop.tick with nested
 // loop.sense / loop.trust_check / loop.process / loop.actuate) and
 // counters; see docs/OBSERVABILITY.md. Inert unless obs is enabled.
+//
+// Execution engines: tick() is the synchronous reference path. The same
+// loop can be driven staged — sense_stage() / commit_tick() below — by
+// the pipelined engine (pipeline.hpp: sense(t+1) overlaps commit(t)) or
+// by the fleet scheduler (fleet.hpp: many loops, EDF dispatch); both
+// reproduce the resilience semantics of this file unchanged.
 #pragma once
 
 #include <limits>
@@ -141,6 +147,27 @@ struct LoopConfig {
   ResilienceConfig resilience;
 };
 
+/// Result of one tick's sense stage, produced by sense_stage() and
+/// consumed — possibly on another thread, possibly never — by
+/// commit_tick(). The engine API in pipeline.hpp overlaps the sense
+/// stage of tick t+1 with the commit stage of tick t; metric deltas are
+/// carried here instead of applied in place so a speculative sense that
+/// turns out to land after a SAFE_STOP latch can be discarded without
+/// leaving a trace in the metrics.
+struct SenseOutcome {
+  bool attempted = false;  ///< the policy decided to sense this tick
+  bool ok = false;         ///< a trusted, finite observation was acquired
+  Observation obs;         ///< valid iff ok
+
+  // Metric deltas accumulated by the sense stage, applied at commit.
+  long senses = 0;
+  long sensor_faults = 0;
+  long sense_retries = 0;
+  long quarantined = 0;
+  long vetoed = 0;
+  double sensing_energy_j = 0.0;
+};
+
 struct LoopMetrics {
   long ticks = 0;
   long senses = 0;   ///< successful acquisitions
@@ -193,7 +220,35 @@ class SensingActionLoop {
   void tick(Rng& rng);
   void run(int ticks, Rng& rng);
 
+  // --- Staged execution (the engine API; see pipeline.hpp / fleet.hpp) ---
+  //
+  // tick(rng) ≡ sense_stage(now(), last_observation(), rng) followed by
+  // commit_tick(outcome, rng) on the same generator. The split exists so
+  // an engine can overlap the sense stage of tick t+1 with the commit
+  // stage of tick t on another thread:
+  //  * sense_stage touches only the policy / sensor / trust monitor and
+  //    its arguments — never loop state — so it is safe to run while a
+  //    previous tick commits;
+  //  * commit_tick touches only loop state plus the processor / actuator.
+  // Component contract: each component is driven by exactly one stage
+  // (policy+sensor+monitor by sense, processor+actuator by commit), so
+  // components must not share mutable state across that line.
+
+  /// The sense half of a tick at time `now` with `last` the most recent
+  /// trusted observation (nullptr before the first): policy decision,
+  /// bounded-retry acquisition, finite-value quarantine, trust gate.
+  /// Mutates no loop state; all effects are in the returned outcome.
+  SenseOutcome sense_stage(double now, const Observation* last, Rng& rng);
+
+  /// The commit half of a tick: applies the outcome's metric deltas,
+  /// installs its observation, then processes / validates / actuates and
+  /// advances the state machine and the clock. In SAFE_STOP the outcome
+  /// is discarded wholesale (none of its deltas apply — exactly as if
+  /// the tick had never sensed) and the tick only advances time.
+  void commit_tick(SenseOutcome& outcome, Rng& rng);
+
   double now() const { return now_; }
+  const LoopConfig& config() const { return cfg_; }
   const LoopMetrics& metrics() const { return metrics_; }
   LoopState state() const { return state_; }
   const Observation* last_observation() const {
@@ -204,9 +259,6 @@ class SensingActionLoop {
   }
 
  private:
-  /// Sense with bounded retry; returns true when a trusted, finite
-  /// observation was stored into last_obs_.
-  bool sense_with_retries(Rng& rng);
   /// Action substitution for stale/blocked ticks per the fallback policy
   /// (hold-last / zero / latch SAFE_STOP).
   void apply_fallback(Rng& rng);

@@ -1,0 +1,183 @@
+#include "core/pipeline.hpp"
+
+#include <atomic>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/spsc_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace s2a::core {
+
+PipelinedRunner::PipelinedRunner(SensingActionLoop& loop, PipelineConfig cfg)
+    : loop_(loop), cfg_(cfg) {
+  S2A_CHECK(cfg_.queue_depth >= 1);
+}
+
+PipelineStats PipelinedRunner::run(int ticks, Rng& sense_rng,
+                                   Rng& commit_rng) {
+  S2A_CHECK(ticks >= 0);
+  if (ticks == 0) return {};
+
+  bool pipelined;
+  switch (cfg_.mode) {
+    case PipelineMode::kSynchronous:
+      pipelined = false;
+      break;
+    case PipelineMode::kPipelined:
+      // Still needs a spare worker to carry the sense chain; a
+      // single-threaded pool (S2A_THREADS=1) or a nested call from
+      // inside a pool task degrades to the in-order path — results are
+      // bit-exact either way, only the schedule changes.
+      pipelined =
+          util::global_pool().size() >= 2 && !util::ThreadPool::on_worker_thread();
+      break;
+    case PipelineMode::kAuto:
+    default:
+      pipelined = ticks > 1 && util::global_pool().size() >= 2 &&
+                  !util::ThreadPool::on_worker_thread();
+      break;
+  }
+  return pipelined ? run_pipelined(ticks, sense_rng, commit_rng)
+                   : run_synchronous(ticks, sense_rng, commit_rng);
+}
+
+PipelineStats PipelinedRunner::run(int ticks, std::uint64_t seed) {
+  Rng root(seed);
+  Rng sense_rng = root.spawn();
+  Rng commit_rng = root.spawn();
+  return run(ticks, sense_rng, commit_rng);
+}
+
+PipelineStats PipelinedRunner::run_synchronous(int ticks, Rng& sense_rng,
+                                               Rng& commit_rng) {
+  PipelineStats stats;
+  for (int t = 0; t < ticks; ++t) {
+    SenseOutcome outcome;
+    if (loop_.state() != LoopState::kSafeStop) {
+      S2A_TRACE_SCOPE_CAT("core.pipeline_stage", "sense");
+      outcome = loop_.sense_stage(loop_.now(), loop_.last_observation(),
+                                  sense_rng);
+      ++stats.produced;
+    }
+    {
+      S2A_TRACE_SCOPE_CAT("core.pipeline_stage", "commit");
+      loop_.commit_tick(outcome, commit_rng);
+    }
+    ++stats.committed;
+  }
+  return stats;
+}
+
+PipelineStats PipelinedRunner::run_pipelined(int ticks, Rng& sense_rng,
+                                             Rng& commit_rng) {
+  PipelineStats stats;
+  stats.pipelined = true;
+
+  util::SpscQueue<SenseOutcome> queue(cfg_.queue_depth);
+  std::atomic<bool> stop{false};
+  std::atomic<long> produced{0};
+  std::exception_ptr sense_error;  // written by producer before it exits
+  std::promise<void> done;
+  std::future<void> joined = done.get_future();
+
+  // The producer runs the whole sense chain against a local simulated
+  // clock and a local copy of the newest trusted observation. That copy
+  // tracks what the loop's own last_observation() will be when the
+  // corresponding tick commits — commit_tick installs exactly the ok
+  // outcomes, in order — so the sense chain never touches loop state
+  // shared with the committing thread.
+  Rng* sense_rng_p = &sense_rng;
+  SensingActionLoop* loop = &loop_;
+  util::global_pool().post([&queue, &stop, &produced, &sense_error, &done,
+                            sense_rng_p, loop, ticks] {
+    try {
+      double now = loop->now();
+      const double dt = loop->config().dt;
+      Observation last;
+      bool has_last = false;
+      if (const Observation* obs = loop->last_observation()) {
+        last = *obs;
+        has_last = true;
+      }
+      for (int t = 0; t < ticks && !stop.load(std::memory_order_relaxed);
+           ++t) {
+        SenseOutcome out;
+        {
+          S2A_TRACE_SCOPE_CAT("core.pipeline_stage", "sense");
+          out = loop->sense_stage(now, has_last ? &last : nullptr,
+                                  *sense_rng_p);
+        }
+        if (out.ok) {
+          last = out.obs;  // copy: the outcome still travels the queue
+          has_last = true;
+        }
+        now += dt;
+        if (!queue.push(std::move(out))) break;  // consumer closed: done
+        produced.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      sense_error = std::current_exception();
+    }
+    queue.close();  // consumer drains what was queued, then pop() fails
+    done.set_value();
+  });
+
+  // The consumer (this thread) runs the commit chain in tick order.
+  bool starved = false;  // needed an outcome the producer never delivered
+  long popped = 0;
+  try {
+    for (int t = 0; t < ticks; ++t) {
+      if (loop_.state() == LoopState::kSafeStop) {
+        // Latched: the synchronous path stops sensing here, so anything
+        // still in flight is speculation. Stop the producer and commit
+        // the remaining ticks empty (commit_tick discards the outcome
+        // in SAFE_STOP anyway; it only advances time).
+        stop.store(true, std::memory_order_relaxed);
+        queue.close();
+        SenseOutcome empty;
+        loop_.commit_tick(empty, commit_rng);
+        ++stats.committed;
+        continue;
+      }
+      SenseOutcome out;
+      if (!queue.pop(out)) {
+        starved = true;  // producer died before delivering tick t
+        break;
+      }
+      ++popped;
+      S2A_GAUGE_SET("core.pipeline.queue_depth",
+                    static_cast<double>(queue.depth()));
+      {
+        S2A_TRACE_SCOPE_CAT("core.pipeline_stage", "commit");
+        loop_.commit_tick(out, commit_rng);
+      }
+      ++stats.committed;
+    }
+  } catch (...) {
+    // Commit-chain error: quiesce the producer, then propagate.
+    stop.store(true, std::memory_order_relaxed);
+    queue.close();
+    joined.wait();
+    throw;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  queue.close();
+  joined.wait();
+
+  stats.produced = produced.load(std::memory_order_relaxed);
+  stats.discarded = stats.produced - popped;
+
+  if (starved && sense_error != nullptr) {
+    std::rethrow_exception(sense_error);
+  }
+  // A sense_error raised only speculatively (after SAFE_STOP latched)
+  // is dropped: the synchronous path never executes that sense.
+  return stats;
+}
+
+}  // namespace s2a::core

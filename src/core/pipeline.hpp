@@ -1,0 +1,98 @@
+// Pipelined tick engine: sense(t+1) overlaps commit(t) (Sec. II's
+// latency argument — end-to-end reaction time, not any single stage,
+// bounds autonomy; so sensing latency and processing latency should
+// hide each other instead of adding).
+//
+// Execution model (built on SensingActionLoop's staged API, loop.hpp):
+//
+//     producer (pool worker)          consumer (calling thread)
+//     ──────────────────────          ─────────────────────────
+//     sense_stage(t)   ──┐
+//     sense_stage(t+1)   ├─▶ bounded SpscQueue ─▶ commit_tick(t)
+//     sense_stage(t+2) ──┘      (depth = queue_depth)   commit_tick(t+1)
+//
+// The producer runs the sense chain (policy → sensor retries → trust
+// monitor) against its own simulated clock and its own copy of the
+// latest trusted observation; the consumer runs the commit chain
+// (process → validate → actuate → state machine) on the caller's
+// thread. The queue bound is the pipeline depth: the sense chain can
+// run at most `queue_depth` ticks ahead.
+//
+// Determinism: the two chains use two *independent* RNG streams
+// (sense_rng / commit_rng), each consumed in per-stage serial order, so
+// pipelined and synchronous execution of the same streams produce
+// bit-identical LoopMetrics, loop state, and observation/action history.
+// The only divergence is unobservable: after a SAFE_STOP latch the
+// producer may have sensed a few ticks speculatively — commit_tick
+// discards those outcomes wholesale, and since SAFE_STOP is permanent
+// neither mode ever senses again, so the extra sense_rng draws (and
+// extra calls into the policy / sensor / trust monitor) never influence
+// any committed result.
+//
+// Error semantics match the synchronous path: a non-SensorFault
+// exception escaping the sense chain at tick t is rethrown on the
+// calling thread after the ticks before t have committed; an exception
+// from the commit chain propagates immediately (the producer is stopped
+// and joined first). Exception: a sense-chain error raised only
+// speculatively after SAFE_STOP latched is swallowed, because the
+// synchronous path would never have executed that sense at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/loop.hpp"
+
+namespace s2a::core {
+
+enum class PipelineMode {
+  /// Pipeline when it can help: pool has a spare worker, we are not
+  /// already on a pool thread, and there is more than one tick.
+  /// Otherwise run synchronously. This is the default.
+  kAuto = 0,
+  /// Always the in-order reference path (identical to loop.run()).
+  kSynchronous,
+  /// Always overlap, falling back to synchronous only when the pool has
+  /// no spare worker to run the sense chain on.
+  kPipelined,
+};
+
+struct PipelineConfig {
+  PipelineMode mode = PipelineMode::kAuto;
+  /// Stage-queue capacity = how many ticks the sense chain may run
+  /// ahead of the commit chain (also bounds post-SAFE_STOP speculation).
+  std::size_t queue_depth = 4;
+};
+
+struct PipelineStats {
+  bool pipelined = false;  ///< did this run actually overlap stages
+  long produced = 0;       ///< sense outcomes produced
+  long committed = 0;      ///< ticks committed (== requested ticks)
+  long discarded = 0;      ///< speculative outcomes never committed
+};
+
+/// Drives one SensingActionLoop with the pipelined (or synchronous)
+/// engine. Owns nothing; the loop outlives the runner.
+class PipelinedRunner {
+ public:
+  explicit PipelinedRunner(SensingActionLoop& loop, PipelineConfig cfg = {});
+
+  /// Runs `ticks` ticks. The two streams must be independent (e.g. two
+  /// Rng::spawn() children of one root); the sense chain consumes only
+  /// sense_rng and the commit chain only commit_rng, in tick order, so
+  /// results are bit-exact across modes and thread counts.
+  PipelineStats run(int ticks, Rng& sense_rng, Rng& commit_rng);
+
+  /// Convenience: derives the two streams from one seed
+  /// (root.spawn() twice, sense stream first).
+  PipelineStats run(int ticks, std::uint64_t seed);
+
+ private:
+  PipelineStats run_synchronous(int ticks, Rng& sense_rng, Rng& commit_rng);
+  PipelineStats run_pipelined(int ticks, Rng& sense_rng, Rng& commit_rng);
+
+  SensingActionLoop& loop_;
+  PipelineConfig cfg_;
+};
+
+}  // namespace s2a::core

@@ -1,0 +1,101 @@
+// Bounded single-producer / single-consumer stage queue — the channel
+// between the sense chain and the commit chain of the pipelined tick
+// engine (src/core/pipeline.hpp).
+//
+// Design: a fixed-capacity ring guarded by one mutex and two condition
+// variables. The bound is the point — it is the pipeline depth: a full
+// queue back-pressures the producer (the sense chain can run at most
+// `capacity` ticks ahead of the commit chain), so speculation after a
+// SAFE_STOP latch is bounded and memory is O(capacity) regardless of run
+// length. Ops are a handful of ns against stage bodies of µs–ms, so a
+// lock-free ring would buy nothing but TSan anxiety.
+//
+// close() is the shutdown edge for both directions: a producer blocked
+// in push() unblocks and sees false (consumer gave up — e.g. SAFE_STOP
+// latched), and a consumer drains whatever was queued before pop()
+// starts returning false (producer finished or died). Either side may
+// close; the call is idempotent.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace s2a::util {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : capacity_(capacity) {
+    S2A_CHECK(capacity_ >= 1);
+    ring_.resize(capacity_);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Blocks while full. Returns false — dropping `value` — once closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || size_ < capacity_; });
+    if (closed_) return false;
+    ring_[(head_ + size_) % capacity_] = std::move(value);
+    ++size_;
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns false once the queue is closed *and*
+  /// drained — everything pushed before close() is still delivered.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return false;  // closed and drained
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    lk.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Irreversibly shuts the channel (idempotent, either side may call):
+  /// wakes a blocked producer (its push fails) and lets the consumer
+  /// drain what was already queued.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  /// Instantaneous occupancy — for queue-depth gauges; racy by nature.
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<T> ring_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::size_t head_ = 0, size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace s2a::util

@@ -169,6 +169,15 @@ void ThreadPool::parallel_for_chunks(std::size_t begin, std::size_t end,
   if (bulk->error) std::rethrow_exception(bulk->error);
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  S2A_CHECK(!workers_.empty());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               std::size_t grain, const IndexFn& fn) {
   parallel_for_chunks(begin, end, grain,

@@ -75,6 +75,15 @@ class ThreadPool {
   static std::size_t num_chunks(std::size_t begin, std::size_t end,
                                 std::size_t grain);
 
+  /// Enqueues a standalone task on a worker thread and returns
+  /// immediately (used by the pipelined engine to run the sense chain
+  /// concurrently with the caller). Requires size() >= 2 — a
+  /// single-threaded pool has no worker to run it. The task must not
+  /// throw (there is no caller frame to rethrow into); arrange its own
+  /// completion signalling (promise/future, queue close, ...). Pending
+  /// tasks are drained before the destructor joins.
+  void post(std::function<void()> task);
+
  private:
   struct Bulk;
   void worker_main();

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <chrono>
 #include <cstdlib>
 #include <set>
@@ -196,6 +197,24 @@ TEST(ThreadPool, NestedLoopsOnWorkersRunInline) {
   // With 3 workers racing a participating caller over 64 chunks, workers
   // execute at least one (scheduling-dependent, but 64 chunks is plenty).
   EXPECT_GE(worker_tasks.load(), 1);
+}
+
+TEST(ThreadPool, PostRunsTaskOnWorkerThread) {
+  ThreadPool pool(2);
+  std::promise<std::thread::id> ran;
+  auto fut = ran.get_future();
+  pool.post([&ran] { ran.set_value(std::this_thread::get_id()); });
+  EXPECT_NE(fut.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, PendingPostsDrainBeforeTeardown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i)
+      pool.post([&ran] { ran.fetch_add(1); });
+  }  // destructor must drain the queue before joining
+  EXPECT_EQ(ran.load(), 32);
 }
 
 TEST(ThreadPool, GlobalPoolRespondsToSetGlobalThreads) {
