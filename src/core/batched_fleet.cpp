@@ -1,0 +1,231 @@
+#include "core/batched_fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace s2a::core {
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+BatchedFleet::BatchedFleet(BatchProcessor& shared, BatchedFleetConfig cfg)
+    : shared_(shared), cfg_(cfg), admission_(cfg.admission) {
+  S2A_CHECK(cfg_.gather >= 1);
+}
+
+std::size_t BatchedFleet::add(SensingActionLoop& loop, BatchSlot& slot,
+                              FleetLoopConfig cfg, std::uint64_t seed) {
+  S2A_CHECK(cfg.ticks >= 0);
+  S2A_CHECK(cfg.deadline_s > 0.0);
+  S2A_CHECK_MSG(&slot.shared() == &shared_,
+                "BatchSlot is bound to a different BatchProcessor");
+  members_.emplace_back(&loop, &slot, cfg, seed);
+  return members_.size() - 1;
+}
+
+AdmissionResult BatchedFleet::try_add(SensingActionLoop& loop, BatchSlot& slot,
+                                      FleetLoopConfig cfg,
+                                      std::uint64_t seed) {
+  AdmissionResult r;
+  r.pressure = admission_.pressure();
+  r.decision = admission_.decide();
+  if (r.decision == AdmissionDecision::kRejected) return r;
+  if (r.decision == AdmissionDecision::kDegraded)
+    cfg.deadline_s *= admission_.config().degrade_factor;  // +inf stays +inf
+  r.index = add(loop, slot, cfg, seed);
+  return r;
+}
+
+FleetStats BatchedFleet::run() {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  const auto elapsed = [t0] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  FleetStats stats;
+  stats.loops.resize(members_.size());
+  batched_forwards_ = 0;
+  batched_members_ = 0;
+
+  // Same EDF key as core::Fleet: (next deadline, executed ticks, id),
+  // degenerating to round-robin at +inf deadlines — so with infinite
+  // deadlines the group composition of every dispatch is a pure
+  // function of (member count, gather), independent of thread count.
+  struct Entry {
+    double deadline;
+    long executed;
+    std::size_t id;
+  };
+  const auto later = [](const Entry& a, const Entry& b) {
+    if (a.deadline != b.deadline) return a.deadline > b.deadline;
+    if (a.executed != b.executed) return a.executed > b.executed;
+    return a.id > b.id;
+  };
+
+  std::vector<Entry> ready;
+  ready.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Member& m = members_[i];
+    m.executed = 0;
+    m.shed = 0;
+    m.deadline_misses = 0;
+    m.remaining = m.cfg.ticks;
+    m.tick_ms.clear();
+    m.next_deadline = m.cfg.deadline_s;  // +inf stays +inf
+    if (m.remaining > 0) ready.push_back({m.next_deadline, 0, i});
+  }
+  std::make_heap(ready.begin(), ready.end(), later);
+
+  util::ThreadPool& pool = util::global_pool();
+  const std::size_t gather = static_cast<std::size_t>(cfg_.gather);
+  long dispatches = 0;
+
+  std::vector<std::size_t> group;
+  group.reserve(gather);
+  std::vector<SenseOutcome> outcomes(gather);
+  std::vector<const Observation*> inputs;
+  inputs.reserve(gather);
+  std::vector<std::size_t> staged;  // group indices fed to the fused call
+  staged.reserve(gather);
+
+  while (!ready.empty()) {
+    // Pop a dispatch group, shedding the hopelessly late at pop time
+    // exactly as Fleet does.
+    group.clear();
+    const double pop_s = elapsed();
+    while (group.size() < gather && !ready.empty()) {
+      std::pop_heap(ready.begin(), ready.end(), later);
+      const Entry e = ready.back();
+      ready.pop_back();
+      Member& m = members_[e.id];
+      if (std::isfinite(m.cfg.deadline_s) && m.cfg.shed_slack > 0.0 &&
+          pop_s - m.next_deadline > m.cfg.shed_slack * m.cfg.deadline_s) {
+        m.shed += m.remaining;
+        S2A_COUNTER_ADD("fleet.shed_ticks", m.remaining);
+        admission_.record_shed(m.remaining);
+        m.remaining = 0;
+        continue;
+      }
+      group.push_back(e.id);
+    }
+    if (group.empty()) continue;
+    ++dispatches;
+    S2A_GAUGE_SET("fleet.ready_queue_depth", static_cast<double>(ready.size()));
+    S2A_TRACE_SCOPE_CAT("fleet.batch_dispatch", "core");
+    const std::size_t gn = group.size();
+    const double start_s = elapsed();
+
+    // Phase 1: sense stages in parallel. Disjoint writes: member i's
+    // loop, Rng, and outcomes[i] are touched by exactly one task.
+    pool.parallel_for(0, gn, 1, [&](std::size_t i) {
+      Member& m = members_[group[i]];
+      outcomes[i] = SenseOutcome{};
+      if (m.loop->state() != LoopState::kSafeStop)
+        outcomes[i] = m.loop->sense_stage(m.loop->now(),
+                                          m.loop->last_observation(), m.rng);
+    });
+
+    // Phase 2: one fused forward over every member whose commit will
+    // process. peek_process_input mirrors commit_tick's gating, so a
+    // staged row is consumed by construction (checked below).
+    inputs.clear();
+    staged.clear();
+    for (std::size_t i = 0; i < gn; ++i) {
+      Member& m = members_[group[i]];
+      if (const Observation* in = m.loop->peek_process_input(outcomes[i])) {
+        inputs.push_back(in);
+        staged.push_back(i);
+      }
+    }
+    if (!inputs.empty()) {
+      S2A_TRACE_SCOPE_CAT("fleet.batched_forward", "core");
+      std::vector<std::vector<double>> rows = shared_.process_batch(inputs);
+      S2A_CHECK(rows.size() == inputs.size());
+      for (std::size_t j = 0; j < staged.size(); ++j)
+        members_[group[staged[j]]].slot->stage(std::move(rows[j]));
+      ++batched_forwards_;
+      batched_members_ += static_cast<long>(inputs.size());
+      S2A_COUNTER_ADD("fleet.batched_forwards", 1);
+      S2A_COUNTER_ADD("fleet.batched_members", inputs.size());
+    }
+
+    // Phase 3: commits, serial in group order. All loop state, the
+    // degradation machine, fallbacks, and actuation run here unchanged.
+    long bad = 0;
+    for (std::size_t i = 0; i < gn; ++i) {
+      Member& m = members_[group[i]];
+      const bool timed = std::isfinite(m.cfg.deadline_s);
+      m.loop->commit_tick(outcomes[i], m.rng);
+      // peek said "will process" iff commit processed: a row staged in
+      // phase 2 must have been consumed.
+      S2A_CHECK(!m.slot->staged());
+      --m.remaining;
+      ++m.executed;
+      if (cfg_.record_latencies || timed) {
+        // A member's tick spans the whole group dispatch: its action
+        // cannot issue before the fused forward that computed it.
+        const double end_s = elapsed();
+        if (cfg_.record_latencies)
+          m.tick_ms.push_back((end_s - start_s) * 1e3);
+        if (timed) {
+          if (end_s > m.next_deadline) {
+            ++m.deadline_misses;
+            ++bad;
+            S2A_COUNTER_ADD("fleet.deadline_misses", 1);
+          }
+          m.next_deadline += m.cfg.deadline_s;
+        }
+      }
+      if (m.remaining > 0) {
+        ready.push_back({m.next_deadline, m.executed, group[i]});
+        std::push_heap(ready.begin(), ready.end(), later);
+      }
+    }
+    S2A_COUNTER_ADD("fleet.ticks", gn);
+    admission_.record_ticks(static_cast<long>(gn), bad);
+  }
+
+  stats.workers = pool.size();
+  stats.dispatches = dispatches;
+  stats.wall_s = elapsed();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Member& m = members_[i];
+    FleetLoopStats& ls = stats.loops[i];
+    ls.requested = m.cfg.ticks;
+    ls.executed = m.executed;
+    ls.shed = m.shed;
+    ls.deadline_misses = m.deadline_misses;
+    ls.final_state = m.loop->state();
+    if (!m.tick_ms.empty()) {
+      std::sort(m.tick_ms.begin(), m.tick_ms.end());
+      ls.p50_tick_ms = percentile(m.tick_ms, 0.50);
+      ls.p95_tick_ms = percentile(m.tick_ms, 0.95);
+      ls.max_tick_ms = m.tick_ms.back();
+    }
+    stats.executed += ls.executed;
+    stats.shed += ls.shed;
+    stats.deadline_misses += ls.deadline_misses;
+  }
+  stats.ticks_per_s =
+      stats.wall_s > 0.0 ? static_cast<double>(stats.executed) / stats.wall_s
+                         : 0.0;
+  return stats;
+}
+
+}  // namespace s2a::core

@@ -1,0 +1,178 @@
+// Cross-loop batched inference engine: the fleet's EDF ready-heap pops
+// a *group* of members per dispatch and their processor work runs as
+// ONE fused batched forward instead of N per-loop forwards.
+//
+// Why: with per-loop dispatch (fleet.hpp), every member's tick pays the
+// full fixed cost of a forward pass — weight packing, arena and tensor
+// bookkeeping, pool dispatch — for a few microseconds of useful MACs.
+// Gathering B concurrently-ready members into one [B, ...] forward
+// (nn/batch.hpp) amortizes all of that across the group: the conv
+// kernels pack each layer's weight panel once per call and shard the
+// flattened (image, output-row) band space across the pool in a single
+// pass. This is the "millions of users" multi-tenant serving shape: one
+// shared model, many small per-member inputs.
+//
+// Execution model (single coordinator, no locks):
+//  * run() executes on the calling thread. Each dispatch pops up to
+//    `gather` members from the EDF heap (same (deadline, executed, id)
+//    key as core::Fleet, so group composition is deterministic at
+//    infinite deadlines), then drives one tick of each member in three
+//    phases:
+//      1. sense   — members' sense stages run in parallel on the global
+//                   pool (disjoint state: each member's own loop args +
+//                   Rng stream);
+//      2. process — peek_process_input() asks each loop whether its
+//                   commit would process and on which observation; the
+//                   eligible observations go through ONE
+//                   BatchProcessor::process_batch() call and the rows
+//                   are staged into the members' BatchSlots;
+//      3. commit  — commit_tick() runs serially per member, in group
+//                   order. The slot hands the staged row to the loop's
+//                   Processor::process() call, so the NOMINAL/DEGRADED/
+//                   SAFE_STOP machine, metrics, fallbacks, and
+//                   actuation validation are the stock loop code,
+//                   untouched.
+//  * Deadline accounting matches core::Fleet: rate contracts, miss
+//    counting at commit end, shed_slack shedding at pop time, and the
+//    same FleetAdmission policy behind try_add().
+//
+// Bit-exactness: a member's tick outcome is bit-identical to the same
+// loop/seed running under a serial per-loop engine, provided the
+// BatchProcessor contract below holds — proven across member counts,
+// gather sizes, thread counts, and fault chaos by
+// tests/fleet_batch_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "core/loop.hpp"
+
+namespace s2a::core {
+
+/// A Processor that can also serve a whole group in one fused call.
+///
+/// Contract:
+///  * process_batch(obs)[i] must be bit-identical to process(*obs[i])
+///    for every i — same arithmetic, only gathered. The nn batched
+///    entry points (nn/batch.hpp + the batch-first conv kernels)
+///    provide exactly this.
+///  * process()/process_batch() must not draw from the loop Rng: the
+///    fused call has no per-member generator to consume from, so a
+///    randomized processor would diverge from the serial path. (The
+///    `rng` parameter of process() exists to satisfy the Processor
+///    interface; implementations must ignore it.)
+///  * process_batch() is called from the coordinator thread only; it
+///    may freely use the global pool internally (the conv kernels do).
+class BatchProcessor : public Processor {
+ public:
+  virtual std::vector<std::vector<double>> process_batch(
+      const std::vector<const Observation*>& obs) = 0;
+};
+
+/// Per-member Processor adapter: the loop's processor_ slot. During a
+/// batched dispatch the engine stages the member's row of the fused
+/// forward here; the loop's own commit_tick() then consumes it through
+/// the ordinary Processor::process() call. Outside an engine dispatch
+/// (or if nothing was staged) it transparently delegates to the shared
+/// processor's serial path, so a loop built on a BatchSlot also runs
+/// correctly under tick()/run()/Fleet.
+class BatchSlot : public Processor {
+ public:
+  explicit BatchSlot(BatchProcessor& shared) : shared_(shared) {}
+
+  std::vector<double> process(const Observation& obs, Rng& rng) override {
+    if (staged_) {
+      staged_ = false;
+      return std::move(staged_row_);
+    }
+    return shared_.process(obs, rng);
+  }
+  double energy_per_call_j() const override {
+    return shared_.energy_per_call_j();
+  }
+
+  void stage(std::vector<double> row) {
+    staged_row_ = std::move(row);
+    staged_ = true;
+  }
+  bool staged() const { return staged_; }
+  BatchProcessor& shared() const { return shared_; }
+
+ private:
+  BatchProcessor& shared_;
+  std::vector<double> staged_row_;
+  bool staged_ = false;
+};
+
+struct BatchedFleetConfig {
+  /// Max members fused into one dispatch group (the batch axis of the
+  /// shared forward). 1 degenerates to serial per-loop dispatch.
+  int gather = 8;
+  /// Record per-tick latencies for the p50/p95/max stats.
+  bool record_latencies = true;
+  /// Admission control (disabled by default; see FleetAdmission).
+  AdmissionConfig admission{};
+};
+
+/// Schedules many independently-seeded loops that share one
+/// BatchProcessor. Owns the per-member Rng streams but not the loops or
+/// slots; every loop and slot must outlive run(). Reuses
+/// FleetLoopConfig / FleetLoopStats / FleetStats from fleet.hpp
+/// (FleetStats::workers reports the pool parallelism available to the
+/// fused phases; dispatches counts groups).
+class BatchedFleet {
+ public:
+  explicit BatchedFleet(BatchProcessor& shared, BatchedFleetConfig cfg = {});
+
+  /// Admits a loop whose Processor is `slot` (a BatchSlot bound to this
+  /// fleet's shared BatchProcessor). Returns the member index.
+  std::size_t add(SensingActionLoop& loop, BatchSlot& slot,
+                  FleetLoopConfig cfg, std::uint64_t seed);
+
+  /// Admission-controlled add (see Fleet::try_add).
+  AdmissionResult try_add(SensingActionLoop& loop, BatchSlot& slot,
+                          FleetLoopConfig cfg, std::uint64_t seed);
+
+  const FleetAdmission& admission() const { return admission_; }
+
+  std::size_t size() const { return members_.size(); }
+
+  /// Executes every admitted member to completion (or shedding) on the
+  /// calling thread. Callable repeatedly, like Fleet::run().
+  FleetStats run();
+
+  /// Fused process_batch() calls and member-ticks served by them during
+  /// the last run() (a fused call with one eligible member still counts:
+  /// the batch axis just has extent 1).
+  long batched_forwards() const { return batched_forwards_; }
+  long batched_members() const { return batched_members_; }
+
+ private:
+  struct Member {
+    SensingActionLoop* loop = nullptr;
+    BatchSlot* slot = nullptr;
+    FleetLoopConfig cfg;
+    Rng rng;
+    long executed = 0;
+    long shed = 0;
+    long deadline_misses = 0;
+    long remaining = 0;
+    double next_deadline = std::numeric_limits<double>::infinity();
+    std::vector<double> tick_ms;
+
+    Member(SensingActionLoop* l, BatchSlot* s, FleetLoopConfig c,
+           std::uint64_t seed)
+        : loop(l), slot(s), cfg(c), rng(seed) {}
+  };
+
+  BatchProcessor& shared_;
+  BatchedFleetConfig cfg_;
+  std::vector<Member> members_;
+  FleetAdmission admission_;
+  long batched_forwards_ = 0;
+  long batched_members_ = 0;
+};
+
+}  // namespace s2a::core

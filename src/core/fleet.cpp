@@ -26,7 +26,110 @@ double percentile(std::vector<double>& sorted, double q) {
 
 }  // namespace
 
-Fleet::Fleet(FleetConfig cfg) : cfg_(cfg) {
+const char* admission_name(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmitted:
+      return "admitted";
+    case AdmissionDecision::kDegraded:
+      return "degraded";
+    case AdmissionDecision::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+FleetAdmission::FleetAdmission(AdmissionConfig cfg) : cfg_(cfg) {
+  S2A_CHECK(cfg_.window >= 1);
+  S2A_CHECK(cfg_.min_samples >= 1);
+  S2A_CHECK(cfg_.degrade_threshold >= 0.0);
+  S2A_CHECK(cfg_.reject_threshold >= cfg_.degrade_threshold);
+  S2A_CHECK(cfg_.degrade_factor >= 1.0);
+  ring_.resize(static_cast<std::size_t>(cfg_.window), 0);
+}
+
+void FleetAdmission::push_locked(bool bad) {
+  const std::size_t window = ring_.size();
+  if (filled_ == window) bad_ -= ring_[head_];
+  ring_[head_] = bad ? 1 : 0;
+  bad_ += ring_[head_];
+  head_ = (head_ + 1) % window;
+  if (filled_ < window) ++filled_;
+}
+
+double FleetAdmission::pressure_locked() const {
+  if (filled_ < static_cast<std::size_t>(cfg_.min_samples)) return 0.0;
+  return static_cast<double>(bad_) / static_cast<double>(filled_);
+}
+
+void FleetAdmission::record_ticks(long total, long bad) {
+  if (!cfg_.enabled || total <= 0) return;
+  S2A_CHECK(bad >= 0 && bad <= total);
+  std::lock_guard<std::mutex> lk(mu_);
+  // Order within the window is worker-interleaving dependent, but the
+  // pressure signal only counts bad entries, so it is robust to that.
+  for (long i = 0; i < total; ++i) push_locked(i < bad);
+  S2A_GAUGE_SET("fleet.admission.pressure", pressure_locked());
+}
+
+void FleetAdmission::record_shed(long ticks) {
+  if (!cfg_.enabled || ticks <= 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  // Shed work is the strongest overload evidence there is; cap the ring
+  // writes at one full window since more cannot change the signal.
+  const long n = std::min<long>(ticks, static_cast<long>(ring_.size()));
+  for (long i = 0; i < n; ++i) push_locked(true);
+  S2A_GAUGE_SET("fleet.admission.pressure", pressure_locked());
+}
+
+double FleetAdmission::pressure() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pressure_locked();
+}
+
+AdmissionDecision FleetAdmission::decide() {
+  std::lock_guard<std::mutex> lk(mu_);
+  AdmissionDecision d = AdmissionDecision::kAdmitted;
+  if (cfg_.enabled && filled_ >= static_cast<std::size_t>(cfg_.min_samples)) {
+    const double p = pressure_locked();
+    if (p >= cfg_.reject_threshold)
+      d = AdmissionDecision::kRejected;
+    else if (p >= cfg_.degrade_threshold)
+      d = AdmissionDecision::kDegraded;
+  }
+  switch (d) {
+    case AdmissionDecision::kAdmitted:
+      ++admitted_;
+      S2A_COUNTER_ADD("fleet.admission.admitted", 1);
+      break;
+    case AdmissionDecision::kDegraded:
+      ++degraded_;
+      S2A_COUNTER_ADD("fleet.admission.degraded", 1);
+      break;
+    case AdmissionDecision::kRejected:
+      ++rejected_;
+      S2A_COUNTER_ADD("fleet.admission.rejected", 1);
+      break;
+  }
+  S2A_GAUGE_SET("fleet.admission.pressure", pressure_locked());
+  return d;
+}
+
+long FleetAdmission::admitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return admitted_;
+}
+
+long FleetAdmission::degraded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return degraded_;
+}
+
+long FleetAdmission::rejected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_;
+}
+
+Fleet::Fleet(FleetConfig cfg) : cfg_(cfg), admission_(cfg.admission) {
   S2A_CHECK(cfg_.batch >= 1);
   S2A_CHECK(cfg_.max_workers >= 0);
 }
@@ -37,6 +140,18 @@ std::size_t Fleet::add(SensingActionLoop& loop, FleetLoopConfig cfg,
   S2A_CHECK(cfg.deadline_s > 0.0);
   members_.emplace_back(&loop, cfg, seed);
   return members_.size() - 1;
+}
+
+AdmissionResult Fleet::try_add(SensingActionLoop& loop, FleetLoopConfig cfg,
+                               std::uint64_t seed) {
+  AdmissionResult r;
+  r.pressure = admission_.pressure();
+  r.decision = admission_.decide();
+  if (r.decision == AdmissionDecision::kRejected) return r;
+  if (r.decision == AdmissionDecision::kDegraded)
+    cfg.deadline_s *= admission_.config().degrade_factor;  // +inf stays +inf
+  r.index = add(loop, cfg, seed);
+  return r;
 }
 
 FleetStats Fleet::run() {
@@ -127,10 +242,12 @@ FleetStats Fleet::run() {
                 m.cfg.shed_slack * m.cfg.deadline_s) {
           m.shed += m.remaining;
           S2A_COUNTER_ADD("fleet.shed_ticks", m.remaining);
+          admission_.record_shed(m.remaining);
           m.remaining = 0;
         }
 
         const long n = std::min<long>(batch, m.remaining);
+        long bad = 0;
         for (long k = 0; k < n; ++k) {
           const double start_s =
               (cfg_.record_latencies || timed) ? elapsed() : 0.0;
@@ -144,6 +261,7 @@ FleetStats Fleet::run() {
             if (timed) {
               if (end_s > m.next_deadline) {
                 ++m.deadline_misses;
+                ++bad;
                 S2A_COUNTER_ADD("fleet.deadline_misses", 1);
               }
               m.next_deadline += m.cfg.deadline_s;
@@ -151,6 +269,7 @@ FleetStats Fleet::run() {
           }
         }
         S2A_COUNTER_ADD("fleet.ticks", n);
+        admission_.record_ticks(n, bad);  // one lock per dispatch, not tick
       }
 
       {

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "core/loop.hpp"
@@ -70,6 +71,86 @@ struct FleetStats {
   std::vector<FleetLoopStats> loops;
 };
 
+// --- Admission control -------------------------------------------------
+//
+// Shedding (above) is reactive: a member already admitted falls behind
+// and its remaining work is dropped. Admission control is the proactive
+// counterpart (CoSense-LLM's cost-aware framing): track the fleet's
+// rolling deadline-miss/shed rate and stop *taking* work the fleet
+// cannot serve — reject a new member outright, or admit it on a
+// degraded (reduced-rate) contract — before its deadlines ever slip.
+
+/// Knobs for FleetAdmission. Disabled by default: try_add() == add().
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Rolling window of recent tick outcomes (miss/shed = bad) that
+  /// defines the pressure signal. Must cover at least a dispatch wave;
+  /// a window much smaller than the healthy tick rate forgets overload
+  /// as soon as the stragglers shed.
+  int window = 4096;
+  /// No decisions until this many outcomes are recorded (cold start).
+  int min_samples = 64;
+  /// pressure >= this admits new members on a degraded contract.
+  double degrade_threshold = 0.05;
+  /// pressure >= this rejects new members outright.
+  double reject_threshold = 0.15;
+  /// Degraded contract: the member's deadline_s is multiplied by this
+  /// (a reduced tick rate; +inf deadlines are unaffected).
+  double degrade_factor = 4.0;
+};
+
+enum class AdmissionDecision { kAdmitted = 0, kDegraded, kRejected };
+const char* admission_name(AdmissionDecision decision);
+
+/// What try_add() did: the decision, the member index (valid unless
+/// rejected), and the pressure that drove it.
+struct AdmissionResult {
+  AdmissionDecision decision = AdmissionDecision::kAdmitted;
+  std::size_t index = 0;
+  double pressure = 0.0;
+};
+
+/// Rolling deadline-miss/shed-rate tracker shared by the fleet engines.
+/// Thread-safe: workers record tick outcomes concurrently; decide() is
+/// called from the admitting thread. Exposed via the fleet.admission.*
+/// counters and the fleet.admission.pressure gauge in s2a::obs.
+class FleetAdmission {
+ public:
+  explicit FleetAdmission(AdmissionConfig cfg = {});
+
+  /// Records `total` executed ticks of which `bad` missed their
+  /// deadline. No-op when disabled.
+  void record_ticks(long total, long bad);
+  /// Records shed ticks — work the fleet accepted and then abandoned —
+  /// as bad outcomes. No-op when disabled.
+  void record_shed(long ticks);
+
+  /// Bad fraction of the rolling window (0 while below min_samples).
+  double pressure() const;
+  /// Decision for one prospective member at current pressure; bumps the
+  /// admitted/degraded/rejected counters.
+  AdmissionDecision decide();
+
+  long admitted() const;
+  long degraded() const;
+  long rejected() const;
+  const AdmissionConfig& config() const { return cfg_; }
+
+ private:
+  void push_locked(bool bad);
+  double pressure_locked() const;
+
+  AdmissionConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<unsigned char> ring_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  long bad_ = 0;
+  long admitted_ = 0;
+  long degraded_ = 0;
+  long rejected_ = 0;
+};
+
 struct FleetConfig {
   /// Max ticks one dispatch executes before the member is requeued.
   /// Larger batches amortize heap traffic; smaller ones interleave
@@ -80,6 +161,8 @@ struct FleetConfig {
   /// Record per-tick latencies for the p50/p95/max stats. Turn off for
   /// very long runs to skip the per-tick timestamping.
   bool record_latencies = true;
+  /// Admission control (disabled by default; see FleetAdmission).
+  AdmissionConfig admission{};
 };
 
 /// Schedules many independently-seeded loops. Owns the per-member Rng
@@ -88,10 +171,20 @@ class Fleet {
  public:
   explicit Fleet(FleetConfig cfg = {});
 
-  /// Admits a loop. Returns the member index (add() order, also the
-  /// index into FleetStats::loops).
+  /// Admits a loop unconditionally. Returns the member index (add()
+  /// order, also the index into FleetStats::loops).
   std::size_t add(SensingActionLoop& loop, FleetLoopConfig cfg,
                   std::uint64_t seed);
+
+  /// Admission-controlled add: consults the rolling miss/shed pressure
+  /// and either admits, admits on a degraded (deadline_s scaled by
+  /// AdmissionConfig::degrade_factor) contract, or rejects — in which
+  /// case the loop is NOT added. With admission disabled behaves like
+  /// add().
+  AdmissionResult try_add(SensingActionLoop& loop, FleetLoopConfig cfg,
+                          std::uint64_t seed);
+
+  const FleetAdmission& admission() const { return admission_; }
 
   std::size_t size() const { return members_.size(); }
 
@@ -118,6 +211,7 @@ class Fleet {
 
   FleetConfig cfg_;
   std::vector<Member> members_;
+  FleetAdmission admission_;
 };
 
 }  // namespace s2a::core

@@ -258,6 +258,20 @@ void SensingActionLoop::commit_tick(SenseOutcome& outcome, Rng& rng) {
   now_ += cfg_.dt;
 }
 
+const Observation* SensingActionLoop::peek_process_input(
+    const SenseOutcome& outcome) const {
+  // Every branch below must stay in lockstep with commit_tick: a
+  // non-null return promises that commit_tick(outcome, ...) will call
+  // processor_.process() on exactly this observation's payload.
+  if (state_ == LoopState::kSafeStop) return nullptr;
+  const Observation* obs =
+      outcome.ok ? &outcome.obs : (has_observation_ ? &last_obs_ : nullptr);
+  if (obs == nullptr) return nullptr;
+  const double age = (now_ + cfg_.processing_latency) - obs->timestamp;
+  if (age > cfg_.resilience.max_staleness_s) return nullptr;
+  return obs;
+}
+
 void SensingActionLoop::tick(Rng& rng) {
   S2A_TRACE_SCOPE_CAT("loop.tick", "core");
   SenseOutcome outcome;

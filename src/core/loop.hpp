@@ -247,6 +247,16 @@ class SensingActionLoop {
   /// the tick had never sensed) and the tick only advances time.
   void commit_tick(SenseOutcome& outcome, Rng& rng);
 
+  /// The observation commit_tick(outcome, ...) would hand to the
+  /// Processor, or nullptr when the commit will not process this tick
+  /// (SAFE_STOP latched, no observation to act on, or the freshest one
+  /// is past max_staleness_s). Mirrors commit_tick's gating exactly so
+  /// a batching engine (batched_fleet.hpp) can run the processor work
+  /// for several members in one fused call *before* committing them;
+  /// mutates nothing. Only meaningful between this member's sense stage
+  /// and its commit — the answer depends on loop state.
+  const Observation* peek_process_input(const SenseOutcome& outcome) const;
+
   double now() const { return now_; }
   const LoopConfig& config() const { return cfg_; }
   const LoopMetrics& metrics() const { return metrics_; }

@@ -199,6 +199,32 @@ std::vector<double> BevDetector::feature_embedding(const nn::Tensor& grid) {
   return e;
 }
 
+std::vector<std::vector<double>> BevDetector::feature_embeddings(
+    const nn::Tensor& grids) {
+  // One backbone forward over the whole [B, nz, ny, nx] stack; the
+  // batch-first conv kernels make row b's features bit-identical to a
+  // B=1 forward, and the per-image pooling below repeats
+  // feature_embedding's accumulation order exactly.
+  nn::Tensor h = grids;
+  for (std::size_t i = 0; i < 4; ++i) h = backbone_.layer(i).forward(h);
+  const int n = h.dim(0), c = h.dim(1), hh = h.dim(2), ww = h.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(hh) * ww;
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    const double* hb = h.data() + static_cast<std::size_t>(b) * c * plane;
+    std::vector<double> e(static_cast<std::size_t>(c), 0.0);
+    for (int ci = 0; ci < c; ++ci) {
+      double s = 0.0;
+      const double* row = hb + static_cast<std::size_t>(ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) s += row[i];
+      e[static_cast<std::size_t>(ci)] = s / static_cast<double>(plane);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
 std::vector<nn::Tensor*> BevDetector::params() {
   auto p = backbone_.params();
   for (auto* q : cls_head_.params()) p.push_back(q);

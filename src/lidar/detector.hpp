@@ -62,6 +62,10 @@ class BevDetector {
 
   /// Spatially pooled backbone features — the embedding STARNet monitors.
   std::vector<double> feature_embedding(const nn::Tensor& grid);
+  /// Batched feature_embedding: one backbone forward over a
+  /// [B, nz, ny, nx] stack (lidar/batched.hpp); row i is bit-identical
+  /// to feature_embedding(grid_i).
+  std::vector<std::vector<double>> feature_embeddings(const nn::Tensor& grids);
   int embedding_dim() const { return cfg_.c2; }
 
   std::vector<nn::Tensor*> params();

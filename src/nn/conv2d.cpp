@@ -121,13 +121,18 @@ Tensor Conv2D::forward(const Tensor& x) {
   return y;
 }
 
-// im2col + blocked-GEMM path. Per image: each band of output rows
-// lowers its input patches into a private column panel (band arena) and
-// multiplies the packed weight panel against it, writing the band's
-// slice of y directly. Bands are disjoint in y and the GEMM accumulates
-// every element in ascending (ic, ky, kx) order — the naive loop's
-// order — so this is bit-exact vs. forward_naive and across thread
-// counts (the band split only changes which elements go together).
+// im2col + blocked-GEMM path. The band space is the flattened
+// (image, output-row) grid — one parallel pass covers the whole batch,
+// so a batched forward (nn/batch.hpp, the fleet's cross-loop inference
+// path) shards across the batch axis instead of serializing per image.
+// Each band of output rows lowers its input patches into a private
+// column panel (band arena) and multiplies the packed weight panel —
+// packed ONCE per call, covering every image — against it, writing the
+// band's slice of y directly. Bands are disjoint in y and the GEMM
+// accumulates every element in ascending (ic, ky, kx) order — the naive
+// loop's order — so this is bit-exact vs. forward_naive, across thread
+// counts, and across batch compositions (the band split only changes
+// which elements go together).
 void Conv2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w,
                           int oh, int ow) {
   const int kdim = im2col_rows(cin_, k_);
@@ -140,16 +145,22 @@ void Conv2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w,
 
   const std::size_t macs = static_cast<std::size_t>(cout_) * kdim *
                            static_cast<std::size_t>(n) * out_hw;
-  for (int b = 0; b < n; ++b) {
-    const double* xb =
-        x.data() + static_cast<std::size_t>(b) * cin_ * h * w;
-    double* yb = y.data() + static_cast<std::size_t>(b) * cout_ * out_hw;
-    parallel_bands(
-        static_cast<std::size_t>(oh), macs, arena_,
-        [&](std::size_t lo, std::size_t hi, util::ScratchArena& band_arena) {
-          const int oy_lo = static_cast<int>(lo), oy_hi = static_cast<int>(hi);
+  parallel_bands(
+      static_cast<std::size_t>(n) * oh, macs, arena_,
+      [&](std::size_t lo, std::size_t hi, util::ScratchArena& band_arena) {
+        band_arena.reset();
+        // A chunk may span image boundaries; split it at each one so the
+        // im2col/GEMM below always sees rows of a single image.
+        for (std::size_t u = lo; u < hi;) {
+          const int b = static_cast<int>(u / static_cast<std::size_t>(oh));
+          const int oy_lo = static_cast<int>(u % static_cast<std::size_t>(oh));
+          const int oy_hi = static_cast<int>(
+              std::min<std::size_t>(static_cast<std::size_t>(oh),
+                                    static_cast<std::size_t>(oy_lo) + (hi - u)));
+          const double* xb =
+              x.data() + static_cast<std::size_t>(b) * cin_ * h * w;
+          double* yb = y.data() + static_cast<std::size_t>(b) * cout_ * out_hw;
           const int width = (oy_hi - oy_lo) * ow;
-          band_arena.reset();
           double* col =
               band_arena.alloc(static_cast<std::size_t>(kdim) * width);
           im2col(xb, cin_, h, w, k_, stride_, pad_, ow, oy_lo, oy_hi, col);
@@ -159,8 +170,9 @@ void Conv2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w,
                         b_[static_cast<std::size_t>(oc)]);
           gemm_packed(cout_, width, kdim, wp, col, width, cband,
                       static_cast<int>(out_hw));
-        });
-  }
+          u += static_cast<std::size_t>(oy_hi - oy_lo);
+        }
+      });
 }
 
 // Direct-loop oracle (S2A_NAIVE_CONV=1): the original implementation,
@@ -449,18 +461,14 @@ void ConvTranspose2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h,
       wp[static_cast<std::size_t>(py) * s + px] = packed;
     }
 
-  const std::size_t macs = static_cast<std::size_t>(cin_) * cout_ * k_ * k_ *
-                           static_cast<std::size_t>(n) * h * w;
-  for (int b = 0; b < n; ++b) {
-    const double* xb =
-        x.data() + static_cast<std::size_t>(b) * cin_ * h * w;
+  // One band of one image: every phase subgrid intersecting output rows
+  // [oy_lo, oy_hi) of image b gets its compact GEMM. Extracted so the
+  // cross-image band pass below can split a chunk at image boundaries.
+  const auto run_band = [&](int b, int oy_lo, int oy_hi,
+                            util::ScratchArena& band_arena) {
+    const double* xb = x.data() + static_cast<std::size_t>(b) * cin_ * h * w;
     double* yb = y.data() + static_cast<std::size_t>(b) * cout_ * out_hw;
-    parallel_bands(
-        static_cast<std::size_t>(oh), macs, arena_,
-        [&](std::size_t lo, std::size_t hi, util::ScratchArena& band_arena) {
-          const int oy_lo = static_cast<int>(lo), oy_hi = static_cast<int>(hi);
-          band_arena.reset();
-          for (int py = 0; py < s; ++py)
+    for (int py = 0; py < s; ++py)
             for (int px = 0; px < s; ++px) {
               // This phase's output subgrid within the band: rows
               // oy0, oy0+s, ... and columns ox0, ox0+s, ...
@@ -543,8 +551,27 @@ void ConvTranspose2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h,
                 }
               }
             }
-        });
-  }
+  };
+
+  // Band space is the flattened (image, output-row) grid, so a batched
+  // forward shards across the batch axis in one pass (see
+  // Conv2D::forward_gemm for the bit-exactness argument).
+  const std::size_t macs = static_cast<std::size_t>(cin_) * cout_ * k_ * k_ *
+                           static_cast<std::size_t>(n) * h * w;
+  parallel_bands(
+      static_cast<std::size_t>(n) * oh, macs, arena_,
+      [&](std::size_t lo, std::size_t hi, util::ScratchArena& band_arena) {
+        band_arena.reset();
+        for (std::size_t u = lo; u < hi;) {
+          const int b = static_cast<int>(u / static_cast<std::size_t>(oh));
+          const int oy_lo = static_cast<int>(u % static_cast<std::size_t>(oh));
+          const int oy_hi = static_cast<int>(
+              std::min<std::size_t>(static_cast<std::size_t>(oh),
+                                    static_cast<std::size_t>(oy_lo) + (hi - u)));
+          run_band(b, oy_lo, oy_hi, band_arena);
+          u += static_cast<std::size_t>(oy_hi - oy_lo);
+        }
+      });
 }
 
 // Direct scatter oracle (S2A_NAIVE_CONV=1): the original implementation.

@@ -63,6 +63,67 @@ TEST(SpscQueue, CloseUnblocksFullProducer) {
   producer.join();
 }
 
+// Capacity 1 degenerates to a rendezvous slot: every push must wait for
+// the matching pop, so the two threads strictly alternate and ordering
+// still holds with the ring's head wrapping on every element.
+TEST(SpscQueue, CapacityOneAlternatesAcrossThreads) {
+  util::SpscQueue<int> q(1);
+  std::thread producer([&] {
+    for (int i = 0; i < 500; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  int expected = 0, v = 0;
+  while (q.pop(v)) EXPECT_EQ(v, expected++);
+  EXPECT_EQ(expected, 500);
+  producer.join();
+}
+
+// Drives head_ around the ring many times with the queue repeatedly
+// filling and draining, so the wraparound index arithmetic (head_ +
+// size_ mod capacity) is exercised at every phase offset of a capacity
+// that does not divide the element count.
+TEST(SpscQueue, IndexWrapsAroundPastCapacity) {
+  util::SpscQueue<int> q(3);
+  int next_push = 0, next_pop = 0, v = 0;
+  for (int round = 0; round < 100; ++round) {
+    const int burst = 1 + round % 3;  // 1..3: hits every fill level
+    for (int i = 0; i < burst; ++i) ASSERT_TRUE(q.push(next_push++));
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(q.pop(v));
+      EXPECT_EQ(v, next_pop++);
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+  // Ring is empty but head_ has wrapped ~dozens of times; a fresh
+  // fill-to-capacity still delivers in order.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.push(100 + i));
+  q.close();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 100 + i);
+  }
+  EXPECT_FALSE(q.pop(v));
+}
+
+// Producer abandons mid-stream (closes without finishing its planned
+// pushes, e.g. its sense chain latched SAFE_STOP): the consumer must
+// receive exactly the prefix that was pushed, in order, then see
+// end-of-stream — no loss, no duplication, no hang.
+TEST(SpscQueue, ProducerAbandonsMidStream) {
+  util::SpscQueue<int> q(4);
+  constexpr int kPlanned = 100, kActual = 37;
+  std::thread producer([&] {
+    for (int i = 0; i < kActual; ++i) ASSERT_TRUE(q.push(i));
+    q.close();  // walks away with kPlanned - kActual never sent
+  });
+  int expected = 0, v = 0;
+  while (q.pop(v)) EXPECT_EQ(v, expected++);
+  EXPECT_EQ(expected, kActual);
+  EXPECT_LT(expected, kPlanned);
+  EXPECT_TRUE(q.closed());
+  producer.join();
+}
+
 // ---------------------------------------------------- pipeline fixtures
 
 class WavySensor : public Sensor {

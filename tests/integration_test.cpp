@@ -4,8 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <vector>
 
+#include "core/batched_fleet.hpp"
+#include "core/fleet.hpp"
 #include "core/loop.hpp"
+#include "fault/fault.hpp"
+#include "lidar/batched.hpp"
 #include "core/multi_agent.hpp"
 #include "core/policies.hpp"
 #include "koopman/agent.hpp"
@@ -248,6 +254,125 @@ TEST(Integration, SwarmCoordinationThenFederatedLearning) {
   const auto res = federated::run_federated(
       federated::FlStrategy::kHaloFl, train, test, shards, fleet, cfg, rng);
   EXPECT_GT(res.final_accuracy, 0.6);
+}
+
+// ---------------------------------------------------------------------
+// Batched execution engine end to end: a fleet of lidar reconstruction
+// loops sharing ONE autoencoder through the cross-loop batching engine,
+// half of them under injected sensor-fault chaos. The healthy members
+// must ride through their neighbors' faults untouched — every loop
+// reaches tick T, no healthy loop ever leaves NOMINAL, and nothing
+// non-finite reaches an actuator.
+namespace batched_fleet_e2e {
+
+class OccupancySensor : public core::Sensor {
+ public:
+  explicit OccupancySensor(std::size_t numel) : numel_(numel) {}
+  core::Observation sense(double now, Rng& rng) override {
+    core::Observation obs;
+    obs.data.resize(numel_);
+    for (std::size_t i = 0; i < numel_; ++i)
+      obs.data[i] = rng.bernoulli(0.2) ? 1.0 : 0.0;
+    obs.timestamp = now;
+    obs.energy_j = 1e-3;
+    return obs;
+  }
+
+ private:
+  std::size_t numel_;
+};
+
+class FiniteCheckingActuator : public core::Actuator {
+ public:
+  void actuate(const core::Action& action, Rng&) override {
+    ++count;
+    for (double v : action.data) all_finite = all_finite && std::isfinite(v);
+  }
+  long count = 0;
+  bool all_finite = true;
+};
+
+}  // namespace batched_fleet_e2e
+
+TEST(Integration, BatchedLidarFleetSurvivesChaos) {
+  using namespace batched_fleet_e2e;
+  lidar::AutoencoderConfig acfg;
+  acfg.grid.nx = 8;
+  acfg.grid.ny = 8;
+  acfg.grid.nz = 2;
+  acfg.c1 = 4;
+  acfg.c2 = 4;
+  const std::size_t numel = static_cast<std::size_t>(acfg.grid.nx) *
+                            acfg.grid.ny * acfg.grid.nz;
+  Rng wr(13);
+  lidar::OccupancyAutoencoder ae(acfg, wr);
+  lidar::BatchedReconstructionProcessor shared(ae, /*energy_per_call_j=*/1e-3);
+
+  constexpr int kMembers = 8;  // members 0..3 healthy, 4..7 chaotic
+  constexpr int kTicks = 30;
+  struct Member {
+    std::unique_ptr<OccupancySensor> sensor;
+    std::unique_ptr<fault::FaultySensor> faulty;
+    std::unique_ptr<core::BatchSlot> slot;
+    std::unique_ptr<FiniteCheckingActuator> act;
+    std::unique_ptr<core::PeriodicPolicy> policy;
+    std::unique_ptr<core::SensingActionLoop> loop;
+  };
+  std::vector<Member> members(kMembers);
+
+  core::BatchedFleetConfig bc;
+  bc.gather = 4;
+  core::BatchedFleet engine(shared, bc);
+  core::LoopConfig lc;
+  lc.dt = 0.05;
+  lc.resilience.max_staleness_s = 0.2;
+  lc.resilience.degrade_after = 2;
+  lc.resilience.recover_after = 2;
+  for (int m = 0; m < kMembers; ++m) {
+    Member& mem = members[static_cast<std::size_t>(m)];
+    mem.sensor = std::make_unique<OccupancySensor>(numel);
+    core::Sensor* s = mem.sensor.get();
+    if (m >= kMembers / 2) {
+      mem.faulty = std::make_unique<fault::FaultySensor>(
+          *mem.sensor, fault::FaultPlan::random_component_plan(
+                           /*seed=*/900 + static_cast<std::uint64_t>(m),
+                           /*horizon_s=*/kTicks * lc.dt, /*events=*/5,
+                           /*mean_duration_s=*/0.3));
+      s = mem.faulty.get();
+    }
+    mem.slot = std::make_unique<core::BatchSlot>(shared);
+    mem.act = std::make_unique<FiniteCheckingActuator>();
+    mem.policy = std::make_unique<core::PeriodicPolicy>(1);
+    mem.loop = std::make_unique<core::SensingActionLoop>(
+        *s, *mem.slot, *mem.act, *mem.policy, lc);
+    core::FleetLoopConfig flc;
+    flc.ticks = kTicks;
+    engine.add(*mem.loop, *mem.slot, flc, /*seed=*/70 + m);
+  }
+
+  const core::FleetStats fs = engine.run();
+  EXPECT_EQ(fs.executed, static_cast<long>(kMembers) * kTicks);
+  EXPECT_GT(engine.batched_forwards(), 0);
+
+  for (int m = 0; m < kMembers; ++m) {
+    const Member& mem = members[static_cast<std::size_t>(m)];
+    SCOPED_TRACE("member=" + std::to_string(m));
+    EXPECT_EQ(mem.loop->metrics().ticks, kTicks);
+    EXPECT_TRUE(mem.act->all_finite);  // nothing non-finite was actuated
+    EXPECT_EQ(mem.loop->metrics().quarantined_actions, 0);
+    if (m < kMembers / 2) {
+      // Healthy members never stall: no degradation, every tick acted.
+      EXPECT_EQ(mem.loop->state(), core::LoopState::kNominal);
+      EXPECT_EQ(mem.loop->metrics().degraded_ticks, 0);
+      EXPECT_EQ(mem.loop->metrics().safe_stop_ticks, 0);
+      EXPECT_EQ(mem.act->count, kTicks);
+    } else {
+      // Chaotic members actually saw chaos (the plan injected faults)
+      // yet still reached tick T without latching SAFE_STOP.
+      EXPECT_GT(mem.faulty->faults_injected(), 0);
+      EXPECT_NE(mem.loop->state(), core::LoopState::kSafeStop);
+    }
+  }
 }
 
 }  // namespace
