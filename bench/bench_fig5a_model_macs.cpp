@@ -5,9 +5,15 @@
 // {MLP, dense Koopman, Transformer, recurrent, spectral Koopman} for both
 // control and prediction — its dynamics are O(m) in the number of modes,
 // and LQR control is a precomputed gain instead of sampling-based MPC.
+//
+// The energy columns convert each model's control-decision MACs through
+// the same analytic constants as the Table II bench: fp32 inference at
+// 2 FLOPs/MAC x kJoulesPerFlop, int8 inference at kJoulesPerInt8Mac
+// (the quantized path of nn/quant.hpp).
 #include <iostream>
 
 #include "koopman/agent.hpp"
+#include "lidar/energy.hpp"
 #include "util/table.hpp"
 
 using namespace s2a;
@@ -19,7 +25,8 @@ int main() {
 
   Table t("Fig. 5a: MACs per one-step prediction and per control decision "
           "(latent dim 16, MPC 48 samples x 8 horizon for non-LQR models)");
-  t.set_header({"Model", "Prediction MACs", "Control MACs", "Dynamics params"});
+  t.set_header({"Model", "Prediction MACs", "Control MACs", "Dynamics params",
+                "Control uJ (fp32)", "Control uJ (int8)"});
 
   std::size_t spectral_pred = 0, spectral_ctrl = 0;
   for (ModelKind kind : all_model_kinds()) {
@@ -32,8 +39,13 @@ int main() {
       spectral_pred = pred;
       spectral_ctrl = ctrl;
     }
+    const double fp32_uj =
+        2.0 * static_cast<double>(ctrl) * lidar::kJoulesPerFlop * 1e6;
+    const double int8_uj =
+        static_cast<double>(ctrl) * lidar::kJoulesPerInt8Mac * 1e6;
     t.add_row({model_kind_name(kind), std::to_string(pred),
-               std::to_string(ctrl), std::to_string(dyn_params)});
+               std::to_string(ctrl), std::to_string(dyn_params),
+               Table::num(fp32_uj, 3), Table::num(int8_uj, 3)});
   }
   t.print(std::cout);
 

@@ -13,8 +13,12 @@
 // fed.round) at 1 thread and at 4 threads and writes serial-vs-parallel
 // p50/p95 latencies plus speedups to the given JSON file.
 // With S2A_BENCH_KERNELS=<out.json> it times the GEMM conv path against
-// the naive-loop oracle (single-threaded) plus the raw nn::gemm shapes
-// the autoencoder runs, and writes BENCH_kernels.json.
+// the naive-loop oracle (single-threaded), the int8 quantized
+// reconstruct against the float path, and the raw nn::gemm shapes the
+// autoencoder runs — swept once per compiled-in SIMD kernel (scalar,
+// avx2, ...) with speedups vs the scalar oracle — and writes
+// BENCH_kernels.json. Every report header and JSON payload records the
+// detected CPU features and the SIMD kernel the dispatcher selected.
 // With S2A_BENCH_TRAIN=<out.json> it times the *training* hot paths:
 // one autoencoder pretrain step under the GEMM backward kernels vs the
 // naive oracle (single-threaded, fresh identically-seeded models per
@@ -58,7 +62,9 @@
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/gemm.hpp"
+#include "nn/quant.hpp"
 #include "nn/sequential.hpp"
+#include "util/cpu_features.hpp"
 #include "util/scratch_arena.hpp"
 #include "obs/obs.hpp"
 #include "sim/dataset.hpp"
@@ -69,6 +75,18 @@
 namespace {
 
 using namespace s2a;
+
+// Name of the SIMD ISA the GEMM dispatch resolved to — recorded in every
+// BENCH_*.json payload so regression history is comparable across hosts.
+const char* active_simd_name() {
+  return util::simd_isa_name(util::active_simd_isa());
+}
+
+// One-line hardware banner printed at the top of every report mode.
+void print_cpu_banner() {
+  printf("cpu features: %s | gemm kernel: %s\n",
+         util::cpu_feature_string().c_str(), nn::gemm_kernel_name());
+}
 
 void BM_LidarFullScan(benchmark::State& state) {
   sim::LidarConfig cfg;
@@ -297,6 +315,11 @@ struct HotPathFixtures {
   nn::Adam ae_opt{1e-3};
   federated::MlpParams fed_global;
   std::vector<bool> fed_active;
+  // Raw-GEMM fixture for nn.gemm_conv2 (the conv2 product shape,
+  // 32x144x144). The arena lives behind a unique_ptr because
+  // ScratchArena is non-movable and the fixture is returned by value.
+  std::vector<double> gemm_a, gemm_b, gemm_c;
+  std::unique_ptr<util::ScratchArena> gemm_arena;
 
   static HotPathFixtures make() {
     // lidar.voxelize: a 360x32 scan (11520 returns) is well above the
@@ -336,7 +359,9 @@ struct HotPathFixtures {
                        std::move(fleet), fc,
                        nn::Tensor{},    nn::Tensor{},
                        nn::Adam{1e-3},  federated::MlpParams{},
-                       std::vector<bool>{}};
+                       std::vector<bool>{},
+                       {},              {},
+                       {},              nullptr};
 
     // lidar.ae_pretrain_step: sparse occupancy target (~6% occupied),
     // masked input keeping ~10% of sensed voxels.
@@ -354,6 +379,21 @@ struct HotPathFixtures {
     fx.fed_global = federated::init_mlp(fx.train.feature_dim, fx.fc.hidden,
                                         fx.train.num_classes, rng);
     fx.fed_active.assign(static_cast<std::size_t>(fx.fc.hidden), true);
+
+    // nn.gemm_conv2: the conv2 GEMM shape timed through the public
+    // nn::gemm entry (pack + blocked kernel), exactly as the budget gate
+    // replays it.
+    fx.gemm_a.resize(32 * 144);
+    fx.gemm_b.resize(144 * 144);
+    fx.gemm_c.resize(32 * 144);
+    for (auto& v : fx.gemm_a) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : fx.gemm_b) v = rng.uniform(-1.0, 1.0);
+    fx.gemm_arena = std::make_unique<util::ScratchArena>();
+
+    // lidar.ae_reconstruct_int8: int8 snapshot of the same autoencoder.
+    // The float workloads are unaffected — the snapshot only engages
+    // while the quant backend resolves to int8.
+    fx.ae.quantize();
     return fx;
   }
 
@@ -384,6 +424,18 @@ struct HotPathFixtures {
                        federated::PrecisionConfig{}, fc.local_epochs, fc.batch,
                        fc.lr, client_rng));
                  }});
+    w.push_back({"lidar.ae_reconstruct_int8", 30, [this] {
+                   nn::set_quant_backend(nn::QuantBackend::kInt8);
+                   benchmark::DoNotOptimize(ae.reconstruct(bev));
+                   nn::set_quant_backend(nn::QuantBackend::kAuto);
+                 }});
+    w.push_back({"nn.gemm_conv2", 400, [this] {
+                   std::fill(gemm_c.begin(), gemm_c.end(), 0.0);
+                   nn::gemm(32, 144, 144, gemm_a.data(), 144, gemm_b.data(),
+                            144, gemm_c.data(), 144, *gemm_arena);
+                   benchmark::DoNotOptimize(gemm_c.data());
+                   gemm_arena->reset();
+                 }});
     return w;
   }
 };
@@ -402,6 +454,7 @@ BENCHMARK(BM_AePretrainStep);
 int run_parallel_report(const char* out_path) {
   HotPathFixtures fx = HotPathFixtures::make();
   std::vector<ParallelWorkload> workloads = fx.workloads();
+  print_cpu_banner();
 
   std::ofstream out(out_path);
   if (!out) {
@@ -410,7 +463,9 @@ int run_parallel_report(const char* out_path) {
   }
   out << "{\n  \"parallel_threads\": " << kParallelThreads
       << ",\n  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"workloads\": [\n";
+      << std::thread::hardware_concurrency() << ",\n  \"cpu\": \""
+      << util::cpu_feature_string() << "\",\n  \"simd\": \""
+      << active_simd_name() << "\",\n  \"workloads\": [\n";
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     const auto& wl = workloads[i];
     Percentiles serial, parallel;
@@ -442,14 +497,18 @@ int run_parallel_report(const char* out_path) {
 // ---- Kernel report (S2A_BENCH_KERNELS=<out.json>) ----
 //
 // Times lidar.ae_reconstruct single-threaded under the GEMM conv backend
-// and under the naive-loop oracle, plus the raw nn::gemm shapes the
-// autoencoder's conv/deconv layers reduce to (deconvs as their
-// per-phase compact GEMMs). The two reconstruct numbers are bit-exact
-// equal in output — the speedup is pure kernel efficiency.
+// and under the naive-loop oracle, the same reconstruct under the int8
+// quantized path, plus the raw nn::gemm shapes the autoencoder's
+// conv/deconv layers reduce to (deconvs as their per-phase compact
+// GEMMs). The float reconstruct numbers are bit-exact equal in output —
+// the speedup is pure kernel efficiency. The gemm shapes are swept once
+// per compiled-in SIMD ISA (via set_simd_isa), recording each vector
+// kernel's p50 speedup over the always-available scalar oracle.
 int run_kernels_report(const char* out_path) {
   HotPathFixtures fx = HotPathFixtures::make();
   util::ScopedGlobalThreads threads(1);
   const int reps = 60;
+  print_cpu_banner();
 
   nn::set_conv_backend(nn::ConvBackend::kGemm);
   const Percentiles gemm_path = percentiles(time_reps(
@@ -464,6 +523,19 @@ int run_kernels_report(const char* out_path) {
          gemm_path.p50_ms, gemm_path.p95_ms, naive_path.p50_ms,
          naive_path.p95_ms, speedup);
 
+  // Int8 path over the identical reconstruct (fx.ae was quantized in
+  // make()); the accuracy side of this trade lives in the frontier
+  // section of bench_table2_lidar_energy.
+  nn::set_quant_backend(nn::QuantBackend::kInt8);
+  const Percentiles int8_path = percentiles(time_reps(
+      reps, [&] { benchmark::DoNotOptimize(fx.ae.reconstruct(fx.bev)); }));
+  nn::set_quant_backend(nn::QuantBackend::kAuto);
+  const double int8_speedup =
+      int8_path.p50_ms > 0.0 ? gemm_path.p50_ms / int8_path.p50_ms : 0.0;
+  printf("lidar.ae_reconstruct  float p50 %8.3f ms p95 %8.3f ms |  int8 p50 %8.3f ms p95 %8.3f ms | speedup %.2fx\n",
+         gemm_path.p50_ms, gemm_path.p95_ms, int8_path.p50_ms,
+         int8_path.p95_ms, int8_speedup);
+
   // The dense products behind each autoencoder layer: conv layers are
   // one [cout, cin*k*k] x [cin*k*k, oh*ow] product, stride-2 deconvs are
   // four per-phase products over the phase-valid taps.
@@ -476,42 +548,104 @@ int run_kernels_report(const char* out_path) {
       {"dec1.phase 16x144x128", 16, 144, 128},
       {"dec2.phase 4x576x64", 4, 576, 64},
   };
+  const int num_shapes = static_cast<int>(std::size(shapes));
+
+  // Sweep every compiled-in ISA over every shape. supported_simd_isas()
+  // always starts with kScalar, so scalar_p50 is filled before any
+  // vector ISA needs it for its speedup column.
+  const std::vector<util::SimdIsa> isas = util::supported_simd_isas();
+  std::vector<std::vector<Percentiles>> per_isa(isas.size());
+  std::vector<double> scalar_p50(static_cast<std::size_t>(num_shapes), 0.0);
+  for (std::size_t vi = 0; vi < isas.size(); ++vi) {
+    util::set_simd_isa(isas[vi]);
+    for (int i = 0; i < num_shapes; ++i) {
+      const auto& s = shapes[i];
+      Rng rng(11);
+      const nn::Tensor a = nn::Tensor::randn({s.m, s.k}, rng);
+      const nn::Tensor b = nn::Tensor::randn({s.k, s.n}, rng);
+      nn::Tensor c({s.m, s.n});
+      util::ScratchArena arena;
+      const Percentiles p = percentiles(time_reps(400, [&] {
+        nn::gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c.data(), s.n,
+                 arena);
+        benchmark::DoNotOptimize(c.data());
+        arena.reset();
+      }));
+      per_isa[vi].push_back(p);
+      if (isas[vi] == util::SimdIsa::kScalar)
+        scalar_p50[static_cast<std::size_t>(i)] = p.p50_ms;
+      const double gmacs =
+          static_cast<double>(s.m) * s.n * s.k / (p.p50_ms * 1e6);
+      const double vs_scalar =
+          p.p50_ms > 0.0 ? scalar_p50[static_cast<std::size_t>(i)] / p.p50_ms
+                         : 0.0;
+      printf("gemm[%-9s] %-22s p50 %8.4f ms  %6.2f GMAC/s  %5.2fx vs scalar\n",
+             util::simd_isa_name(isas[vi]), s.name, p.p50_ms, gmacs,
+             vs_scalar);
+    }
+  }
+  util::set_simd_isa(util::SimdIsa::kAuto);
+
+  // Index of the ISA auto-dispatch resolved to: the top-level
+  // "gemm_shapes" section reports that kernel's numbers, so the budget
+  // history tracks what the library actually runs by default.
+  std::size_t auto_idx = 0;
+  for (std::size_t vi = 0; vi < isas.size(); ++vi)
+    if (isas[vi] == util::active_simd_isa()) auto_idx = vi;
 
   std::ofstream out(out_path);
   if (!out) {
     fprintf(stderr, "cannot open %s for writing\n", out_path);
     return 1;
   }
-  out << "{\n  \"threads\": 1,\n  \"ae_reconstruct\": {\n"
+  out << "{\n  \"threads\": 1,\n  \"cpu\": \"" << util::cpu_feature_string()
+      << "\",\n  \"simd\": \"" << active_simd_name()
+      << "\",\n  \"ae_reconstruct\": {\n"
       << "    \"gemm\": {\"p50_ms\": " << gemm_path.p50_ms
       << ", \"p95_ms\": " << gemm_path.p95_ms << "},\n"
       << "    \"naive\": {\"p50_ms\": " << naive_path.p50_ms
       << ", \"p95_ms\": " << naive_path.p95_ms << "},\n"
-      << "    \"p50_speedup\": " << speedup << "\n  },\n  \"gemm_shapes\": [\n";
-  const int num_shapes = static_cast<int>(std::size(shapes));
+      << "    \"p50_speedup\": " << speedup
+      << "\n  },\n  \"ae_reconstruct_int8\": {\n"
+      << "    \"float\": {\"p50_ms\": " << gemm_path.p50_ms
+      << ", \"p95_ms\": " << gemm_path.p95_ms << "},\n"
+      << "    \"int8\": {\"p50_ms\": " << int8_path.p50_ms
+      << ", \"p95_ms\": " << int8_path.p95_ms << "},\n"
+      << "    \"p50_speedup\": " << int8_speedup
+      << "\n  },\n  \"gemm_shapes\": [\n";
   for (int i = 0; i < num_shapes; ++i) {
     const auto& s = shapes[i];
-    Rng rng(11);
-    const nn::Tensor a = nn::Tensor::randn({s.m, s.k}, rng);
-    const nn::Tensor b = nn::Tensor::randn({s.k, s.n}, rng);
-    nn::Tensor c({s.m, s.n});
-    util::ScratchArena arena;
-    const Percentiles p = percentiles(time_reps(400, [&] {
-      nn::gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c.data(), s.n,
-               arena);
-      benchmark::DoNotOptimize(c.data());
-      arena.reset();
-    }));
+    const Percentiles& p = per_isa[auto_idx][static_cast<std::size_t>(i)];
     const double gmacs =
         static_cast<double>(s.m) * s.n * s.k / (p.p50_ms * 1e6);
-    printf("gemm %-22s p50 %8.4f ms  %6.2f GMAC/s\n", s.name, p.p50_ms,
-           gmacs);
+    const double vs_scalar =
+        p.p50_ms > 0.0 ? scalar_p50[static_cast<std::size_t>(i)] / p.p50_ms
+                       : 0.0;
     out << "    {\"name\": \"" << s.name << "\", \"m\": " << s.m
         << ", \"n\": " << s.n << ", \"k\": " << s.k
-        << ", \"p50_ms\": " << p.p50_ms << ", \"gmacs\": " << gmacs << "}"
+        << ", \"p50_ms\": " << p.p50_ms << ", \"gmacs\": " << gmacs
+        << ", \"p50_speedup_vs_scalar\": " << vs_scalar << "}"
         << (i + 1 < num_shapes ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"gemm_shapes_by_isa\": {\n";
+  for (std::size_t vi = 0; vi < isas.size(); ++vi) {
+    out << "    \"" << util::simd_isa_name(isas[vi]) << "\": [\n";
+    for (int i = 0; i < num_shapes; ++i) {
+      const auto& s = shapes[i];
+      const Percentiles& p = per_isa[vi][static_cast<std::size_t>(i)];
+      const double gmacs =
+          static_cast<double>(s.m) * s.n * s.k / (p.p50_ms * 1e6);
+      const double vs_scalar =
+          p.p50_ms > 0.0 ? scalar_p50[static_cast<std::size_t>(i)] / p.p50_ms
+                         : 0.0;
+      out << "      {\"name\": \"" << s.name << "\", \"p50_ms\": " << p.p50_ms
+          << ", \"gmacs\": " << gmacs
+          << ", \"p50_speedup_vs_scalar\": " << vs_scalar << "}"
+          << (i + 1 < num_shapes ? "," : "") << "\n";
+    }
+    out << "    ]" << (vi + 1 < isas.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
   printf("Wrote kernel report to %s\n", out_path);
   return 0;
 }
@@ -529,6 +663,7 @@ int run_train_report(const char* out_path) {
   HotPathFixtures fx = HotPathFixtures::make();
   util::ScopedGlobalThreads threads(1);
   const int reps = 25;
+  print_cpu_banner();
 
   const auto time_backend = [&](nn::ConvBackend backend) {
     nn::set_conv_backend(backend);
@@ -566,7 +701,9 @@ int run_train_report(const char* out_path) {
     fprintf(stderr, "cannot open %s for writing\n", out_path);
     return 1;
   }
-  out << "{\n  \"threads\": 1,\n  \"ae_pretrain_step\": {\n"
+  out << "{\n  \"threads\": 1,\n  \"cpu\": \"" << util::cpu_feature_string()
+      << "\",\n  \"simd\": \"" << active_simd_name()
+      << "\",\n  \"ae_pretrain_step\": {\n"
       << "    \"gemm\": {\"p50_ms\": " << gemm_path.p50_ms
       << ", \"p95_ms\": " << gemm_path.p95_ms << "},\n"
       << "    \"naive\": {\"p50_ms\": " << naive_path.p50_ms
@@ -689,6 +826,7 @@ struct EdgeLoop {
 };
 
 int run_fleet_report(const char* out_path) {
+  print_cpu_banner();
   constexpr int kLoops = 64, kTicks = 20;
   constexpr int kAcquireUs = 400, kSpinIters = 4000;
   const auto make_proc = [&] {
@@ -975,7 +1113,9 @@ int run_fleet_report(const char* out_path) {
     return 1;
   }
   out << "{\n  \"threads\": " << kParallelThreads
-      << ",\n  \"fleet\": {\n    \"loops\": " << kLoops
+      << ",\n  \"cpu\": \"" << util::cpu_feature_string()
+      << "\",\n  \"simd\": \"" << active_simd_name()
+      << "\",\n  \"fleet\": {\n    \"loops\": " << kLoops
       << ", \"ticks_per_loop\": " << kTicks
       << ",\n    \"serial_ticks_per_s\": " << serial_tps
       << ",\n    \"fleet_ticks_per_s\": " << fs.ticks_per_s
@@ -1086,6 +1226,7 @@ int run_budget_gate(const char* budgets_path) {
   HotPathFixtures fx = HotPathFixtures::make();
   std::vector<ParallelWorkload> workloads = fx.workloads();
   util::ScopedGlobalThreads threads(1);
+  print_cpu_banner();
   int failures = 0;
   for (const Budget& b : budgets) {
     const ParallelWorkload* wl = nullptr;

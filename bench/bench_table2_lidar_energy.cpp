@@ -14,10 +14,21 @@
 // autoencoder), so absolute FLOPs/overhead are lower; coverage, pulse
 // energy, and the >3× total-energy advantage are the quantities that must
 // hold.
+// After the table, the bench sweeps the energy/accuracy frontier: the
+// same pretrained autoencoder is quantized to int8 (nn/quant.hpp) and
+// the scenes are re-sensed under identical beam plans, producing
+// (total energy, reconstruction IoU) points for the conventional, float,
+// and int8 paths. The points are written to BENCH_frontier.json (or
+// S2A_BENCH_FRONTIER=<path>) for the CI artifact.
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "lidar/pipeline.hpp"
+#include "nn/gemm.hpp"
+#include "nn/quant.hpp"
 #include "sim/scene.hpp"
+#include "util/cpu_features.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -90,5 +101,74 @@ int main() {
             << "x (paper: 9.11x)\n";
   std::cout << "Reconstruction occupancy IoU vs full scan: "
             << Table::num(gen_iou.mean(), 3) << "\n";
+
+  // ---- Energy/accuracy frontier: float vs int8 inference ----
+  //
+  // Quantize the trained autoencoder and re-sense fresh scenes under
+  // both reconstruction paths. Copying the Rng before each sense() gives
+  // the float and int8 paths byte-identical beam plans and point clouds,
+  // so the IoU delta is purely quantization error and the energy delta
+  // is purely the fp32-MAC vs int8-MAC billing (kJoulesPerFlop vs
+  // kJoulesPerInt8Mac).
+  pipe.autoencoder().quantize();
+  RunningStat conv_e, float_e, float_recon_e, float_f_iou;
+  RunningStat int8_e, int8_recon_e, int8_f_iou;
+  const int frontier_trials = 8;
+  for (int i = 0; i < frontier_trials; ++i) {
+    const sim::Scene scene = sim::generate_scene(sim::SceneConfig{}, rng);
+    const auto conv = pipe.sense_conventional(scene, rng);
+    // Pin each leg's backend explicitly (not kAuto) so an ambient
+    // S2A_QUANT=1 can't collapse the float point onto the int8 one.
+    nn::set_quant_backend(nn::QuantBackend::kFloat);
+    Rng float_rng = rng;
+    const auto fgen = pipe.sense(scene, float_rng);
+    nn::set_quant_backend(nn::QuantBackend::kInt8);
+    Rng int8_rng = rng;
+    const auto qgen = pipe.sense(scene, int8_rng);
+    nn::set_quant_backend(nn::QuantBackend::kAuto);
+    rng = int8_rng;  // both paths consumed the same draws; advance once
+    conv_e.add(conv.energy.total_energy_j());
+    float_e.add(fgen.energy.total_energy_j());
+    float_recon_e.add(fgen.energy.reconstruction_energy_j);
+    float_f_iou.add(fgen.reconstructed.iou(conv.sensed));
+    int8_e.add(qgen.energy.total_energy_j());
+    int8_recon_e.add(qgen.energy.reconstruction_energy_j);
+    int8_f_iou.add(qgen.reconstructed.iou(conv.sensed));
+  }
+
+  std::cout << "\nEnergy/accuracy frontier (mean over " << frontier_trials
+            << " scenes; IoU vs full scan):\n";
+  std::cout << "  conventional  total " << Table::num(conv_e.mean() * 1e3, 2)
+            << " mJ  IoU 1.000\n";
+  std::cout << "  float         total " << Table::num(float_e.mean() * 1e6, 1)
+            << " uJ  recon " << Table::num(float_recon_e.mean() * 1e6, 2)
+            << " uJ  IoU " << Table::num(float_f_iou.mean(), 3) << "\n";
+  std::cout << "  int8          total " << Table::num(int8_e.mean() * 1e6, 1)
+            << " uJ  recon " << Table::num(int8_recon_e.mean() * 1e6, 2)
+            << " uJ  IoU " << Table::num(int8_f_iou.mean(), 3) << "\n";
+
+  const char* out_path = std::getenv("S2A_BENCH_FRONTIER");
+  if (out_path == nullptr) out_path = "BENCH_frontier.json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n  \"cpu\": \"" << util::cpu_feature_string()
+      << "\",\n  \"simd\": \""
+      << util::simd_isa_name(util::active_simd_isa())
+      << "\",\n  \"trials\": " << frontier_trials
+      << ",\n  \"joules_per_flop\": " << lidar::kJoulesPerFlop
+      << ",\n  \"joules_per_int8_mac\": " << lidar::kJoulesPerInt8Mac
+      << ",\n  \"points\": [\n"
+      << "    {\"path\": \"conventional\", \"total_energy_j\": "
+      << conv_e.mean() << ", \"recon_energy_j\": 0, \"iou\": 1.0},\n"
+      << "    {\"path\": \"float\", \"total_energy_j\": " << float_e.mean()
+      << ", \"recon_energy_j\": " << float_recon_e.mean()
+      << ", \"iou\": " << float_f_iou.mean() << "},\n"
+      << "    {\"path\": \"int8\", \"total_energy_j\": " << int8_e.mean()
+      << ", \"recon_energy_j\": " << int8_recon_e.mean()
+      << ", \"iou\": " << int8_f_iou.mean() << "}\n  ]\n}\n";
+  std::cout << "Wrote frontier report to " << out_path << "\n";
   return 0;
 }

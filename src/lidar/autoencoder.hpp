@@ -63,6 +63,18 @@ class OccupancyAutoencoder {
   /// "FLOPs per 360° scan" quantity is 2× this.
   std::size_t macs_per_scan();
 
+  /// Snapshots encoder + decoder weights into int8 (nn/quant.hpp). The
+  /// int8 forward runs when the quant backend resolves to kInt8
+  /// (S2A_QUANT=1); training keeps using float weights, so re-call after
+  /// further train_step()s to refresh the snapshot.
+  void quantize() {
+    encoder_.quantize();
+    decoder_.quantize();
+  }
+  bool is_quantized() const {
+    return encoder_.is_quantized() && decoder_.is_quantized();
+  }
+
   /// Encoder conv layers, exposed for weight transfer into detector
   /// backbones (the Table I pre-training experiment).
   nn::Conv2D& encoder_conv1() { return *conv1_; }

@@ -73,6 +73,18 @@ class BevDetector {
   std::size_t param_count();
   const DetectorConfig& config() const { return cfg_; }
 
+  /// Int8 snapshot of backbone + heads (see OccupancyAutoencoder::
+  /// quantize for the semantics).
+  void quantize() {
+    backbone_.quantize();
+    cls_head_.quantize();
+    off_head_.quantize();
+  }
+  bool is_quantized() const {
+    return backbone_.is_quantized() && cls_head_.is_quantized() &&
+           off_head_.is_quantized();
+  }
+
  private:
   friend class TwoStageDetector;
   struct Forward {

@@ -5,17 +5,24 @@ namespace s2a::lidar {
 EnergyReport make_energy_report(const sim::PointCloud& cloud,
                                 const sim::LidarConfig& config,
                                 std::size_t model_params,
-                                std::size_t model_macs) {
+                                std::size_t model_macs,
+                                bool int8_inference) {
   EnergyReport r;
   r.coverage = cloud.coverage(config);
   r.avg_pulse_energy_j =
       cloud.pulses_fired > 0 ? cloud.emitted_energy_j / cloud.pulses_fired
                              : 0.0;
   r.model_params = model_params;
-  r.flops_per_scan = 2 * model_macs;
   r.sensing_energy_j = cloud.emitted_energy_j;
-  r.reconstruction_energy_j =
-      static_cast<double>(r.flops_per_scan) * kJoulesPerFlop;
+  if (int8_inference) {
+    r.int8_macs_per_scan = model_macs;
+    r.reconstruction_energy_j =
+        static_cast<double>(model_macs) * kJoulesPerInt8Mac;
+  } else {
+    r.flops_per_scan = 2 * model_macs;
+    r.reconstruction_energy_j =
+        static_cast<double>(r.flops_per_scan) * kJoulesPerFlop;
+  }
   return r;
 }
 

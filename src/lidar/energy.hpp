@@ -4,6 +4,14 @@
 // emissions; reconstruction overhead converts the autoencoder's FLOP count
 // at a fixed edge-accelerator efficiency. The paper reports 335 MFLOPs →
 // 7.1 mJ, i.e. ≈21 pJ/FLOP, which we adopt as the conversion constant.
+//
+// The int8 inference path (nn/quant.hpp, S2A_QUANT=1) gets its own
+// per-MAC constant: Horowitz-style accounting puts an 8-bit MAC at
+// roughly 4–8x below an FP32 one at the same node, and we take 4x —
+// conservative for the energy/accuracy frontier the quantization bench
+// sweeps (bench_table2_lidar_energy). An int8-quantized scan reports its
+// MACs in int8_macs_per_scan and is billed at kJoulesPerInt8Mac; float
+// scans leave that field zero.
 #pragma once
 
 #include <cstddef>
@@ -13,12 +21,17 @@
 namespace s2a::lidar {
 
 inline constexpr double kJoulesPerFlop = 21.2e-12;
+/// One int8 MAC at ~4x below the fp32 cost above (Horowitz, ISSCC'14
+/// scaling: 8-bit multiply ≈ 0.2 pJ vs fp32 ≈ 3.7 pJ, plus shared
+/// access overheads that keep the realized ratio nearer 4x than 18x).
+inline constexpr double kJoulesPerInt8Mac = 5.3e-12;
 
 struct EnergyReport {
   double coverage = 0.0;              ///< fired beams / total beams
   double avg_pulse_energy_j = 0.0;
   std::size_t model_params = 0;
-  std::size_t flops_per_scan = 0;     ///< 2 × MACs
+  std::size_t flops_per_scan = 0;     ///< 2 × MACs (float path)
+  std::size_t int8_macs_per_scan = 0; ///< MACs billed at int8 cost
   double sensing_energy_j = 0.0;      ///< per 360° scan
   double reconstruction_energy_j = 0.0;
   double total_energy_j() const {
@@ -27,10 +40,13 @@ struct EnergyReport {
 };
 
 /// Accounts a scan that used `model_macs` of reconstruction compute
-/// (0 for conventional scans).
+/// (0 for conventional scans). With int8_inference, the same MACs are
+/// billed at kJoulesPerInt8Mac instead of 2 × kJoulesPerFlop —
+/// model_macs keeps meaning MACs either way.
 EnergyReport make_energy_report(const sim::PointCloud& cloud,
                                 const sim::LidarConfig& config,
                                 std::size_t model_params,
-                                std::size_t model_macs);
+                                std::size_t model_macs,
+                                bool int8_inference = false);
 
 }  // namespace s2a::lidar

@@ -138,10 +138,21 @@ void Conv2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w,
   const int kdim = im2col_rows(cin_, k_);
   const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
   arena_.reset();
-  // Weights move between forwards during training, so repack per call —
-  // O(cout*cin*k^2), noise next to the GEMM itself.
-  double* wp = arena_.alloc(packed_a_size(cout_, kdim));
-  pack_a(w_.data(), kdim, cout_, kdim, wp);
+  // Int8 path (quantize() + S2A_QUANT=1): same lowering, but each band's
+  // column panel is quantized against ONE per-tensor activation scale —
+  // computed over the whole input, so the band split cannot change the
+  // quantization grid — and multiplied by the int8 weight snapshot.
+  // Integer accumulation is order-exact, so this path is deterministic
+  // across thread counts too.
+  const bool int8 = quantized_ && quant_backend() == QuantBackend::kInt8;
+  const double xs = int8 ? activation_scale(x.data(), x.numel()) : 0.0;
+  double* wp = nullptr;
+  if (!int8) {
+    // Weights move between forwards during training, so repack per call —
+    // O(cout*cin*k^2), noise next to the GEMM itself.
+    wp = arena_.alloc(packed_a_size(cout_, kdim));
+    pack_a(w_.data(), kdim, cout_, kdim, wp);
+  }
 
   const std::size_t macs = static_cast<std::size_t>(cout_) * kdim *
                            static_cast<std::size_t>(n) * out_hw;
@@ -168,8 +179,16 @@ void Conv2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h, int w,
           for (int oc = 0; oc < cout_; ++oc)
             std::fill_n(cband + static_cast<std::size_t>(oc) * out_hw, width,
                         b_[static_cast<std::size_t>(oc)]);
-          gemm_packed(cout_, width, kdim, wp, col, width, cband,
+          if (int8) {
+            const std::size_t count = static_cast<std::size_t>(kdim) * width;
+            std::int8_t* colq = alloc_int8(band_arena, count);
+            quantize_values(col, count, xs, colq);
+            gemm_int8(qw_, width, colq, width, xs, cband,
                       static_cast<int>(out_hw));
+          } else {
+            gemm_packed(cout_, width, kdim, wp, col, width, cband,
+                        static_cast<int>(out_hw));
+          }
           u += static_cast<std::size_t>(oy_hi - oy_lo);
         }
       });
@@ -373,6 +392,14 @@ std::size_t Conv2D::macs_per_sample() const {
   return static_cast<std::size_t>(cout_) * cin_ * k_ * k_ * last_out_hw_;
 }
 
+void Conv2D::quantize() {
+  // One row per output channel over the (ic, ky, kx) reduction — w_ is
+  // [Cout, Cin, k, k] row-major, so each row is already contiguous.
+  const int kdim = im2col_rows(cin_, k_);
+  qw_ = quantize_rows(w_.data(), kdim, cout_, kdim);
+  quantized_ = true;
+}
+
 ConvTranspose2D::ConvTranspose2D(int in_channels, int out_channels, int kernel,
                                  int stride, int padding, Rng& rng)
     : cin_(in_channels),
@@ -425,6 +452,12 @@ void ConvTranspose2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h,
   const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
   const int s = stride_;
   arena_.reset();
+  // Int8 path: the per-phase weight matrices were snapshotted by
+  // quantize(); each phase's column panel is quantized against the one
+  // whole-input activation scale (band-invariant) before its compact
+  // int8 GEMM.
+  const bool int8 = quantized_ && quant_backend() == QuantBackend::kInt8;
+  const double xs = int8 ? activation_scale(x.data(), x.numel()) : 0.0;
 
   // Tap lists per phase: ky values with ky % s == phase, descending so
   // ascending list order is ascending source row iy.
@@ -445,7 +478,7 @@ void ConvTranspose2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h,
       const int nkx = static_cast<int>(kxs.size());
       const int kdim = cin_ * nky * nkx;
       kdim_ph[static_cast<std::size_t>(py) * s + px] = kdim;
-      if (kdim == 0) continue;
+      if (kdim == 0 || int8) continue;
       double* wph = arena_.alloc(static_cast<std::size_t>(cout_) * kdim);
       for (int ic = 0; ic < cin_; ++ic)
         for (int jy = 0; jy < nky; ++jy)
@@ -536,9 +569,18 @@ void ConvTranspose2D::forward_gemm(const Tensor& x, Tensor& y, int n, int h,
               for (int oc = 0; oc < cout_; ++oc)
                 std::fill_n(tile + static_cast<std::size_t>(oc) * nph, nph,
                             b_[static_cast<std::size_t>(oc)]);
-              gemm_packed(cout_, nph, kdim,
-                          wp[static_cast<std::size_t>(py) * s + px], col, nph,
-                          tile, nph);
+              if (int8) {
+                const std::size_t count =
+                    static_cast<std::size_t>(kdim) * nph;
+                std::int8_t* colq = alloc_int8(band_arena, count);
+                quantize_values(col, count, xs, colq);
+                gemm_int8(qw_ph_[static_cast<std::size_t>(py) * s + px], nph,
+                          colq, nph, xs, tile, nph);
+              } else {
+                gemm_packed(cout_, nph, kdim,
+                            wp[static_cast<std::size_t>(py) * s + px], col,
+                            nph, tile, nph);
+              }
               for (int oc = 0; oc < cout_; ++oc) {
                 const double* trow = tile + static_cast<std::size_t>(oc) * nph;
                 for (int yi = 0; yi < ny; ++yi) {
@@ -742,6 +784,41 @@ void ConvTranspose2D::backward_gemm(const Tensor& grad_out, Tensor& dx,
                       static_cast<int>(in_hw));
         });
   }
+}
+
+void ConvTranspose2D::quantize() {
+  // Snapshot the same dense per-phase [Cout, kdim] matrices
+  // forward_gemm gathers each call (rows (ic, jy, jx) over the
+  // descending-tap lists), one QuantizedMatrix per (py, px) phase.
+  const int s = stride_;
+  std::vector<std::vector<int>> phase_taps(static_cast<std::size_t>(s));
+  for (int p = 0; p < s; ++p)
+    for (int t = k_ - 1; t >= 0; --t)
+      if (t % s == p) phase_taps[static_cast<std::size_t>(p)].push_back(t);
+  qw_ph_.assign(static_cast<std::size_t>(s) * s, QuantizedMatrix{});
+  std::vector<double> wph;
+  for (int py = 0; py < s; ++py)
+    for (int px = 0; px < s; ++px) {
+      const auto& kys = phase_taps[static_cast<std::size_t>(py)];
+      const auto& kxs = phase_taps[static_cast<std::size_t>(px)];
+      const int nky = static_cast<int>(kys.size());
+      const int nkx = static_cast<int>(kxs.size());
+      const int kdim = cin_ * nky * nkx;
+      if (kdim == 0) continue;
+      wph.assign(static_cast<std::size_t>(cout_) * kdim, 0.0);
+      for (int ic = 0; ic < cin_; ++ic)
+        for (int jy = 0; jy < nky; ++jy)
+          for (int jx = 0; jx < nkx; ++jx) {
+            const int r = (ic * nky + jy) * nkx + jx;
+            for (int oc = 0; oc < cout_; ++oc)
+              wph[static_cast<std::size_t>(oc) * kdim + r] =
+                  w_[idx4(ic, oc, kys[static_cast<std::size_t>(jy)],
+                          kxs[static_cast<std::size_t>(jx)], cout_, k_, k_)];
+          }
+      qw_ph_[static_cast<std::size_t>(py) * s + px] =
+          quantize_rows(wph.data(), kdim, cout_, kdim);
+    }
+  quantized_ = true;
 }
 
 std::size_t ConvTranspose2D::macs_per_sample() const {

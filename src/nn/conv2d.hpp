@@ -18,7 +18,10 @@
 // finite-difference gradient checks pin the arithmetic of both.
 #pragma once
 
+#include <vector>
+
 #include "nn/layer.hpp"
+#include "nn/quant.hpp"
 #include "util/scratch_arena.hpp"
 
 namespace s2a::nn {
@@ -49,6 +52,8 @@ class Conv2D : public Layer {
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&gw_, &gb_}; }
   std::size_t macs_per_sample() const override;
+  void quantize() override;
+  bool is_quantized() const override { return quantized_; }
 
   int out_size(int in_size) const {
     return (in_size + 2 * pad_ - k_) / stride_ + 1;
@@ -69,6 +74,8 @@ class Conv2D : public Layer {
                      int oh, int ow);
 
   int cin_, cout_, k_, stride_, pad_;
+  bool quantized_ = false;
+  QuantizedMatrix qw_;  // int8 snapshot of w_ as [Cout, Cin*k*k]
   Tensor w_, b_, gw_, gb_;  // w: [Cout, Cin, k, k]
   Tensor last_x_;
   mutable std::size_t last_out_hw_ = 0;  // set by forward, used by macs
@@ -88,6 +95,8 @@ class ConvTranspose2D : public Layer {
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&gw_, &gb_}; }
   std::size_t macs_per_sample() const override;
+  void quantize() override;
+  bool is_quantized() const override { return quantized_; }
 
   int out_size(int in_size) const {
     return (in_size - 1) * stride_ - 2 * pad_ + k_;
@@ -105,6 +114,11 @@ class ConvTranspose2D : public Layer {
                      int oh, int ow);
 
   int cin_, cout_, k_, stride_, pad_;
+  bool quantized_ = false;
+  // One int8 weight snapshot per (py, px) sub-pixel phase — the same
+  // dense [Cout, kdim] matrices forward_gemm gathers per call, built
+  // once at quantize() time. Indexed py * stride + px.
+  std::vector<QuantizedMatrix> qw_ph_;
   Tensor w_, b_, gw_, gb_;  // w: [Cin, Cout, k, k]
   Tensor last_x_;
   mutable std::size_t last_in_hw_ = 0;

@@ -30,7 +30,22 @@ Tensor Dense::forward(const Tensor& x) {
   last_x_ = x;
   const int n = x.dim(0);
   Tensor y({n, out_});
-  if (conv_backend() == ConvBackend::kNaive) {
+  if (quantized_ && quant_backend() == QuantBackend::kInt8) {
+    // Int8 path: same yᵀ = W·xᵀ framing as the gemm path, but with the
+    // int8 weight snapshot and a per-tensor activation scale. The int32
+    // accumulation is order-exact; the result differs from float only
+    // by the quantization grid.
+    arena_.reset();
+    double* xt = arena_.alloc(static_cast<std::size_t>(in_) * n);
+    transpose(x.data(), n, in_, xt);
+    const double xs = activation_scale(x.data(), x.numel());
+    std::int8_t* xtq = alloc_int8(arena_, static_cast<std::size_t>(in_) * n);
+    quantize_values(xt, static_cast<std::size_t>(in_) * n, xs, xtq);
+    double* yt = arena_.alloc(static_cast<std::size_t>(out_) * n);
+    std::fill_n(yt, static_cast<std::size_t>(out_) * n, 0.0);
+    gemm_int8(qw_, n, xtq, n, xs, yt, n);
+    transpose(yt, out_, n, y.data());
+  } else if (conv_backend() == ConvBackend::kNaive) {
     y = matmul_nt(x, w_);
   } else {
     arena_.reset();
@@ -103,6 +118,11 @@ std::vector<Tensor*> Dense::grads() {
 
 std::size_t Dense::macs_per_sample() const {
   return static_cast<std::size_t>(in_) * static_cast<std::size_t>(out_);
+}
+
+void Dense::quantize() {
+  qw_ = quantize_rows(w_.data(), in_, out_, in_);
+  quantized_ = true;
 }
 
 LoRADense::LoRADense(const Dense& base, int rank, double alpha, Rng& rng)

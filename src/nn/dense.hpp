@@ -11,6 +11,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "nn/quant.hpp"
 #include "util/scratch_arena.hpp"
 
 namespace s2a::nn {
@@ -25,6 +26,8 @@ class Dense : public Layer {
   std::vector<Tensor*> params() override;
   std::vector<Tensor*> grads() override;
   std::size_t macs_per_sample() const override;
+  void quantize() override;
+  bool is_quantized() const override { return quantized_; }
 
   int in_features() const { return in_; }
   int out_features() const { return out_; }
@@ -43,6 +46,8 @@ class Dense : public Layer {
   int in_, out_;
   bool has_bias_;
   bool frozen_ = false;
+  bool quantized_ = false;
+  QuantizedMatrix qw_;  // int8 snapshot of w_ ([out, in], per-row scales)
   Tensor w_, b_, gw_, gb_;
   Tensor last_x_;
   // Transposed operands + packed panels for the gemm path; sized on the

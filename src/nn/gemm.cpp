@@ -2,17 +2,21 @@
 
 #include <algorithm>
 
+#include "nn/gemm_kernels.hpp"
 #include "util/check.hpp"
+#include "util/cpu_features.hpp"
 
 namespace s2a::nn {
 
 namespace {
 
-// Full MR x NR micro-kernel with compile-time loop bounds so the
-// compiler unrolls the register block and vectorizes the NR loop. The
-// accumulators are loaded from C, swept over the k panel in ascending
-// order, and stored back — one contiguous slice of each C element's
-// accumulation chain.
+using detail::GemmMicroKernel;
+
+// Scalar full tile with compile-time loop bounds so the compiler
+// unrolls the register block. The accumulators are loaded from C, swept
+// over the k panel in ascending order, and stored back — one contiguous
+// slice of each C element's accumulation chain. Always compiled; this
+// is the bit-exactness oracle the vector kernels are diffed against.
 void micro_full(int kc, const double* ap, const double* b, int ldb,
                 double* c, int ldc) {
   double acc[kGemmMR][kGemmNR];
@@ -32,18 +36,19 @@ void micro_full(int kc, const double* ap, const double* b, int ldb,
       c[static_cast<std::size_t>(i) * ldc + j] = acc[i][j];
 }
 
-// Remainder tile (mr < MR and/or nr < NR). Same per-element arithmetic —
-// `acc += a*b` in ascending k — just with runtime bounds, so edge tiles
-// stay bit-identical to what a bigger kernel would have produced.
+// Remainder tile (mr < MR and/or nr < NR) for any kernel family: reads
+// the packed A panel at the family's row stride `astride`. Same
+// per-element arithmetic — `acc += a*b` in ascending k — so edge tiles
+// stay bit-identical to what the full kernel would have produced.
 void micro_tail(int kc, const double* ap, const double* b, int ldb,
-                double* c, int ldc, int mr, int nr) {
-  double acc[kGemmMR][kGemmNR] = {};
+                double* c, int ldc, int mr, int nr, int astride) {
+  double acc[kGemmMaxMR][kGemmMaxNR] = {};
   for (int i = 0; i < mr; ++i)
     for (int j = 0; j < nr; ++j)
       acc[i][j] = c[static_cast<std::size_t>(i) * ldc + j];
   for (int kk = 0; kk < kc; ++kk) {
     const double* brow = b + static_cast<std::size_t>(kk) * ldb;
-    const double* acol = ap + static_cast<std::size_t>(kk) * kGemmMR;
+    const double* acol = ap + static_cast<std::size_t>(kk) * astride;
     for (int i = 0; i < mr; ++i) {
       const double a = acol[i];
       for (int j = 0; j < nr; ++j) acc[i][j] += a * brow[j];
@@ -54,22 +59,58 @@ void micro_tail(int kc, const double* ap, const double* b, int ldb,
       c[static_cast<std::size_t>(i) * ldc + j] = acc[i][j];
 }
 
+const GemmMicroKernel& scalar_kernel() {
+  static const GemmMicroKernel k{"scalar", kGemmMR, kGemmNR, micro_full,
+                                 nullptr};
+  return k;
+}
+
+const GemmMicroKernel& kernel_for(util::SimdIsa isa) {
+  switch (isa) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case util::SimdIsa::kAvx2:
+      return detail::gemm_kernel_avx2();
+    case util::SimdIsa::kAvx2Fma:
+      return detail::gemm_kernel_avx2fma();
+    case util::SimdIsa::kAvx512:
+      return detail::gemm_kernel_avx512();
+    case util::SimdIsa::kAvx512Fma:
+      return detail::gemm_kernel_avx512fma();
+#endif
+#if defined(__aarch64__)
+    case util::SimdIsa::kNeon:
+      return detail::gemm_kernel_neon();
+#endif
+    default:
+      return scalar_kernel();
+  }
+}
+
+const GemmMicroKernel& active_kernel() {
+  return kernel_for(util::active_simd_isa());
+}
+
 }  // namespace
 
+int gemm_mr() { return active_kernel().mr; }
+int gemm_nr() { return active_kernel().nr; }
+const char* gemm_kernel_name() { return active_kernel().name; }
+
 std::size_t packed_a_size(int m, int k) {
-  const std::size_t panels =
-      (static_cast<std::size_t>(m) + kGemmMR - 1) / kGemmMR;
-  return panels * kGemmMR * static_cast<std::size_t>(k);
+  const int mr = active_kernel().mr;
+  const std::size_t panels = (static_cast<std::size_t>(m) + mr - 1) / mr;
+  return panels * static_cast<std::size_t>(mr) * static_cast<std::size_t>(k);
 }
 
 void pack_a(const double* a, int lda, int m, int k, double* out) {
-  for (int i0 = 0; i0 < m; i0 += kGemmMR) {
-    const int rows = std::min(kGemmMR, m - i0);
+  const int mr = active_kernel().mr;
+  for (int i0 = 0; i0 < m; i0 += mr) {
+    const int rows = std::min(mr, m - i0);
     for (int kk = 0; kk < k; ++kk) {
       for (int i = 0; i < rows; ++i)
         out[i] = a[static_cast<std::size_t>(i0 + i) * lda + kk];
-      for (int i = rows; i < kGemmMR; ++i) out[i] = 0.0;
-      out += kGemmMR;
+      for (int i = rows; i < mr; ++i) out[i] = 0.0;
+      out += mr;
     }
   }
 }
@@ -77,28 +118,37 @@ void pack_a(const double* a, int lda, int m, int k, double* out) {
 void gemm_packed(int m, int n, int k, const double* a_packed,
                  const double* b, int ldb, double* c, int ldc) {
   if (m <= 0 || n <= 0 || k <= 0) return;
+  const GemmMicroKernel& K = active_kernel();
+  const int MR = K.mr;
+  const int NR = K.nr;
   const std::size_t panel_stride =
-      static_cast<std::size_t>(k) * kGemmMR;  // one MR row-panel, all of k
+      static_cast<std::size_t>(k) * MR;  // one MR row-panel, all of k
   for (int jc = 0; jc < n; jc += kGemmNC) {
     const int nc = std::min(kGemmNC, n - jc);
     // k panels ascend so each C element's chain stays in k order.
     for (int pc = 0; pc < k; pc += kGemmKC) {
       const int kc = std::min(kGemmKC, k - pc);
       const double* bpanel = b + static_cast<std::size_t>(pc) * ldb + jc;
-      for (int ic = 0; ic < m; ic += kGemmMR) {
-        const int mr = std::min(kGemmMR, m - ic);
-        const double* ap = a_packed +
-                           static_cast<std::size_t>(ic / kGemmMR) *
-                               panel_stride +
-                           static_cast<std::size_t>(pc) * kGemmMR;
-        double* crow = c + static_cast<std::size_t>(ic) * ldc + jc;
-        int jr = 0;
-        if (mr == kGemmMR)
-          for (; jr + kGemmNR <= nc; jr += kGemmNR)
-            micro_full(kc, ap, bpanel + jr, ldb, crow + jr, ldc);
-        for (; jr < nc; jr += kGemmNR)
-          micro_tail(kc, ap, bpanel + jr, ldb, crow + jr, ldc, mr,
-                     std::min(kGemmNR, nc - jr));
+      // jr outer / ic inner: one kc x nr B strip is reused across every
+      // row panel while still hot in L1. B rows are ldb-strided (KiB
+      // apart for conv stripes), so a cold strip is latency-bound — the
+      // reuse plus the kernels' software prefetch is what closes the
+      // gap to the hot-loop peak.
+      for (int jr = 0; jr < nc; jr += NR) {
+        const int nr = std::min(NR, nc - jr);
+        for (int ic = 0; ic < m; ic += MR) {
+          const int mr = std::min(MR, m - ic);
+          const double* ap = a_packed +
+                             static_cast<std::size_t>(ic / MR) * panel_stride +
+                             static_cast<std::size_t>(pc) * MR;
+          double* ctile = c + static_cast<std::size_t>(ic) * ldc + jc + jr;
+          if (mr == MR && nr == NR)
+            K.full(kc, ap, bpanel + jr, ldb, ctile, ldc);
+          else if (2 * mr == MR && nr == NR && K.half != nullptr)
+            K.half(kc, ap, bpanel + jr, ldb, ctile, ldc);
+          else
+            micro_tail(kc, ap, bpanel + jr, ldb, ctile, ldc, mr, nr, MR);
+        }
       }
     }
   }

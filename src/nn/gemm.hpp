@@ -1,4 +1,5 @@
-// Cache-blocked double-precision GEMM for the conv/deconv hot path.
+// Cache-blocked double-precision GEMM for the conv/deconv hot path,
+// with runtime-dispatched SIMD micro-kernels.
 //
 // Computes C += A * B where A is [m,k], B is [k,n] (row-major, strided)
 // and C is [m,n] (row-major, strided). C must be pre-initialized by the
@@ -12,16 +13,40 @@
 // micro-kernel) and any column partitioning the caller layers on top
 // only regroup *which elements* are computed together, never the order
 // of additions within an element — so results are bit-identical to the
-// naive triple loop and invariant under thread-count or tile-size
-// changes. k panels are visited in ascending order and the micro-kernel
-// reloads C between panels, which keeps the per-element chain unbroken.
+// naive triple loop and invariant under thread-count, tile-size, or
+// kernel-ISA changes. k panels are visited in ascending order and the
+// micro-kernel reloads C between panels, which keeps the per-element
+// chain unbroken. The vector kernels keep the contract by issuing an
+// explicit multiply then an explicit add per k step (their TUs are
+// compiled with -ffp-contract=off so the pair is never re-fused); only
+// the explicitly opt-in S2A_SIMD=avx2fma/avx512fma kernels fuse, and
+// they are excluded from the default selection.
+//
+// Micro-tile geometry is per ISA, picked so the accumulator block plus
+// the broadcast A value and the B row fit the register file with room
+// to spare:
+//   scalar  2x4   8 accumulators — fits the 16 SSE2 xmm registers of
+//                 baseline x86-64; bigger scalar tiles spill.
+//   avx2    4x8   8 ymm accumulators + 2 B + 1 A = 11 of 16 ymm.
+//   avx512  8x16  16 zmm accumulators + 2 B + 1 A = 19 of 32 zmm; the
+//                 tall M halves the passes over the (strided,
+//                 prefetcher-hostile) B strip, and a 4x16 half tile
+//                 keeps 4-row panels (the deconv phase GEMMs) on the
+//                 vector path.
+//   neon    4x8   16 float64x2 accumulators + 4 B + 1 A = 21 of 32.
+// The scalar kernel is always compiled and is the bit-exactness oracle
+// every other kernel is diffed against; util::active_simd_isa()
+// (S2A_SIMD={auto,scalar,avx2,avx2fma,avx512,avx512fma,neon}) decides
+// which family runs.
 //
 // A is consumed in packed form: pack_a() lays the matrix out as
-// row-panels of kGemmMR rows, k-major within the panel, zero-padding the
-// final partial panel. For the conv layers A is the weight matrix, so
-// the packed form is the "repacked weight panel" that lives in the
-// layer's ScratchArena and is rebuilt once per forward (weights move
-// between forwards during training).
+// row-panels of gemm_mr() rows, k-major within the panel, zero-padding
+// the final partial panel. The panel height follows the ACTIVE kernel,
+// so never switch kernels between a pack_a() and the gemm_packed()
+// consuming it. For the conv layers A is the weight matrix, so the
+// packed form is the "repacked weight panel" that lives in the layer's
+// ScratchArena and is rebuilt once per forward (weights move between
+// forwards during training).
 #pragma once
 
 #include <cstddef>
@@ -30,26 +55,35 @@
 
 namespace s2a::nn {
 
-/// Register micro-tile: MR rows of A against NR columns of B are held in
-/// MR*NR scalar accumulators for the whole k sweep. 2x4 keeps the eight
-/// accumulators plus the A broadcasts and B row inside the 16 SSE2 xmm
-/// registers of baseline x86-64 — larger tiles (4x8 etc.) spill to the
-/// stack and measured ~2x slower on the conv shapes this kernel serves.
+/// Scalar micro-tile (the always-available fallback kernel and
+/// bit-exactness oracle). Vector kernels use larger per-ISA tiles —
+/// see gemm_mr()/gemm_nr() for the active geometry.
 inline constexpr int kGemmMR = 2;
 inline constexpr int kGemmNR = 4;
-/// k-panel depth: one MR-strip of packed A (kGemmKC * kGemmMR doubles =
-/// 4 KiB) plus the touched B rows stay cache-resident per panel.
+/// Upper bounds over every compiled-in kernel family; sizes the scalar
+/// tail kernel's accumulator block.
+inline constexpr int kGemmMaxMR = 8;
+inline constexpr int kGemmMaxNR = 16;
+/// k-panel depth: one MR-strip of packed A plus the touched B rows stay
+/// cache-resident per panel.
 inline constexpr int kGemmKC = 256;
 /// Column block: bounds the B working set of a panel sweep to
 /// kGemmKC * kGemmNC doubles (2 MiB worst case; real conv stripes are
 /// far narrower).
 inline constexpr int kGemmNC = 1024;
 
+/// The active kernel's packed-panel row height / column tile width.
+int gemm_mr();
+int gemm_nr();
+/// The active kernel family's name ("scalar", "avx2", "avx512", ...)
+/// for bench headers and report payloads.
+const char* gemm_kernel_name();
+
 /// Doubles needed by pack_a for an [m,k] matrix (includes padding of the
-/// last partial MR panel).
+/// last partial panel). Follows the active kernel's panel height.
 std::size_t packed_a_size(int m, int k);
 
-/// Packs row-major A ([m,k], row stride lda) into MR row-panels:
+/// Packs row-major A ([m,k], row stride lda) into gemm_mr() row-panels:
 /// panel p holds rows [p*MR, p*MR+MR), stored k-major so the micro-kernel
 /// reads MR contiguous values per k step. Rows beyond m are zero-filled.
 void pack_a(const double* a, int lda, int m, int k, double* out);

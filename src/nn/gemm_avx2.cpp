@@ -1,0 +1,121 @@
+// AVX2 GEMM micro-kernels (x86-64). Compiled with
+// -mavx2 -mfma -ffp-contract=off — see gemm_kernels.hpp for why the
+// contraction flag matters.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "nn/gemm_kernels.hpp"
+
+namespace s2a::nn::detail {
+
+namespace {
+
+// 4 rows x 8 columns: 8 __m256d accumulators + 2 B vectors + 1 A
+// broadcast = 11 of the 16 ymm registers. Per k step: two B loads
+// shared across four A broadcasts. The prefetch pulls the B row 8 k
+// steps ahead — B rows are ldb-strided (several KiB apart for the conv
+// column panels), which defeats the hardware stride prefetchers, and
+// the first pass over a B strip is otherwise latency-bound.
+template <bool kFused>
+void micro_4x8(int kc, const double* ap, const double* b, int ldb, double* c,
+               int ldc) {
+  __m256d acc00 = _mm256_loadu_pd(c);
+  __m256d acc01 = _mm256_loadu_pd(c + 4);
+  __m256d acc10 = _mm256_loadu_pd(c + static_cast<std::size_t>(ldc));
+  __m256d acc11 = _mm256_loadu_pd(c + static_cast<std::size_t>(ldc) + 4);
+  __m256d acc20 = _mm256_loadu_pd(c + 2 * static_cast<std::size_t>(ldc));
+  __m256d acc21 = _mm256_loadu_pd(c + 2 * static_cast<std::size_t>(ldc) + 4);
+  __m256d acc30 = _mm256_loadu_pd(c + 3 * static_cast<std::size_t>(ldc));
+  __m256d acc31 = _mm256_loadu_pd(c + 3 * static_cast<std::size_t>(ldc) + 4);
+  for (int kk = 0; kk < kc; ++kk) {
+    const double* brow = b + static_cast<std::size_t>(kk) * ldb;
+    __builtin_prefetch(brow + 8 * static_cast<std::size_t>(ldb));
+    const __m256d b0 = _mm256_loadu_pd(brow);
+    const __m256d b1 = _mm256_loadu_pd(brow + 4);
+    const double* acol = ap + static_cast<std::size_t>(kk) * 4;
+    const __m256d a0 = _mm256_broadcast_sd(acol);
+    const __m256d a1 = _mm256_broadcast_sd(acol + 1);
+    const __m256d a2 = _mm256_broadcast_sd(acol + 2);
+    const __m256d a3 = _mm256_broadcast_sd(acol + 3);
+    if constexpr (kFused) {
+      acc00 = _mm256_fmadd_pd(a0, b0, acc00);
+      acc01 = _mm256_fmadd_pd(a0, b1, acc01);
+      acc10 = _mm256_fmadd_pd(a1, b0, acc10);
+      acc11 = _mm256_fmadd_pd(a1, b1, acc11);
+      acc20 = _mm256_fmadd_pd(a2, b0, acc20);
+      acc21 = _mm256_fmadd_pd(a2, b1, acc21);
+      acc30 = _mm256_fmadd_pd(a3, b0, acc30);
+      acc31 = _mm256_fmadd_pd(a3, b1, acc31);
+    } else {
+      acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(a0, b0));
+      acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(a0, b1));
+      acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(a1, b0));
+      acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(a1, b1));
+      acc20 = _mm256_add_pd(acc20, _mm256_mul_pd(a2, b0));
+      acc21 = _mm256_add_pd(acc21, _mm256_mul_pd(a2, b1));
+      acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(a3, b0));
+      acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(a3, b1));
+    }
+  }
+  _mm256_storeu_pd(c, acc00);
+  _mm256_storeu_pd(c + 4, acc01);
+  _mm256_storeu_pd(c + static_cast<std::size_t>(ldc), acc10);
+  _mm256_storeu_pd(c + static_cast<std::size_t>(ldc) + 4, acc11);
+  _mm256_storeu_pd(c + 2 * static_cast<std::size_t>(ldc), acc20);
+  _mm256_storeu_pd(c + 2 * static_cast<std::size_t>(ldc) + 4, acc21);
+  _mm256_storeu_pd(c + 3 * static_cast<std::size_t>(ldc), acc30);
+  _mm256_storeu_pd(c + 3 * static_cast<std::size_t>(ldc) + 4, acc31);
+}
+
+// 2-row half tile against the 4-row packing (A row stride stays 4).
+template <bool kFused>
+void micro_2x8(int kc, const double* ap, const double* b, int ldb, double* c,
+               int ldc) {
+  __m256d acc00 = _mm256_loadu_pd(c);
+  __m256d acc01 = _mm256_loadu_pd(c + 4);
+  __m256d acc10 = _mm256_loadu_pd(c + static_cast<std::size_t>(ldc));
+  __m256d acc11 = _mm256_loadu_pd(c + static_cast<std::size_t>(ldc) + 4);
+  for (int kk = 0; kk < kc; ++kk) {
+    const double* brow = b + static_cast<std::size_t>(kk) * ldb;
+    __builtin_prefetch(brow + 8 * static_cast<std::size_t>(ldb));
+    const __m256d b0 = _mm256_loadu_pd(brow);
+    const __m256d b1 = _mm256_loadu_pd(brow + 4);
+    const double* acol = ap + static_cast<std::size_t>(kk) * 4;
+    const __m256d a0 = _mm256_broadcast_sd(acol);
+    const __m256d a1 = _mm256_broadcast_sd(acol + 1);
+    if constexpr (kFused) {
+      acc00 = _mm256_fmadd_pd(a0, b0, acc00);
+      acc01 = _mm256_fmadd_pd(a0, b1, acc01);
+      acc10 = _mm256_fmadd_pd(a1, b0, acc10);
+      acc11 = _mm256_fmadd_pd(a1, b1, acc11);
+    } else {
+      acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(a0, b0));
+      acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(a0, b1));
+      acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(a1, b0));
+      acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(a1, b1));
+    }
+  }
+  _mm256_storeu_pd(c, acc00);
+  _mm256_storeu_pd(c + 4, acc01);
+  _mm256_storeu_pd(c + static_cast<std::size_t>(ldc), acc10);
+  _mm256_storeu_pd(c + static_cast<std::size_t>(ldc) + 4, acc11);
+}
+
+}  // namespace
+
+const GemmMicroKernel& gemm_kernel_avx2() {
+  static const GemmMicroKernel k{"avx2", 4, 8, micro_4x8<false>,
+                                 micro_2x8<false>};
+  return k;
+}
+
+const GemmMicroKernel& gemm_kernel_avx2fma() {
+  static const GemmMicroKernel k{"avx2fma", 4, 8, micro_4x8<true>,
+                                 micro_2x8<true>};
+  return k;
+}
+
+}  // namespace s2a::nn::detail
+
+#endif  // x86-64

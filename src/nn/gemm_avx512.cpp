@@ -1,0 +1,102 @@
+// AVX-512F GEMM micro-kernels (x86-64). Compiled with
+// -mavx512f -mfma -ffp-contract=off — see gemm_kernels.hpp for why the
+// contraction flag matters.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "nn/gemm_kernels.hpp"
+
+namespace s2a::nn::detail {
+
+namespace {
+
+// 8 rows x 16 columns: 16 __m512d accumulators + 2 B vectors + 1 A
+// broadcast = 19 of the 32 zmm registers. The wide M halves how many
+// passes the (ldb-strided, prefetcher-hostile) B strip takes, and the
+// software prefetch pulls the row 8 k steps ahead for the cold first
+// pass. The 4-row half tile below covers m-tail panels of exactly 4
+// rows — the stride-2 deconv phase GEMMs are m=4 — at full vector
+// width; A keeps the 8-row packed stride in both.
+template <bool kFused>
+void micro_8x16(int kc, const double* ap, const double* b, int ldb, double* c,
+                int ldc) {
+  __m512d acc[8][2];
+  for (int i = 0; i < 8; ++i) {
+    acc[i][0] = _mm512_loadu_pd(c + static_cast<std::size_t>(i) * ldc);
+    acc[i][1] = _mm512_loadu_pd(c + static_cast<std::size_t>(i) * ldc + 8);
+  }
+  for (int kk = 0; kk < kc; ++kk) {
+    const double* brow = b + static_cast<std::size_t>(kk) * ldb;
+    __builtin_prefetch(brow + 8 * static_cast<std::size_t>(ldb));
+    __builtin_prefetch(brow + 8 * static_cast<std::size_t>(ldb) + 8);
+    const __m512d b0 = _mm512_loadu_pd(brow);
+    const __m512d b1 = _mm512_loadu_pd(brow + 8);
+    const double* acol = ap + static_cast<std::size_t>(kk) * 8;
+    for (int i = 0; i < 8; ++i) {
+      const __m512d a = _mm512_set1_pd(acol[i]);
+      if constexpr (kFused) {
+        acc[i][0] = _mm512_fmadd_pd(a, b0, acc[i][0]);
+        acc[i][1] = _mm512_fmadd_pd(a, b1, acc[i][1]);
+      } else {
+        acc[i][0] = _mm512_add_pd(acc[i][0], _mm512_mul_pd(a, b0));
+        acc[i][1] = _mm512_add_pd(acc[i][1], _mm512_mul_pd(a, b1));
+      }
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    _mm512_storeu_pd(c + static_cast<std::size_t>(i) * ldc, acc[i][0]);
+    _mm512_storeu_pd(c + static_cast<std::size_t>(i) * ldc + 8, acc[i][1]);
+  }
+}
+
+template <bool kFused>
+void micro_4x16(int kc, const double* ap, const double* b, int ldb, double* c,
+                int ldc) {
+  __m512d acc[4][2];
+  for (int i = 0; i < 4; ++i) {
+    acc[i][0] = _mm512_loadu_pd(c + static_cast<std::size_t>(i) * ldc);
+    acc[i][1] = _mm512_loadu_pd(c + static_cast<std::size_t>(i) * ldc + 8);
+  }
+  for (int kk = 0; kk < kc; ++kk) {
+    const double* brow = b + static_cast<std::size_t>(kk) * ldb;
+    __builtin_prefetch(brow + 8 * static_cast<std::size_t>(ldb));
+    __builtin_prefetch(brow + 8 * static_cast<std::size_t>(ldb) + 8);
+    const __m512d b0 = _mm512_loadu_pd(brow);
+    const __m512d b1 = _mm512_loadu_pd(brow + 8);
+    // A row stride is the full kernel's 8 even in the half tile.
+    const double* acol = ap + static_cast<std::size_t>(kk) * 8;
+    for (int i = 0; i < 4; ++i) {
+      const __m512d a = _mm512_set1_pd(acol[i]);
+      if constexpr (kFused) {
+        acc[i][0] = _mm512_fmadd_pd(a, b0, acc[i][0]);
+        acc[i][1] = _mm512_fmadd_pd(a, b1, acc[i][1]);
+      } else {
+        acc[i][0] = _mm512_add_pd(acc[i][0], _mm512_mul_pd(a, b0));
+        acc[i][1] = _mm512_add_pd(acc[i][1], _mm512_mul_pd(a, b1));
+      }
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    _mm512_storeu_pd(c + static_cast<std::size_t>(i) * ldc, acc[i][0]);
+    _mm512_storeu_pd(c + static_cast<std::size_t>(i) * ldc + 8, acc[i][1]);
+  }
+}
+
+}  // namespace
+
+const GemmMicroKernel& gemm_kernel_avx512() {
+  static const GemmMicroKernel k{"avx512", 8, 16, micro_8x16<false>,
+                                 micro_4x16<false>};
+  return k;
+}
+
+const GemmMicroKernel& gemm_kernel_avx512fma() {
+  static const GemmMicroKernel k{"avx512fma", 8, 16, micro_8x16<true>,
+                                 micro_4x16<true>};
+  return k;
+}
+
+}  // namespace s2a::nn::detail
+
+#endif  // x86-64

@@ -1,0 +1,47 @@
+// Internal: per-ISA GEMM micro-kernel descriptors.
+//
+// Each kernel family lives in its own translation unit compiled with
+// exactly the instruction-set flags it needs plus -ffp-contract=off
+// (src/nn/CMakeLists.txt). The contraction flag is load-bearing: the
+// vector kernels issue an explicit multiply followed by an explicit add
+// so every C element keeps the scalar chain's per-step rounding, and
+// the compiler must not re-fuse that pair into an FMA behind our back.
+// The *fma descriptors fuse on purpose and are opt-in only
+// (S2A_SIMD=avx2fma / avx512fma) — they are faster but not
+// bit-identical to the scalar oracle.
+//
+// gemm.cpp owns the one dispatch table that maps util::SimdIsa to these
+// descriptors; nothing else should include this header.
+#pragma once
+
+namespace s2a::nn::detail {
+
+/// One micro-kernel family. `full` computes an mr x nr C tile;
+/// `half` (optional) computes an (mr/2) x nr tile against a packed A
+/// panel that still has row stride mr — it serves m-tail panels of
+/// exactly mr/2 rows (e.g. the m=4 stride-2 deconv phase GEMMs under
+/// the 8-row AVX-512 packing) without dropping to the scalar tail.
+/// Both take kc (panel depth), the packed A panel slice, a B panel
+/// (row-major, stride ldb) and the C tile (row-major, stride ldc), and
+/// accumulate in ascending-k order per element.
+struct GemmMicroKernel {
+  const char* name;
+  int mr;
+  int nr;
+  void (*full)(int kc, const double* ap, const double* b, int ldb, double* c,
+               int ldc);
+  void (*half)(int kc, const double* ap, const double* b, int ldb, double* c,
+               int ldc);
+};
+
+#if defined(__x86_64__) || defined(_M_X64)
+const GemmMicroKernel& gemm_kernel_avx2();     // 4x8, mul+add (bit-exact)
+const GemmMicroKernel& gemm_kernel_avx2fma();  // 4x8, fused (opt-in)
+const GemmMicroKernel& gemm_kernel_avx512();   // 8x16 + 4x16 half, mul+add
+const GemmMicroKernel& gemm_kernel_avx512fma();  // 8x16 + 4x16, fused
+#endif
+#if defined(__aarch64__)
+const GemmMicroKernel& gemm_kernel_neon();  // 4x8, mul+add (bit-exact)
+#endif
+
+}  // namespace s2a::nn::detail

@@ -35,6 +35,16 @@ class Layer {
     for (Tensor* g : grads()) g->fill(0.0);
   }
 
+  /// Snapshots the current weights into an int8 form (per-output-channel
+  /// symmetric scales — see nn/quant.hpp). Once quantized, forward() runs
+  /// the int8 kernel whenever the quant backend resolves to kInt8;
+  /// backward() and the optimizer always see the float weights, so call
+  /// quantize() again after training steps to refresh the snapshot.
+  /// Layers without an int8 path (activations, GRU, attention) are a
+  /// no-op and keep reporting is_quantized() == false.
+  virtual void quantize() {}
+  virtual bool is_quantized() const { return false; }
+
   /// Multiply-accumulate operations for one forward pass of a single sample.
   /// Used by the Fig. 5a / Table II compute-cost instrumentation.
   virtual std::size_t macs_per_sample() const { return 0; }

@@ -1,0 +1,178 @@
+#include "util/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace s2a::util {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#elif defined(__aarch64__)
+  // Advanced SIMD is baseline on AArch64.
+  f.neon = true;
+#endif
+  return f;
+}
+
+// Kernel families compiled into this binary (must match the TU gates in
+// src/nn/CMakeLists.txt and gemm.cpp's dispatch table).
+bool compiled_in(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAuto:
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kAvx2:
+    case SimdIsa::kAvx2Fma:
+    case SimdIsa::kAvx512:
+    case SimdIsa::kAvx512Fma:
+#if defined(__x86_64__) || defined(_M_X64)
+      return true;
+#else
+      return false;
+#endif
+    case SimdIsa::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdIsa resolve_auto() {
+  const CpuFeatures& f = cpu_features();
+  // Only bit-exact (mul-then-add) families are eligible for auto; the
+  // fused variants change results and require an explicit S2A_SIMD.
+  if (compiled_in(SimdIsa::kAvx512) && f.avx512f) return SimdIsa::kAvx512;
+  if (compiled_in(SimdIsa::kAvx2) && f.avx2) return SimdIsa::kAvx2;
+  if (compiled_in(SimdIsa::kNeon) && f.neon) return SimdIsa::kNeon;
+  return SimdIsa::kScalar;
+}
+
+SimdIsa parse_simd_env(const char* s) {
+  if (s == nullptr || *s == '\0' || std::strcmp(s, "auto") == 0)
+    return SimdIsa::kAuto;
+  if (std::strcmp(s, "scalar") == 0) return SimdIsa::kScalar;
+  if (std::strcmp(s, "avx2") == 0) return SimdIsa::kAvx2;
+  if (std::strcmp(s, "avx2fma") == 0) return SimdIsa::kAvx2Fma;
+  if (std::strcmp(s, "avx512") == 0) return SimdIsa::kAvx512;
+  if (std::strcmp(s, "avx512fma") == 0) return SimdIsa::kAvx512Fma;
+  if (std::strcmp(s, "neon") == 0) return SimdIsa::kNeon;
+  S2A_CHECK_MSG(false, "S2A_SIMD=" << s
+                       << " is not one of auto|scalar|avx2|avx2fma|avx512|"
+                          "avx512fma|neon");
+  return SimdIsa::kAuto;  // unreachable
+}
+
+// kAuto + 1 .. kNeon stored as int; -1 = not yet resolved.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+std::string cpu_feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  const auto add = [&s](const char* name) {
+    if (!s.empty()) s += '+';
+    s += name;
+  };
+  if (f.avx2) add("avx2");
+  if (f.fma) add("fma");
+  if (f.avx512f) add("avx512f");
+  if (f.neon) add("neon");
+  if (s.empty()) s = "baseline";
+  return s;
+}
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAuto:
+      return "auto";
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kAvx2Fma:
+      return "avx2fma";
+    case SimdIsa::kAvx512:
+      return "avx512";
+    case SimdIsa::kAvx512Fma:
+      return "avx512fma";
+    case SimdIsa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool simd_isa_supported(SimdIsa isa) {
+  if (!compiled_in(isa)) return false;
+  const CpuFeatures& f = cpu_features();
+  switch (isa) {
+    case SimdIsa::kAuto:
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kAvx2:
+      return f.avx2;
+    case SimdIsa::kAvx2Fma:
+      return f.avx2 && f.fma;
+    case SimdIsa::kAvx512:
+      return f.avx512f;
+    case SimdIsa::kAvx512Fma:
+      return f.avx512f && f.fma;
+    case SimdIsa::kNeon:
+      return f.neon;
+  }
+  return false;
+}
+
+std::vector<SimdIsa> supported_simd_isas() {
+  std::vector<SimdIsa> out;
+  for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kAvx512,
+                      SimdIsa::kNeon, SimdIsa::kAvx2Fma, SimdIsa::kAvx512Fma})
+    if (simd_isa_supported(isa)) out.push_back(isa);
+  return out;
+}
+
+SimdIsa active_simd_isa() {
+  int v = g_active.load(std::memory_order_acquire);
+  if (v < 0) {
+    SimdIsa isa = parse_simd_env(std::getenv("S2A_SIMD"));
+    if (isa == SimdIsa::kAuto) isa = resolve_auto();
+    S2A_CHECK_MSG(simd_isa_supported(isa),
+                  "S2A_SIMD requests " << simd_isa_name(isa)
+                                       << " but this CPU/binary only has "
+                                       << cpu_feature_string());
+    int expected = -1;
+    g_active.compare_exchange_strong(expected, static_cast<int>(isa),
+                                     std::memory_order_acq_rel);
+    v = g_active.load(std::memory_order_acquire);
+  }
+  return static_cast<SimdIsa>(v);
+}
+
+void set_simd_isa(SimdIsa isa) {
+  if (isa == SimdIsa::kAuto) isa = resolve_auto();
+  S2A_CHECK_MSG(simd_isa_supported(isa),
+                "set_simd_isa(" << simd_isa_name(isa)
+                                << ") unsupported on this CPU/binary ("
+                                << cpu_feature_string() << ")");
+  g_active.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+}  // namespace s2a::util

@@ -1,0 +1,79 @@
+// Runtime CPU feature detection and SIMD kernel selection.
+//
+// The GEMM micro-kernels in src/nn/gemm_*.cpp are compiled per
+// instruction set (scalar always; AVX2/AVX-512 on x86-64, NEON on
+// aarch64) and selected once at startup: cpu_features() probes the
+// running CPU cpuid-style, and active_simd_isa() resolves the S2A_SIMD
+// environment override against what the probe found. Everything
+// downstream (nn::gemm packing layout, the kernel driver, bench report
+// headers) keys off that one selection, so a pack/compute pair can
+// never see two different micro-tile geometries.
+//
+// S2A_SIMD values: auto (default — the fastest *bit-exact* kernel the
+// CPU supports), scalar, avx2, avx512, neon, and the explicitly opt-in
+// fused variants avx2fma / avx512fma. The fused kernels skip the
+// intermediate rounding of mul-then-add, so they are NOT bit-identical
+// to the scalar oracle and are never chosen by auto — see
+// docs/ARCHITECTURE.md "Kernels & memory".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace s2a::util {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool neon = false;
+};
+
+/// Probes the running CPU once and caches the result for the process
+/// lifetime.
+const CpuFeatures& cpu_features();
+
+/// Human/JSON summary of the probe, e.g. "avx2+fma+avx512f" or "neon"
+/// or "baseline".
+std::string cpu_feature_string();
+
+/// The GEMM kernel families that can be selected. kAuto resolves to a
+/// concrete ISA at startup and is never returned by active_simd_isa().
+enum class SimdIsa {
+  kAuto,
+  kScalar,
+  kAvx2,
+  kAvx2Fma,
+  kAvx512,
+  kAvx512Fma,
+  kNeon,
+};
+
+/// Stable lowercase name ("avx2", "avx512fma", ...) used by S2A_SIMD,
+/// bench headers and the "simd" field of every BENCH_*.json payload.
+const char* simd_isa_name(SimdIsa isa);
+
+/// True when the kernel family is both compiled into this binary and
+/// supported by the running CPU. kScalar is always true; kAuto is
+/// always true (it resolves to something supported).
+bool simd_isa_supported(SimdIsa isa);
+
+/// Every concrete ISA simd_isa_supported() accepts on this machine, in
+/// preference order (bit-exact families first, fused variants last).
+/// Always contains at least kScalar. This is what the differential
+/// kernel tests and the per-ISA bench sections iterate over.
+std::vector<SimdIsa> supported_simd_isas();
+
+/// The currently selected kernel family (never kAuto). First call
+/// resolves S2A_SIMD: unset/"auto" picks the fastest bit-exact
+/// supported family (avx512 > avx2 > neon > scalar); a concrete name
+/// forces that family and fails loudly if unsupported.
+SimdIsa active_simd_isa();
+
+/// Process-wide override for tests and benches. kAuto re-resolves as if
+/// at startup. Fails (S2A_CHECK) on unsupported families. Must not be
+/// called between a pack_a() and the gemm_packed() consuming its packed
+/// panel — the packing layout follows the active kernel's tile height.
+void set_simd_isa(SimdIsa isa);
+
+}  // namespace s2a::util

@@ -294,6 +294,47 @@ TEST(Autoencoder, EmbeddingHasLatentWidth) {
   EXPECT_EQ(e.size(), static_cast<std::size_t>(cfg.c2));
 }
 
+TEST(Quantized, ReconstructionErrorWithinBand) {
+  // Int8 inference (quantize() + kInt8 backend) must track the float
+  // reconstruction within a tight probability band. Fixed seeds; the
+  // bands have ~5x headroom over observed error so they catch scheme
+  // regressions (bad scales, wrong dequant order), not rounding noise.
+  Rng rng(91);
+  AutoencoderConfig cfg;
+  cfg.grid.nx = cfg.grid.ny = 16;
+  cfg.c1 = 8;
+  cfg.c2 = 8;
+  OccupancyAutoencoder ae(cfg, rng);
+  nn::Tensor target({1, cfg.grid.nz, 16, 16});
+  for (std::size_t i = 0; i < target.numel(); i += 7) target[i] = 1.0;
+  nn::Tensor masked = target;
+  for (std::size_t i = 0; i < masked.numel(); i += 2) masked[i] = 0.0;
+  nn::Adam opt(1e-2);
+  opt.attach(ae.params(), ae.grads());
+  for (int i = 0; i < 30; ++i) ae.train_step(masked, target, opt);
+
+  const nn::Tensor p_float = ae.reconstruct(masked);
+  ae.quantize();
+  EXPECT_TRUE(ae.is_quantized());
+  nn::set_quant_backend(nn::QuantBackend::kInt8);
+  const nn::Tensor p_int8 = ae.reconstruct(masked);
+  nn::set_quant_backend(nn::QuantBackend::kAuto);
+
+  ASSERT_TRUE(p_float.same_shape(p_int8));
+  double mean_abs = 0.0, max_abs = 0.0;
+  for (std::size_t i = 0; i < p_float.numel(); ++i) {
+    const double d = std::fabs(p_float[i] - p_int8[i]);
+    mean_abs += d;
+    max_abs = std::max(max_abs, d);
+  }
+  mean_abs /= static_cast<double>(p_float.numel());
+  EXPECT_LT(mean_abs, 0.02);
+  EXPECT_LT(max_abs, 0.25);
+  // The int8 path really ran: quantization error is never exactly zero
+  // on a trained net.
+  EXPECT_GT(max_abs, 0.0);
+}
+
 TEST(Detector, PretrainedInitCopiesWeights) {
   Rng rng(12);
   AutoencoderConfig acfg;
@@ -346,6 +387,40 @@ TEST(Detector, LearnsSingleCarScene) {
   EXPECT_EQ(best->cls, sim::ObjectClass::kCar);
   EXPECT_NEAR(best->box.center.x, 12.0, 2.5);
   EXPECT_NEAR(best->box.center.y, 4.0, 2.5);
+}
+
+TEST(Quantized, DetectionApWithinBand) {
+  // The int8 detector must keep the distance-matched AP of the float
+  // detector within a band on a scene the float model solves. Fixed
+  // seeds throughout.
+  Rng rng(92);
+  sim::LidarConfig lc;
+  sim::LidarSimulator lidar(lc);
+  DetectorConfig dcfg;
+  dcfg.grid.nx = dcfg.grid.ny = 32;
+  dcfg.grid.extent = 30.0;
+  BevDetector det(dcfg, rng);
+  nn::Adam opt(3e-3);
+  opt.attach(det.params(), det.grads());
+
+  const sim::Scene scene = one_car_scene(12.0, 4.0);
+  const sim::PointCloud pc = lidar.full_scan(scene, rng);
+  const nn::Tensor grid = VoxelGrid::from_cloud(pc, dcfg.grid).to_tensor();
+  for (int i = 0; i < 80; ++i) det.train_step(grid, scene, opt);
+
+  const auto dets_float = det.detect(grid);
+  const double ap_float = evaluate_ap_distance(
+      {dets_float}, {scene}, sim::ObjectClass::kCar, 2.0);
+  det.quantize();
+  EXPECT_TRUE(det.is_quantized());
+  nn::set_quant_backend(nn::QuantBackend::kInt8);
+  const auto dets_int8 = det.detect(grid);
+  nn::set_quant_backend(nn::QuantBackend::kAuto);
+  const double ap_int8 = evaluate_ap_distance(
+      {dets_int8}, {scene}, sim::ObjectClass::kCar, 2.0);
+
+  EXPECT_GT(ap_float, 0.5);
+  EXPECT_GE(ap_int8, ap_float - 0.25);
 }
 
 TEST(Detector, FeatureEmbeddingDimMatches) {

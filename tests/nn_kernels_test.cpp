@@ -12,12 +12,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
 #include "nn/layer.hpp"
+#include "nn/quant.hpp"
 #include "nn/tensor.hpp"
+#include "util/cpu_features.hpp"
 #include "util/rng.hpp"
 #include "util/scratch_arena.hpp"
 #include "util/thread_pool.hpp"
@@ -91,10 +96,244 @@ TEST(Gemm, MatchesNaiveTripleLoopBitExact) {
 }
 
 TEST(Gemm, PackedASizeCoversPadding) {
-  EXPECT_EQ(packed_a_size(1, 5), static_cast<std::size_t>(kGemmMR) * 5);
-  EXPECT_EQ(packed_a_size(kGemmMR, 3), static_cast<std::size_t>(kGemmMR) * 3);
-  EXPECT_EQ(packed_a_size(kGemmMR + 1, 2),
-            static_cast<std::size_t>(2 * kGemmMR) * 2);
+  // The panel height follows the active kernel's MR (scalar 2, avx2 4,
+  // avx512 8, ...), so test against the accessor, not a constant.
+  const auto mr = static_cast<std::size_t>(gemm_mr());
+  EXPECT_EQ(packed_a_size(1, 5), mr * 5);
+  EXPECT_EQ(packed_a_size(static_cast<int>(mr), 3), mr * 3);
+  EXPECT_EQ(packed_a_size(static_cast<int>(mr) + 1, 2), 2 * mr * 2);
+}
+
+std::size_t diff_count(const Tensor& a, const Tensor& b);
+
+// Forces a kernel family for the scope; restores auto selection on exit.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(util::SimdIsa isa) { util::set_simd_isa(isa); }
+  ~ScopedSimd() { util::set_simd_isa(util::SimdIsa::kAuto); }
+};
+
+bool is_fused(util::SimdIsa isa) {
+  return isa == util::SimdIsa::kAvx2Fma || isa == util::SimdIsa::kAvx512Fma;
+}
+
+TEST(SimdDispatch, ProbeAndSelectionAreConsistent) {
+  // Scalar is always available; auto never stays unresolved; every ISA
+  // the probe reports supported has a distinct stable name.
+  EXPECT_TRUE(util::simd_isa_supported(util::SimdIsa::kScalar));
+  EXPECT_NE(util::active_simd_isa(), util::SimdIsa::kAuto);
+  const auto isas = util::supported_simd_isas();
+  ASSERT_FALSE(isas.empty());
+  for (std::size_t i = 0; i < isas.size(); ++i) {
+    EXPECT_TRUE(util::simd_isa_supported(isas[i]));
+    for (std::size_t j = i + 1; j < isas.size(); ++j)
+      EXPECT_STRNE(util::simd_isa_name(isas[i]), util::simd_isa_name(isas[j]));
+  }
+  // Auto resolves to a bit-exact family — the fused kernels are opt-in.
+  {
+    ScopedSimd scoped(util::SimdIsa::kAuto);
+    EXPECT_FALSE(is_fused(util::active_simd_isa()));
+  }
+  // The active kernel's reported geometry backs the packing layout.
+  EXPECT_GE(gemm_mr(), 1);
+  EXPECT_LE(gemm_mr(), kGemmMaxMR);
+  EXPECT_LE(gemm_nr(), kGemmMaxNR);
+  {
+    ScopedSimd scoped(util::SimdIsa::kScalar);
+    EXPECT_EQ(gemm_mr(), kGemmMR);
+    EXPECT_EQ(gemm_nr(), kGemmNR);
+    EXPECT_STREQ(gemm_kernel_name(), "scalar");
+  }
+}
+
+TEST(SimdDispatch, EveryKernelHandlesEdgeShapes) {
+  // Degenerate and tail-heavy shapes — m/n/k of 1, [1,1,k], partial
+  // MR/NR panels around every compiled-in tile size (2, 4, 8 rows;
+  // 4, 8, 16 columns), and KC straddles — against every supported
+  // kernel family. Bit-exact families must match the naive loop with
+  // EXPECT_EQ; the opt-in fused families get a tight relative band
+  // (they skip one rounding per k step, nothing more).
+  const GemmShape shapes[] = {
+      {1, 1, 1},   {1, 1, 37},  {1, 1, 300}, {1, 16, 5},  {16, 1, 5},
+      {2, 4, 1},   {3, 5, 2},   {4, 8, 9},   {5, 9, 11},  {7, 15, 13},
+      {8, 16, 17}, {9, 17, 29}, {15, 31, 64}, {4, 576, 64}, {17, 33, 257},
+  };
+  Rng rng(99);
+  for (const auto isa : util::supported_simd_isas()) {
+    ScopedSimd scoped(isa);
+    for (const auto& s : shapes) {
+      const auto a = random_vec(static_cast<std::size_t>(s.m) * s.k, rng);
+      const auto b = random_vec(static_cast<std::size_t>(s.k) * s.n, rng);
+      auto c_ref = random_vec(static_cast<std::size_t>(s.m) * s.n, rng);
+      auto c_gemm = c_ref;
+      naive_gemm(s.m, s.n, s.k, a, b, c_ref);
+      util::ScratchArena arena;
+      gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c_gemm.data(), s.n,
+           arena);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        if (is_fused(isa)) {
+          const double tol =
+              1e-13 * (1.0 + std::abs(c_ref[i])) * (1.0 + s.k);
+          ASSERT_NEAR(c_ref[i], c_gemm[i], tol)
+              << util::simd_isa_name(isa) << " m=" << s.m << " n=" << s.n
+              << " k=" << s.k << " at " << i;
+        } else {
+          ASSERT_EQ(c_ref[i], c_gemm[i])
+              << util::simd_isa_name(isa) << " m=" << s.m << " n=" << s.n
+              << " k=" << s.k << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, VectorConvMatchesScalarAcrossThreadCounts) {
+  // The full conv forward (pack + band split + gemm) must produce the
+  // scalar kernel's bits under every bit-exact family at every thread
+  // count — the vector kernels change speed, never the chain.
+  ScopedForceParallel force;
+  ScopedBackend backend(ConvBackend::kGemm);
+  Rng rng(45);
+  Conv2D conv(4, 16, 3, 2, 1, rng);
+  ConvTranspose2D deconv(16, 4, 4, 2, 1, rng);
+  const Tensor x = Tensor::randn({1, 4, 24, 24}, rng);
+  const Tensor z = Tensor::randn({1, 16, 12, 12}, rng);
+
+  Tensor conv_ref, deconv_ref;
+  {
+    ScopedSimd scalar(util::SimdIsa::kScalar);
+    util::ScopedGlobalThreads threads(1);
+    conv_ref = conv.forward(x);
+    deconv_ref = deconv.forward(z);
+  }
+  for (const auto isa : util::supported_simd_isas()) {
+    if (is_fused(isa)) continue;
+    ScopedSimd scoped(isa);
+    for (int threads : {1, 2, 4}) {
+      util::ScopedGlobalThreads scoped_threads(threads);
+      EXPECT_EQ(diff_count(conv_ref, conv.forward(x)), 0u)
+          << util::simd_isa_name(isa) << " " << threads << " threads";
+      EXPECT_EQ(diff_count(deconv_ref, deconv.forward(z)), 0u)
+          << util::simd_isa_name(isa) << " " << threads << " threads";
+    }
+  }
+}
+
+TEST(Quant, RowQuantizationRoundTripsWithinOneStep) {
+  // Symmetric per-row scales: every value must round-trip within half a
+  // quantization step, and the extreme of each row must hit ±127.
+  Rng rng(7);
+  const int rows = 6, cols = 40;
+  const auto a = random_vec(static_cast<std::size_t>(rows) * cols, rng);
+  const QuantizedMatrix q = quantize_rows(a.data(), cols, rows, cols);
+  ASSERT_EQ(q.rows, rows);
+  ASSERT_EQ(q.cols, cols);
+  for (int i = 0; i < rows; ++i) {
+    const double scale = q.scales[static_cast<std::size_t>(i)];
+    ASSERT_GT(scale, 0.0);
+    std::int8_t amax = 0;
+    for (int j = 0; j < cols; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i) * cols + j;
+      EXPECT_NEAR(static_cast<double>(q.data[idx]) * scale, a[idx],
+                  0.5 * scale + 1e-15);
+      amax = std::max<std::int8_t>(
+          amax, static_cast<std::int8_t>(std::abs(q.data[idx])));
+    }
+    EXPECT_EQ(amax, 127) << "row " << i;
+  }
+  // All-zero rows quantize to zeros with a benign scale.
+  const std::vector<double> zeros(16, 0.0);
+  const QuantizedMatrix qz = quantize_rows(zeros.data(), 16, 1, 16);
+  EXPECT_EQ(qz.scales[0], 1.0);
+  for (const auto v : qz.data) EXPECT_EQ(v, 0);
+}
+
+TEST(Quant, ActivationScaleIsBandInvariant) {
+  // The scale is computed over the whole tensor, so any band split the
+  // conv layers apply sees the same quantization grid.
+  Rng rng(8);
+  const auto x = random_vec(333, rng);
+  const double whole = activation_scale(x.data(), x.size());
+  double banded_max = 0.0;
+  for (std::size_t start = 0; start < x.size(); start += 100)
+    banded_max = std::max(
+        banded_max, activation_scale(x.data() + start,
+                                     std::min<std::size_t>(100, x.size() -
+                                                                    start)));
+  EXPECT_EQ(whole, banded_max);
+}
+
+TEST(Quant, Int8GemmMatchesInt32Reference) {
+  // gemm_int8 must equal the naive int32 loop EXACTLY (integer
+  // accumulation has no rounding), including the bias-seeded C start.
+  Rng rng(21);
+  const GemmShape shapes[] = {
+      {1, 1, 1}, {3, 5, 7}, {4, 16, 36}, {16, 24, 144}, {5, 33, 257},
+  };
+  for (const auto& s : shapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m) * s.k, rng);
+    const QuantizedMatrix qa = quantize_rows(a.data(), s.k, s.m, s.k);
+    const auto xf = random_vec(static_cast<std::size_t>(s.k) * s.n, rng);
+    const double xs = activation_scale(xf.data(), xf.size());
+    std::vector<std::int8_t> xq(xf.size());
+    quantize_values(xf.data(), xf.size(), xs, xq.data());
+    auto c_ref = random_vec(static_cast<std::size_t>(s.m) * s.n, rng);
+    auto c_int8 = c_ref;
+    for (int i = 0; i < s.m; ++i)
+      for (int j = 0; j < s.n; ++j) {
+        std::int32_t acc = 0;
+        for (int kk = 0; kk < s.k; ++kk)
+          acc += static_cast<std::int32_t>(
+                     qa.data[static_cast<std::size_t>(i) * s.k + kk]) *
+                 static_cast<std::int32_t>(
+                     xq[static_cast<std::size_t>(kk) * s.n + j]);
+        c_ref[static_cast<std::size_t>(i) * s.n + j] +=
+            qa.scales[static_cast<std::size_t>(i)] * xs *
+            static_cast<double>(acc);
+      }
+    gemm_int8(qa, s.n, xq.data(), s.n, xs, c_int8.data(), s.n);
+    for (std::size_t i = 0; i < c_ref.size(); ++i)
+      ASSERT_EQ(c_ref[i], c_int8[i])
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k << " at " << i;
+  }
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+TEST(Quant, ScalarAndAvx2Int8KernelsExactlyEqual) {
+  if (!util::cpu_features().avx2) GTEST_SKIP() << "no AVX2 on this CPU";
+  Rng rng(22);
+  const GemmShape shapes[] = {
+      {1, 1, 1}, {2, 7, 3}, {4, 9, 36}, {16, 40, 143}, {7, 65, 256},
+  };
+  for (const auto& s : shapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m) * s.k, rng);
+    const QuantizedMatrix qa = quantize_rows(a.data(), s.k, s.m, s.k);
+    const auto xf = random_vec(static_cast<std::size_t>(s.k) * s.n, rng);
+    const double xs = activation_scale(xf.data(), xf.size());
+    std::vector<std::int8_t> xq(xf.size());
+    quantize_values(xf.data(), xf.size(), xs, xq.data());
+    auto c_scalar = random_vec(static_cast<std::size_t>(s.m) * s.n, rng);
+    auto c_avx2 = c_scalar;
+    detail::gemm_int8_scalar(s.m, s.n, s.k, qa.data.data(), qa.scales.data(),
+                             xq.data(), s.n, xs, c_scalar.data(), s.n);
+    detail::gemm_int8_avx2(s.m, s.n, s.k, qa.data.data(), qa.scales.data(),
+                           xq.data(), s.n, xs, c_avx2.data(), s.n);
+    for (std::size_t i = 0; i < c_scalar.size(); ++i)
+      ASSERT_EQ(c_scalar[i], c_avx2[i])
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k << " at " << i;
+  }
+}
+#endif
+
+TEST(Quant, BackendResolvesEnvOverride) {
+  set_quant_backend(QuantBackend::kAuto);
+  setenv("S2A_QUANT", "1", 1);
+  EXPECT_EQ(quant_backend(), QuantBackend::kInt8);
+  unsetenv("S2A_QUANT");
+  EXPECT_EQ(quant_backend(), QuantBackend::kFloat);
+  set_quant_backend(QuantBackend::kInt8);
+  EXPECT_EQ(quant_backend(), QuantBackend::kInt8);
+  set_quant_backend(QuantBackend::kAuto);
 }
 
 TEST(Im2Col, RoundTripScalesByReadCount) {

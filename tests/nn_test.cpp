@@ -652,5 +652,52 @@ TEST(Serialize, SpecialValuesSurvive) {
   EXPECT_EQ(u[2], 1e-308);
 }
 
+TEST(Serialize, QuantizeSurvivesRoundTrip) {
+  // Serialization persists float weights only; the int8 snapshot is
+  // derived state. quantize() is deterministic from the float weights,
+  // so quantize → save → load → quantize must give a bit-identical int8
+  // forward (int32 accumulation has no rounding to drift).
+  Rng rng(65);
+  Sequential net;
+  net.emplace<Conv2D>(2, 4, 3, 2, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<ConvTranspose2D>(4, 2, 4, 2, 1, rng);
+  net.quantize();
+  EXPECT_TRUE(net.is_quantized());
+  std::ostringstream os;
+  save_params(net.params(), os);
+
+  Rng rng2(66);
+  Sequential net2;
+  net2.emplace<Conv2D>(2, 4, 3, 2, 1, rng2);
+  net2.emplace<ReLU>();
+  net2.emplace<ConvTranspose2D>(4, 2, 4, 2, 1, rng2);
+  std::istringstream is(os.str());
+  load_params(net2.params(), is);
+  net2.quantize();
+
+  set_quant_backend(QuantBackend::kInt8);
+  const Tensor x = Tensor::randn({1, 2, 8, 8}, rng);
+  const Tensor y1 = net.forward(x);
+  const Tensor y2 = net2.forward(x);
+  set_quant_backend(QuantBackend::kAuto);
+  ASSERT_TRUE(y1.same_shape(y2));
+  for (std::size_t i = 0; i < y1.numel(); ++i) EXPECT_EQ(y1[i], y2[i]);
+
+  // And with the backend on float, a quantized net's forward is still
+  // the float forward, bit for bit. Pinned explicitly (not kAuto) so an
+  // ambient S2A_QUANT=1 can't route these forwards through int8.
+  set_quant_backend(QuantBackend::kFloat);
+  Rng rng3(65);
+  Sequential net_float;
+  net_float.emplace<Conv2D>(2, 4, 3, 2, 1, rng3);
+  net_float.emplace<ReLU>();
+  net_float.emplace<ConvTranspose2D>(4, 2, 4, 2, 1, rng3);
+  const Tensor yf = net_float.forward(x);
+  const Tensor yq = net.forward(x);
+  set_quant_backend(QuantBackend::kAuto);
+  for (std::size_t i = 0; i < yf.numel(); ++i) EXPECT_EQ(yf[i], yq[i]);
+}
+
 }  // namespace
 }  // namespace s2a::nn
