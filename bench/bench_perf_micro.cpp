@@ -30,6 +30,12 @@
 // and a FaultPlan straggler chaos run with finite deadlines, writing
 // aggregate ticks/sec, per-loop p50/p95 tick latency, and the chaos
 // shed/stall outcome to BENCH_fleet.json.
+// With S2A_BENCH_OFFLOAD=<out.json> it evaluates the uncertainty-gated
+// offload policy against the always-local and always-remote baselines
+// across a link loss × latency sweep, runs a mid-run partition stall
+// check on a fleet sharing one uplink, and writes BENCH_offload.json —
+// exiting non-zero if the policy wins at no sweep point or any member
+// stalls, misses a deadline, or actuates a non-finite value.
 // With S2A_BENCH_BUDGETS=<budgets.json> it becomes the perf regression
 // gate: re-times the budgeted hot paths and exits non-zero if any p95
 // exceeds its recorded budget by more than the file's tolerance.
@@ -50,6 +56,7 @@
 #include "core/batched_fleet.hpp"
 #include "core/fleet.hpp"
 #include "core/loop.hpp"
+#include "core/offload.hpp"
 #include "core/pipeline.hpp"
 #include "core/policies.hpp"
 #include "fault/fault.hpp"
@@ -65,6 +72,7 @@
 #include "nn/quant.hpp"
 #include "nn/sequential.hpp"
 #include "util/cpu_features.hpp"
+#include "util/finite.hpp"
 #include "util/scratch_arena.hpp"
 #include "obs/obs.hpp"
 #include "sim/dataset.hpp"
@@ -293,6 +301,73 @@ struct ParallelWorkload {
   std::function<void()> fn;
 };
 
+// Offload executor fixtures, shared by the core.offload_tick budget
+// workload and the S2A_BENCH_OFFLOAD report. The models scale the
+// observation (compute cost is *modeled* via OffloadConfig, not burned),
+// and the gate is scripted off the observation timestamp — ~40% of ticks
+// uncertain, no RNG — so every mode and thread count replays the exact
+// same decision sequence.
+struct ScaleModel : core::Processor {
+  double scale;
+  double energy_j;
+  explicit ScaleModel(double s, double e = 0.0) : scale(s), energy_j(e) {}
+  std::vector<double> process(const core::Observation& obs, Rng&) override {
+    std::vector<double> out = obs.data;
+    for (double& v : out) v *= scale;
+    return out;
+  }
+  double energy_per_call_j() const override { return energy_j; }
+};
+
+struct TimestampGate : core::UncertaintySource {
+  double score(const core::Observation& obs) override {
+    return std::sin(40.0 * obs.timestamp) > 0.2 ? 2.0 : 0.0;
+  }
+};
+
+core::Observation offload_obs(double t) {
+  core::Observation obs;
+  obs.data = {std::sin(t), std::cos(t), 0.5};
+  obs.timestamp = t;
+  return obs;
+}
+
+core::OffloadConfig bench_offload_config(core::OffloadMode mode) {
+  core::OffloadConfig cfg;
+  cfg.mode = mode;
+  cfg.deadline_s = 0.05;
+  cfg.local_compute_s = 4e-3;
+  cfg.remote_compute_s = 1e-3;
+  cfg.max_retries = 2;
+  cfg.tx_energy_j = 2e-3;
+  return cfg;
+}
+
+// core.offload_tick: one executor on a healthy link, driven for a block
+// of virtual ticks per rep. All waiting is virtual time, so the workload
+// measures the executor's own bookkeeping (gate, cost model, breaker,
+// link arithmetic), which is what the budget bounds.
+struct OffloadTickFixture {
+  ScaleModel local{2.0, 5e-3};
+  ScaleModel remote{10.0};
+  TimestampGate gate;
+  core::OffloadExecutor exec;
+  Rng rng{5};
+  long tick = 0;
+
+  OffloadTickFixture()
+      : exec(local, remote, net::LinkSim(net::LinkConfig{}, {}, /*seed=*/77),
+             bench_offload_config(core::OffloadMode::kPolicy), &gate,
+             /*seed=*/77) {}
+
+  void run_block() {
+    for (int i = 0; i < 256; ++i) {
+      const double now = 0.05 * static_cast<double>(tick++);
+      benchmark::DoNotOptimize(exec.process_at(now, offload_obs(now), rng));
+    }
+  }
+};
+
 // Inputs for the pool-sharded hot paths, built once and shared by the
 // parallel report, the kernels report, and the budget gate so every mode
 // times the exact same call sequences.
@@ -428,6 +503,10 @@ struct HotPathFixtures {
                    nn::set_quant_backend(nn::QuantBackend::kInt8);
                    benchmark::DoNotOptimize(ae.reconstruct(bev));
                    nn::set_quant_backend(nn::QuantBackend::kAuto);
+                 }});
+    w.push_back({"core.offload_tick", 60,
+                 [fx = std::make_shared<OffloadTickFixture>()] {
+                   fx->run_block();
                  }});
     w.push_back({"nn.gemm_conv2", 400, [this] {
                    std::fill(gemm_c.begin(), gemm_c.end(), 0.0);
@@ -1163,6 +1242,273 @@ int run_fleet_report(const char* out_path) {
   return (zero_stalls && zero_healthy_misses) ? 0 : 1;
 }
 
+// ---- Offload policy report (S2A_BENCH_OFFLOAD=<out.json>) ----
+//
+// Two sections, both gated (non-zero exit on violation):
+//  1. Policy-value sweep: policy vs always-local vs always-remote across
+//     a loss × base-latency grid, 400 virtual ticks each, ~40% of ticks
+//     scripted uncertain. "Accuracy" is the fraction of ticks answered
+//     adequately — a confident tick is adequate either way; an uncertain
+//     tick is adequate only when the remote model served it. The gate:
+//     at >= 1 sweep point the policy must meet the accuracy floor AND
+//     beat every baseline that also meets it on expected latency.
+//  2. Partition stall check: a fleet sharing one contended uplink loses
+//     the link mid-run. Strict members must latch SAFE_STOP within their
+//     hysteresis bound, healthy members must finish NOMINAL, and no
+//     member may emit a non-finite actuation, miss a deadline, or shed a
+//     tick — the link is virtual-time, so a dead cloud must never
+//     wall-block a loop.
+
+struct OffloadPoint {
+  core::OffloadMode mode = core::OffloadMode::kPolicy;
+  double loss = 0.0;
+  double base_ms = 0.0;
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double accuracy = 0.0;
+  double energy_j = 0.0;
+  long remote_served = 0;
+  long remote_failures = 0;
+};
+
+OffloadPoint run_offload_point(core::OffloadMode mode, double loss,
+                               double base_ms) {
+  constexpr int kTicks = 400;
+  constexpr double kDt = 0.05;
+  ScaleModel local{2.0, 5e-3};
+  ScaleModel remote{10.0};
+  TimestampGate gate;
+  net::LinkConfig lc;
+  lc.loss_prob = loss;
+  lc.base_latency_s = base_ms * 1e-3;
+  const core::OffloadConfig cfg = bench_offload_config(mode);
+  core::OffloadExecutor exec(local, remote, net::LinkSim(lc, {}, /*seed=*/77),
+                             cfg, &gate, /*seed=*/77);
+  Rng rng(5);
+  long adequate = 0;
+  double energy = 0.0;
+  std::vector<double> lat_ms;
+  lat_ms.reserve(kTicks);
+  for (int i = 0; i < kTicks; ++i) {
+    const double now = kDt * static_cast<double>(i);
+    const core::Observation obs = offload_obs(now);
+    exec.process_at(now, obs, rng);
+    if (exec.last_served_remote() || gate.score(obs) <= cfg.regret_gate)
+      ++adequate;
+    lat_ms.push_back(exec.last_latency_s() * 1e3);
+    energy += exec.energy_per_call_j();
+  }
+  OffloadPoint p;
+  p.mode = mode;
+  p.loss = loss;
+  p.base_ms = base_ms;
+  p.mean_latency_ms = exec.metrics().total_latency_s / kTicks * 1e3;
+  p.p95_latency_ms = percentiles(lat_ms).p95_ms;
+  p.accuracy = static_cast<double>(adequate) / kTicks;
+  p.energy_j = energy;
+  p.remote_served = exec.metrics().remote_served;
+  p.remote_failures = exec.metrics().remote_failures;
+  return p;
+}
+
+// One offloading fleet member for the partition stall check: sensor →
+// OffloadExecutor(local, remote, link) → finite-guarded actuator, with
+// an always-uncertain gate so every tick exercises the remote path.
+struct OffloadMember {
+  struct SineSensor : core::Sensor {
+    core::Observation sense(double now, Rng& rng) override {
+      core::Observation obs;
+      obs.data = {std::sin(now) + rng.normal(0.0, 0.05),
+                  std::cos(now) + rng.normal(0.0, 0.05)};
+      obs.timestamp = now;
+      obs.energy_j = 1e-3;
+      return obs;
+    }
+  };
+  struct FiniteGuard : core::Actuator {
+    void actuate(const core::Action& action, Rng&) override {
+      saw_nonfinite = saw_nonfinite || !util::all_finite(action.data);
+    }
+    bool saw_nonfinite = false;
+  };
+  struct AlwaysUncertain : core::UncertaintySource {
+    double score(const core::Observation&) override { return 2.0; }
+  };
+
+  SineSensor sensor;
+  ScaleModel local{2.0, 5e-3};
+  ScaleModel remote{10.0};
+  AlwaysUncertain gate;
+  FiniteGuard act;
+  core::PeriodicPolicy policy{1};
+  std::unique_ptr<core::OffloadExecutor> exec;
+  std::unique_ptr<core::SensingActionLoop> loop;
+
+  OffloadMember(net::LinkSim link, core::OffloadConfig ocfg,
+                std::uint64_t seed) {
+    core::LoopConfig lcfg;
+    lcfg.resilience.degrade_after = 2;
+    lcfg.resilience.recover_after = 2;
+    lcfg.resilience.safe_stop_after = 3;
+    exec = std::make_unique<core::OffloadExecutor>(local, remote,
+                                                   std::move(link), ocfg,
+                                                   &gate, seed);
+    loop = std::make_unique<core::SensingActionLoop>(sensor, *exec, act,
+                                                     policy, lcfg);
+  }
+};
+
+int run_offload_report(const char* out_path) {
+  constexpr double kAccuracyFloor = 0.9;
+  constexpr int kSweepTicks = 400;
+  const double kLosses[] = {0.0, 0.1, 0.3};
+  const double kBaseMs[] = {2.0, 10.0};
+  const core::OffloadMode kModes[] = {core::OffloadMode::kPolicy,
+                                      core::OffloadMode::kAlwaysLocal,
+                                      core::OffloadMode::kAlwaysRemote};
+  print_cpu_banner();
+
+  std::vector<OffloadPoint> sweep;
+  bool policy_wins = false;
+  int winning_points = 0;
+  for (double loss : kLosses) {
+    for (double base_ms : kBaseMs) {
+      OffloadPoint pts[3];
+      for (int m = 0; m < 3; ++m) {
+        pts[m] = run_offload_point(kModes[m], loss, base_ms);
+        sweep.push_back(pts[m]);
+      }
+      const OffloadPoint& pol = pts[0];
+      const OffloadPoint& loc = pts[1];
+      const OffloadPoint& rem = pts[2];
+      // Beating a baseline: either it misses the accuracy floor outright
+      // or the policy's expected latency is lower at the same floor.
+      const bool beats_local = loc.accuracy < kAccuracyFloor ||
+                               pol.mean_latency_ms < loc.mean_latency_ms;
+      const bool beats_remote = rem.accuracy < kAccuracyFloor ||
+                                pol.mean_latency_ms < rem.mean_latency_ms;
+      const bool win =
+          pol.accuracy >= kAccuracyFloor && beats_local && beats_remote;
+      if (win) ++winning_points;
+      policy_wins = policy_wins || win;
+      printf("offload  loss %.2f base %4.0fms | policy %6.2fms acc %.2f | "
+             "local %6.2fms acc %.2f | remote %6.2fms acc %.2f | %s\n",
+             loss, base_ms, pol.mean_latency_ms, pol.accuracy,
+             loc.mean_latency_ms, loc.accuracy, rem.mean_latency_ms,
+             rem.accuracy, win ? "policy wins" : "no win");
+    }
+  }
+
+  // Partition stall check: every third member runs strict over a
+  // permanently partitioned link; the rest see a 1 s transient outage.
+  // All 24 share one uplink (static fair share).
+  constexpr int kMembers = 24, kPartTicks = 100;
+  const net::LinkFaultSchedule transient(
+      {{net::LinkFaultKind::kPartition, 1.0, 2.0, 0.0}});
+  const net::LinkFaultSchedule permanent(
+      {{net::LinkFaultKind::kPartition, 1.0, 1e6, 0.0}});
+  net::LinkConfig shared_lc;
+  shared_lc.sharers = kMembers;
+
+  int strict_members = 0, safe_stops = 0, nominal = 0;
+  bool nonfinite = false, hysteresis_ok = true, healthy_complete = true;
+  long part_misses = 0, part_shed = 0;
+  bool executed_ok = true;
+  {
+    core::Fleet fleet(core::FleetConfig{/*batch=*/4});
+    std::vector<std::unique_ptr<OffloadMember>> members;
+    for (int i = 0; i < kMembers; ++i) {
+      const bool strict = i % 3 == 0;
+      strict_members += strict ? 1 : 0;
+      core::OffloadConfig ocfg =
+          bench_offload_config(core::OffloadMode::kPolicy);
+      ocfg.strict_uncertain = strict;
+      members.push_back(std::make_unique<OffloadMember>(
+          net::LinkSim(shared_lc, strict ? permanent : transient,
+                       /*seed=*/31, static_cast<std::uint64_t>(i)),
+          ocfg, /*seed=*/static_cast<std::uint64_t>(31 + i)));
+      core::FleetLoopConfig lc;
+      lc.ticks = kPartTicks;
+      lc.deadline_s = 0.25;
+      fleet.add(*members.back()->loop, lc, /*seed=*/700 + i);
+    }
+    const core::FleetStats stats = fleet.run();
+    for (int i = 0; i < kMembers; ++i) {
+      const bool strict = i % 3 == 0;
+      const auto& m = *members[static_cast<std::size_t>(i)];
+      nonfinite = nonfinite || m.act.saw_nonfinite;
+      if (strict) {
+        if (m.loop->state() == core::LoopState::kSafeStop) ++safe_stops;
+        // Latched near the partition onset, not at the end of the run.
+        hysteresis_ok = hysteresis_ok &&
+                        m.loop->metrics().safe_stop_ticks >= kPartTicks - 35;
+      } else {
+        if (m.loop->state() == core::LoopState::kNominal) ++nominal;
+        healthy_complete =
+            healthy_complete && m.loop->metrics().actions == kPartTicks;
+      }
+      part_misses += stats.loops[static_cast<std::size_t>(i)].deadline_misses;
+      part_shed += stats.loops[static_cast<std::size_t>(i)].shed;
+      executed_ok = executed_ok &&
+                    stats.loops[static_cast<std::size_t>(i)].executed ==
+                        stats.loops[static_cast<std::size_t>(i)].requested;
+    }
+  }
+  const bool partition_ok =
+      safe_stops == strict_members && nominal == kMembers - strict_members &&
+      !nonfinite && hysteresis_ok && healthy_complete && part_misses == 0 &&
+      part_shed == 0 && executed_ok;
+  printf("partition %d members (%d strict) | safe_stops %d/%d nominal %d/%d | "
+         "misses %ld shed %ld nonfinite %s (%s)\n",
+         kMembers, strict_members, safe_stops, strict_members, nominal,
+         kMembers - strict_members, part_misses, part_shed,
+         nonfinite ? "yes" : "no", partition_ok ? "ok" : "FAIL");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  out << "{\n  \"cpu\": \"" << util::cpu_feature_string()
+      << "\",\n  \"simd\": \"" << active_simd_name()
+      << "\",\n  \"ticks_per_point\": " << kSweepTicks
+      << ",\n  \"accuracy_floor\": " << kAccuracyFloor
+      << ",\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const OffloadPoint& p = sweep[i];
+    out << "    {\"mode\": \"" << core::offload_mode_name(p.mode)
+        << "\", \"loss\": " << p.loss
+        << ", \"base_latency_ms\": " << p.base_ms
+        << ", \"mean_latency_ms\": " << p.mean_latency_ms
+        << ", \"p95_latency_ms\": " << p.p95_latency_ms
+        << ", \"accuracy\": " << p.accuracy
+        << ", \"energy_j\": " << p.energy_j
+        << ", \"remote_served\": " << p.remote_served
+        << ", \"remote_failures\": " << p.remote_failures << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"policy_wins\": " << (policy_wins ? "true" : "false")
+      << ",\n  \"winning_points\": " << winning_points
+      << ",\n  \"partition\": {\n    \"members\": " << kMembers
+      << ", \"strict_members\": " << strict_members
+      << ", \"ticks\": " << kPartTicks
+      << ",\n    \"safe_stops\": " << safe_stops
+      << ", \"nominal\": " << nominal
+      << ",\n    \"deadline_misses\": " << part_misses
+      << ", \"shed\": " << part_shed
+      << ",\n    \"nonfinite_actuations\": " << (nonfinite ? 1 : 0)
+      << ",\n    \"ok\": " << (partition_ok ? "true" : "false")
+      << "\n  }\n}\n";
+  printf("Wrote offload report to %s\n", out_path);
+  if (!policy_wins)
+    fprintf(stderr,
+            "offload gate: policy beat no baseline pair at the accuracy "
+            "floor\n");
+  if (!partition_ok)
+    fprintf(stderr, "offload gate: partition stall check failed\n");
+  return (policy_wins && partition_ok) ? 0 : 1;
+}
+
 // ---- Perf regression gate (S2A_BENCH_BUDGETS=<budgets.json>) ----
 //
 // Re-times the budgeted hot paths single-threaded and fails if any p95
@@ -1267,6 +1613,8 @@ int main(int argc, char** argv) {
     return run_train_report(out);
   if (const char* out = std::getenv("S2A_BENCH_FLEET"))
     return run_fleet_report(out);
+  if (const char* out = std::getenv("S2A_BENCH_OFFLOAD"))
+    return run_offload_report(out);
   if (const char* budgets = std::getenv("S2A_BENCH_BUDGETS"))
     return run_budget_gate(budgets);
   benchmark::Initialize(&argc, argv);

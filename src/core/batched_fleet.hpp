@@ -78,6 +78,12 @@ class BatchProcessor : public Processor {
 /// (or if nothing was staged) it transparently delegates to the shared
 /// processor's serial path, so a loop built on a BatchSlot also runs
 /// correctly under tick()/run()/Fleet.
+///
+/// Composing with core::OffloadExecutor (offload.hpp): a BatchSlot used
+/// as the executor's *local* model must be driven with
+/// OffloadConfig::prepaid_local so the staged row is consumed exactly
+/// once per tick — otherwise a tick routed remote would leave a stale
+/// staged row behind for the next tick to serve.
 class BatchSlot : public Processor {
  public:
   explicit BatchSlot(BatchProcessor& shared) : shared_(shared) {}

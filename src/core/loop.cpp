@@ -227,7 +227,7 @@ void SensingActionLoop::commit_tick(SenseOutcome& outcome, Rng& rng) {
       Action action;
       {
         S2A_TRACE_SCOPE_CAT("loop.process", "core");
-        action.data = processor_.process(last_obs_, rng);
+        action.data = processor_.process_at(now_, last_obs_, rng);
       }
       metrics_.processing_energy_j += processor_.energy_per_call_j();
       action.based_on_timestamp = last_obs_.timestamp;

@@ -79,6 +79,16 @@ class Processor {
  public:
   virtual ~Processor() = default;
   virtual std::vector<double> process(const Observation& obs, Rng& rng) = 0;
+  /// Time-aware variant: the loop calls this with its current virtual
+  /// time, which time-indexed processors (core::OffloadExecutor routing
+  /// over a net::LinkSim whose fault windows are keyed by the loop
+  /// clock) need. The default forwards to process(), so plain
+  /// processors are unaffected.
+  virtual std::vector<double> process_at(double now, const Observation& obs,
+                                         Rng& rng) {
+    (void)now;
+    return process(obs, rng);
+  }
   /// Energy of one process() call (metered into the loop totals).
   virtual double energy_per_call_j() const { return 0.0; }
 };

@@ -1,6 +1,7 @@
 #include "monitor/fusion.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
@@ -40,6 +41,11 @@ std::vector<lidar::Detection> simulate_camera_detections(
 
 double regret_to_reliability(double score, double threshold) {
   S2A_CHECK(threshold > 0.0);
+  // A non-finite regret means the monitor itself broke down (NaN
+  // embedding, overflowed ELBO) — the stream gets zero weight, it must
+  // not propagate NaN into detection-score scaling. Negative and
+  // sub-threshold finite scores clamp to full reliability.
+  if (!std::isfinite(score)) return 0.0;
   if (score <= threshold) return 1.0;
   return threshold / score;
 }

@@ -49,8 +49,10 @@ std::vector<lidar::Detection> reliability_weighted_fuse(
     double lidar_reliability, double dedup_iou = 0.5);
 
 /// Maps a STARNet regret score to a reliability weight via a soft-knee:
-/// 1 at/below the calibrated threshold, decaying as score/threshold grows
-/// (reliability = threshold / max(threshold, score)).
+/// 1 at/below the calibrated threshold (negative scores included),
+/// decaying as score/threshold grows (reliability = threshold /
+/// max(threshold, score)). Non-finite scores — a broken monitor — map to
+/// reliability 0, never propagating NaN into detection-score scaling.
 double regret_to_reliability(double score, double threshold);
 
 }  // namespace s2a::monitor

@@ -67,6 +67,12 @@ double StarNet::score(const std::vector<double>& embedding, Rng& rng) {
   return r.regret;
 }
 
+double StarNetUncertainty::score(const core::Observation& obs) {
+  if (!starnet_.fitted()) return 0.0;
+  const double threshold = std::max(1e-12, starnet_.threshold());
+  return starnet_.score(obs.data, rng_) / threshold;
+}
+
 bool StarNet::trusted(const std::vector<double>& embedding, Rng& rng) {
   const bool ok = score(embedding, rng) <= threshold_;
   // One macro per branch: each call site caches a single instrument.

@@ -6,8 +6,10 @@
 // stream is trusted.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "core/offload.hpp"
 #include "monitor/likelihood_regret.hpp"
 #include "monitor/vae.hpp"
 
@@ -49,6 +51,25 @@ class StarNet {
   std::vector<double> mean_, stddev_;
   double threshold_ = 0.0;
   bool fitted_ = false;
+};
+
+/// Adapts a fitted StarNet into the core::UncertaintySource interface
+/// consumed by core::OffloadExecutor: the returned score is the
+/// likelihood regret normalized by the calibrated trust threshold, so
+/// the executor's default regret_gate of 1.0 means "offload exactly the
+/// embeddings STARNet would distrust". Owns its own seeded Rng for the
+/// SPSA draws (member-local → thread-count deterministic). Before fit()
+/// the adapter reports 0 (confident — keep local).
+class StarNetUncertainty : public core::UncertaintySource {
+ public:
+  StarNetUncertainty(StarNet& starnet, std::uint64_t seed)
+      : starnet_(starnet), rng_(seed) {}
+
+  double score(const core::Observation& obs) override;
+
+ private:
+  StarNet& starnet_;
+  Rng rng_;
 };
 
 }  // namespace s2a::monitor

@@ -1,0 +1,96 @@
+#include "net/circuit.hpp"
+
+#include "net/link.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace s2a::net {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "CLOSED";
+    case BreakerState::kOpen:
+      return "OPEN";
+    case BreakerState::kHalfOpen:
+      return "HALF_OPEN";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {
+  S2A_CHECK(cfg_.failure_threshold >= 1);
+  S2A_CHECK(cfg_.open_cooldown_s >= 0.0);
+  S2A_CHECK(cfg_.probe_prob > 0.0 && cfg_.probe_prob <= 1.0);
+  S2A_CHECK(cfg_.close_after >= 1);
+}
+
+void CircuitBreaker::trip(double now_s) {
+  state_ = BreakerState::kOpen;
+  opened_at_s_ = now_s;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  ++metrics_.opens;
+  S2A_COUNTER_ADD("net.breaker_opens", 1);
+}
+
+bool CircuitBreaker::allow(double now_s, std::uint64_t request_id) {
+  if (state_ == BreakerState::kOpen &&
+      now_s - opened_at_s_ >= cfg_.open_cooldown_s) {
+    state_ = BreakerState::kHalfOpen;
+    probe_successes_ = 0;
+    ++metrics_.half_opens;
+    S2A_COUNTER_ADD("net.breaker_half_opens", 1);
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      ++metrics_.blocked;
+      S2A_COUNTER_ADD("net.breaker_blocked", 1);
+      return false;
+    case BreakerState::kHalfOpen: {
+      // Seeded probe admission: hashed per request id, not drawn from a
+      // shared stream, so admission is independent of call interleaving.
+      Rng rng(mix_seed(seed_ ^ 0xC1BCu, request_id));
+      if (rng.bernoulli(cfg_.probe_prob)) {
+        ++metrics_.probes;
+        S2A_COUNTER_ADD("net.breaker_probes", 1);
+        return true;
+      }
+      ++metrics_.blocked;
+      S2A_COUNTER_ADD("net.breaker_blocked", 1);
+      return false;
+    }
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++probe_successes_ >= cfg_.close_after) {
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+      probe_successes_ = 0;
+      ++metrics_.closes;
+      S2A_COUNTER_ADD("net.breaker_closes", 1);
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::record_failure(double now_s) {
+  if (state_ == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately and restarts the cooldown.
+    trip(now_s);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= cfg_.failure_threshold) {
+    trip(now_s);
+  }
+}
+
+}  // namespace s2a::net

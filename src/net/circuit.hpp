@@ -1,0 +1,73 @@
+// Per-link circuit breaker (CLOSED → OPEN → HALF_OPEN), the classic
+// fail-fast guard that keeps a dead cloud from stalling the loop: after
+// `failure_threshold` consecutive remote failures the breaker OPENs and
+// every call is answered locally without touching the link; after
+// `open_cooldown_s` of virtual time it HALF_OPENs and admits seeded
+// probe requests (counter-hashed bernoulli, so probe admission is
+// bit-reproducible at every thread count); `close_after` consecutive
+// probe successes re-CLOSE it, any probe failure re-OPENs it.
+//
+// All state advances on the *loop clock* passed into allow() — the
+// breaker never reads wall time, which is what lets chaos tests assert
+// identical transition counts across S2A_THREADS values.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace s2a::net {
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerConfig {
+  int failure_threshold = 3;   ///< consecutive failures to trip CLOSED→OPEN
+  double open_cooldown_s = 0.5;  ///< virtual dwell before OPEN→HALF_OPEN
+  double probe_prob = 0.5;     ///< HALF_OPEN admission probability per call
+  int close_after = 2;         ///< consecutive probe successes to re-close
+};
+
+/// Cumulative transition/admission counters; compared bit-exactly in the
+/// chaos determinism tests.
+struct BreakerMetrics {
+  long opens = 0;       ///< → OPEN transitions (trips and failed probes)
+  long half_opens = 0;  ///< OPEN → HALF_OPEN transitions
+  long closes = 0;      ///< HALF_OPEN → CLOSED recoveries
+  long probes = 0;      ///< admitted HALF_OPEN probe requests
+  long blocked = 0;     ///< calls denied remote access
+
+  friend bool operator==(const BreakerMetrics&, const BreakerMetrics&) =
+      default;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig cfg = {}, std::uint64_t seed = 0);
+
+  /// May this call go remote at virtual time `now`? `request_id` keys the
+  /// HALF_OPEN probe draw so admission is replayable. Advances
+  /// OPEN→HALF_OPEN when the cooldown has elapsed.
+  bool allow(double now_s, std::uint64_t request_id);
+
+  /// Report the outcome of a remote call that allow() admitted.
+  void record_success();
+  void record_failure(double now_s);
+
+  BreakerState state() const { return state_; }
+  const BreakerMetrics& metrics() const { return metrics_; }
+  const BreakerConfig& config() const { return cfg_; }
+
+ private:
+  void trip(double now_s);
+
+  BreakerConfig cfg_;
+  std::uint64_t seed_ = 0;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  double opened_at_s_ = 0.0;
+  BreakerMetrics metrics_;
+};
+
+}  // namespace s2a::net

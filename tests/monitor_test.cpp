@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "monitor/fusion.hpp"
 #include "monitor/likelihood_regret.hpp"
@@ -416,6 +417,37 @@ TEST(AdaptiveFusion, RegretMapsToSoftReliability) {
   EXPECT_DOUBLE_EQ(regret_to_reliability(2.0, 1.0), 0.5);
   EXPECT_DOUBLE_EQ(regret_to_reliability(10.0, 1.0), 0.1);
   EXPECT_THROW(regret_to_reliability(1.0, 0.0), CheckError);
+}
+
+// A broken monitor (NaN embedding, overflowed ELBO) must weight the
+// stream at zero, never propagate non-finite values into detection
+// score scaling; negative finite scores clamp to full reliability.
+TEST(AdaptiveFusion, RegretReliabilityClampsNonFiniteAndNegative) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(regret_to_reliability(nan, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(regret_to_reliability(inf, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(regret_to_reliability(-inf, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(regret_to_reliability(-5.0, 1.0), 1.0);
+  // The scaled score stays finite even when the regret is not.
+  std::vector<lidar::Detection> ld{
+      {sim::ObjectClass::kCar, {{1, 1, 0.8}, {4, 2, 1.6}}, 0.9}};
+  const auto fused =
+      reliability_weighted_fuse(ld, {}, regret_to_reliability(nan, 1.0));
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_TRUE(std::isfinite(fused[0].score));
+  EXPECT_DOUBLE_EQ(fused[0].score, 0.0);
+}
+
+TEST(StarNetUncertaintyAdapter, UnfittedReportsConfident) {
+  Rng rng(3);
+  StarNetConfig cfg;
+  cfg.vae.input_dim = 4;
+  StarNet net(cfg, rng);
+  StarNetUncertainty gate(net, /*seed=*/5);
+  core::Observation obs;
+  obs.data = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(gate.score(obs), 0.0);
 }
 
 }  // namespace
