@@ -6,9 +6,11 @@
 // Paper shape: both adaptive frameworks substantially reduce energy,
 // latency, and area while maintaining accuracy (the conclusions cite a
 // ~3× energy reduction for multi-agent loops).
+#include <cstdlib>
 #include <iostream>
 
 #include "federated/fedavg.hpp"
+#include "federated/hierarchy.hpp"
 #include "federated/speculative.hpp"
 #include "sim/dataset.hpp"
 #include "util/table.hpp"
@@ -81,6 +83,42 @@ int main() {
               << ": DC-NAS width " << rows[1].result.client_widths[static_cast<std::size_t>(c)]
               << "/" << cfg.hidden << ", HaLo-FL precision " << p.weight_bits
               << "/" << p.activation_bits << "/" << p.gradient_bits << "\n";
+  }
+
+  // S2A_FED_HIER=1: replay the same three strategies through an explicit
+  // client -> edge -> region tree (hierarchy.hpp). Flat run_federated is
+  // the one-edge special case of the same engine and the fixed-point
+  // reduction is shape-invariant, so the full-participation tree must
+  // reproduce the table above bit-identically — printed as a check —
+  // while the hier columns show the tree bookkeeping the flat view hides.
+  if (const char* hier = std::getenv("S2A_FED_HIER");
+      hier != nullptr && hier[0] == '1') {
+    HierConfig hc;
+    hc.fl = cfg;
+    hc.clients_per_edge = 2;
+    hc.edges_per_region = 2;
+    Table ht("Hierarchical replay (S2A_FED_HIER=1): 8 clients -> 4 edges "
+             "-> 2 regions, same rounds");
+    ht.set_header({"Framework", "Accuracy", "Wire traffic", "Peak agg mem",
+                   "Matches flat"});
+    for (const auto& row : rows) {
+      Rng run_rng(42);
+      const HierResult h = run_federated_hier(row.strategy, train, test,
+                                              shards, fleet, hc, run_rng);
+      const FlResult& f = row.result;
+      const bool matches = h.fl.final_accuracy == f.final_accuracy &&
+                           h.fl.total_energy_j == f.total_energy_j &&
+                           h.fl.total_latency_s == f.total_latency_s &&
+                           h.fl.mean_area_mm2 == f.mean_area_mm2;
+      ht.add_row({strategy_name(row.strategy),
+                  Table::num(100.0 * h.fl.final_accuracy, 1) + "%",
+                  Table::num(h.hier.bytes_on_wire / 1024.0, 1) + " KiB",
+                  Table::num(static_cast<double>(h.hier.peak_accumulator_bytes) /
+                                 1024.0, 1) + " KiB",
+                  matches ? "yes" : "NO"});
+    }
+    std::cout << "\n";
+    ht.print(std::cout);
   }
 
   // Edge-cloud speculative decoding (Sec. VII).

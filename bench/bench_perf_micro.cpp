@@ -36,6 +36,14 @@
 // check on a fleet sharing one uplink, and writes BENCH_offload.json —
 // exiting non-zero if the policy wins at no sweep point or any member
 // stalls, misses a deadline, or actuates a non-finite value.
+// With S2A_BENCH_FED_SCALE=<out.json> it sweeps the hierarchical
+// federated engine over {1k, 10k, 100k} simulated clients (override the
+// sweep with S2A_FED_SCALE_CLIENTS=<n> for a single point, e.g. the CI
+// 1k upload), timing a full-participation dense round and a
+// sampled+top-k compressed round per point, and writes
+// BENCH_fed_scale.json — exiting non-zero if peak aggregator memory at
+// any point exceeds the smallest point's (the streaming reduction's
+// O(levels + threads) bound must not grow with client count).
 // With S2A_BENCH_BUDGETS=<budgets.json> it becomes the perf regression
 // gate: re-times the budgeted hot paths and exits non-zero if any p95
 // exceeds its recorded budget by more than the file's tolerance.
@@ -62,6 +70,7 @@
 #include "fault/fault.hpp"
 #include "federated/fedavg.hpp"
 #include "federated/hardware.hpp"
+#include "federated/hierarchy.hpp"
 #include "lidar/autoencoder.hpp"
 #include "lidar/batched.hpp"
 #include "lidar/voxel_grid.hpp"
@@ -368,6 +377,62 @@ struct OffloadTickFixture {
   }
 };
 
+// Fed-scale fixtures, shared by the fed.hier_round_1k budget workload
+// and the S2A_BENCH_FED_SCALE sweep. A tiny MLP (12 features, 16
+// hidden, 4 classes — 276 params) over synthetic cyclically-assigned
+// 4-sample shards: dirichlet_partition degenerates into empty shards
+// past a few hundred clients, and the sweep measures the aggregation
+// tree, not the sharder. Local training is deliberately trivial so the
+// round cost is dominated by the engine's own sampling / streaming
+// reduction / accounting — the thing the scale sweep bounds.
+struct FedScaleFixture {
+  sim::ClassificationDataset train, test;
+  std::vector<std::vector<int>> shards;
+  std::vector<federated::HardwareProfile> fleet;
+  federated::HierConfig cfg;
+
+  static FedScaleFixture make(int clients) {
+    FedScaleFixture fx;
+    Rng rng(21);
+    fx.train = sim::make_gaussian_classes(240, 12, 4, 3.0, rng);
+    fx.test = sim::make_gaussian_classes(120, 12, 4, 3.0, rng);
+    const int n = static_cast<int>(fx.train.labels.size());
+    fx.shards.resize(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      auto& shard = fx.shards[static_cast<std::size_t>(c)];
+      shard.reserve(4);
+      for (int j = 0; j < 4; ++j) shard.push_back((c * 7 + j * 61 + 3) % n);
+    }
+    fx.fleet = federated::make_heterogeneous_fleet(clients, rng);
+    fx.cfg.fl.rounds = 1;
+    fx.cfg.fl.local_epochs = 1;
+    fx.cfg.fl.batch = 4;
+    fx.cfg.fl.hidden = 16;
+    fx.cfg.clients_per_edge = 64;
+    fx.cfg.edges_per_region = 32;
+    return fx;
+  }
+
+  // The constrained-uplink configuration: 5% uniform cohort, top-25%
+  // deltas with error feedback, updates billed through the link model.
+  federated::HierConfig sampled_cfg() const {
+    federated::HierConfig c = cfg;
+    c.sample_mode = federated::SampleMode::kUniform;
+    c.sample_fraction = 0.05;
+    c.topk_fraction = 0.25;
+    c.error_feedback = true;
+    c.bill_uplink = true;
+    return c;
+  }
+
+  federated::HierResult run(const federated::HierConfig& c) const {
+    Rng round_rng(31);
+    return federated::run_federated_hier(federated::FlStrategy::kStaticFl,
+                                         train, test, shards, fleet, c,
+                                         round_rng);
+  }
+};
+
 // Inputs for the pool-sharded hot paths, built once and shared by the
 // parallel report, the kernels report, and the budget gate so every mode
 // times the exact same call sequences.
@@ -395,6 +460,10 @@ struct HotPathFixtures {
   // ScratchArena is non-movable and the fixture is returned by value.
   std::vector<double> gemm_a, gemm_b, gemm_c;
   std::unique_ptr<util::ScratchArena> gemm_arena;
+  // fed.hier_round_1k: one sampled+compressed hierarchical round over a
+  // 1000-client tree (value-initialized by the aggregate init below,
+  // filled at the end of make()).
+  std::unique_ptr<FedScaleFixture> fed_hier;
 
   static HotPathFixtures make() {
     // lidar.voxelize: a 360x32 scan (11520 returns) is well above the
@@ -436,7 +505,8 @@ struct HotPathFixtures {
                        nn::Adam{1e-3},  federated::MlpParams{},
                        std::vector<bool>{},
                        {},              {},
-                       {},              nullptr};
+                       {},              nullptr,
+                       nullptr};
 
     // lidar.ae_pretrain_step: sparse occupancy target (~6% occupied),
     // masked input keeping ~10% of sensed voxels.
@@ -469,6 +539,10 @@ struct HotPathFixtures {
     // The float workloads are unaffected — the snapshot only engages
     // while the quant backend resolves to int8.
     fx.ae.quantize();
+
+    // fed.hier_round_1k: the 1k point of the S2A_BENCH_FED_SCALE sweep
+    // under the constrained-uplink configuration.
+    fx.fed_hier = std::make_unique<FedScaleFixture>(FedScaleFixture::make(1000));
     return fx;
   }
 
@@ -507,6 +581,10 @@ struct HotPathFixtures {
     w.push_back({"core.offload_tick", 60,
                  [fx = std::make_shared<OffloadTickFixture>()] {
                    fx->run_block();
+                 }});
+    w.push_back({"fed.hier_round_1k", 15, [this] {
+                   benchmark::DoNotOptimize(
+                       fed_hier->run(fed_hier->sampled_cfg()));
                  }});
     w.push_back({"nn.gemm_conv2", 400, [this] {
                    std::fill(gemm_c.begin(), gemm_c.end(), 0.0);
@@ -1509,6 +1587,125 @@ int run_offload_report(const char* out_path) {
   return (policy_wins && partition_ok) ? 0 : 1;
 }
 
+// ---- Fed-scale report (S2A_BENCH_FED_SCALE=<out.json>) ----
+//
+// Sweeps the hierarchical federated engine over {1k, 10k, 100k}
+// simulated clients (S2A_FED_SCALE_CLIENTS=<n> narrows the sweep to a
+// single point — CI uploads the 1k point this way). Per point it times
+// one full-participation dense round and one sampled + top-k compressed
+// round, then asserts the tentpole invariant: peak aggregator memory
+// (chunk workspaces + per-level fixed-point accumulators, HierStats::
+// peak_accumulator_bytes) must not exceed the smallest point's — the
+// streaming reduction is O(levels + threads) model buffers, never
+// O(clients). A violation exits non-zero after the JSON is written.
+
+struct FedScalePoint {
+  int clients = 0;
+  int reps = 0;
+  Percentiles dense_ms, sampled_ms;
+  federated::HierResult dense, sampled;
+};
+
+int run_fed_scale_report(const char* out_path) {
+  print_cpu_banner();
+  std::vector<int> points = {1000, 10000, 100000};
+  if (const char* env = std::getenv("S2A_FED_SCALE_CLIENTS")) {
+    const int n = std::atoi(env);
+    if (n < 1) {
+      fprintf(stderr, "S2A_FED_SCALE_CLIENTS must be a positive integer\n");
+      return 1;
+    }
+    points = {n};
+  }
+
+  std::vector<FedScalePoint> results;
+  for (const int clients : points) {
+    FedScalePoint pt;
+    pt.clients = clients;
+    // The dense round is O(clients) local trainings; keep the wall time
+    // of the 100k point sane by shrinking reps as the sweep grows.
+    pt.reps = clients <= 1000 ? 10 : clients <= 10000 ? 4 : 2;
+    const FedScaleFixture fx = FedScaleFixture::make(clients);
+    const federated::HierConfig sampled = fx.sampled_cfg();
+    pt.dense_ms =
+        percentiles(time_reps(pt.reps, [&] { pt.dense = fx.run(fx.cfg); }));
+    pt.sampled_ms =
+        percentiles(time_reps(pt.reps, [&] { pt.sampled = fx.run(sampled); }));
+    printf(
+        "%7d clients (%4d edges, %3d regions) | dense p50 %9.2f ms peak %8zu B"
+        " | sampled p50 %8.2f ms peak %8zu B cohort %5ld ratio %.2fx\n",
+        clients, pt.dense.hier.edges, pt.dense.hier.regions,
+        pt.dense_ms.p50_ms, pt.dense.hier.peak_accumulator_bytes,
+        pt.sampled_ms.p50_ms, pt.sampled.hier.peak_accumulator_bytes,
+        pt.sampled.hier.sampled_client_rounds,
+        pt.sampled.hier.compression_ratio());
+    results.push_back(std::move(pt));
+  }
+
+  // The hard scale assertion: the streaming reduction's memory bound is
+  // set by tree fanout and thread count, so a hundredfold client-count
+  // increase must leave the high-water mark exactly where the smallest
+  // point put it.
+  int failures = 0;
+  const auto& base = results.front();
+  for (const FedScalePoint& pt : results) {
+    for (const bool dense : {true, false}) {
+      const std::size_t peak = (dense ? pt.dense : pt.sampled)
+                                   .hier.peak_accumulator_bytes;
+      const std::size_t limit = (dense ? base.dense : base.sampled)
+                                    .hier.peak_accumulator_bytes;
+      if (peak > limit) {
+        fprintf(stderr,
+                "fed-scale gate: %s peak aggregator memory grew with client "
+                "count (%zu B at %d clients > %zu B at %d clients)\n",
+                dense ? "dense" : "sampled", peak, pt.clients, limit,
+                base.clients);
+        ++failures;
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  out << "{\n  \"cpu\": \"" << util::cpu_feature_string() << "\",\n  \"simd\": \""
+      << active_simd_name()
+      << "\",\n  \"sampled_config\": {\"sample_fraction\": 0.05, "
+         "\"topk_fraction\": 0.25, \"error_feedback\": true, "
+         "\"bill_uplink\": true},\n  \"peak_memory_flat\": "
+      << (failures == 0 ? "true" : "false") << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FedScalePoint& pt = results[i];
+    const auto emit = [&](const char* key, const federated::HierResult& r,
+                          const Percentiles& p, bool last) {
+      out << "     \"" << key << "\": {\"p50_ms\": " << p.p50_ms
+          << ", \"p95_ms\": " << p.p95_ms << ", \"peak_accumulator_bytes\": "
+          << r.hier.peak_accumulator_bytes << ",\n       \"bytes_on_wire\": "
+          << r.hier.bytes_on_wire << ", \"dense_bytes\": " << r.hier.dense_bytes
+          << ", \"compression_ratio\": " << r.hier.compression_ratio()
+          << ",\n       \"sampled_client_rounds\": "
+          << r.hier.sampled_client_rounds << ", \"final_accuracy\": "
+          << r.fl.final_accuracy << "}" << (last ? "" : ",") << "\n";
+    };
+    out << "    {\"clients\": " << pt.clients << ", \"edges\": "
+        << pt.dense.hier.edges << ", \"regions\": " << pt.dense.hier.regions
+        << ", \"reps\": " << pt.reps << ",\n";
+    emit("dense", pt.dense, pt.dense_ms, false);
+    emit("sampled", pt.sampled, pt.sampled_ms, true);
+    out << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  printf("Wrote fed-scale report to %s\n", out_path);
+  if (failures > 0) {
+    fprintf(stderr, "fed-scale gate: %d peak-memory violation(s)\n", failures);
+    return 1;
+  }
+  printf("fed-scale gate: peak aggregator memory flat across the sweep\n");
+  return 0;
+}
+
 // ---- Perf regression gate (S2A_BENCH_BUDGETS=<budgets.json>) ----
 //
 // Re-times the budgeted hot paths single-threaded and fails if any p95
@@ -1615,6 +1812,8 @@ int main(int argc, char** argv) {
     return run_fleet_report(out);
   if (const char* out = std::getenv("S2A_BENCH_OFFLOAD"))
     return run_offload_report(out);
+  if (const char* out = std::getenv("S2A_BENCH_FED_SCALE"))
+    return run_fed_scale_report(out);
   if (const char* budgets = std::getenv("S2A_BENCH_BUDGETS"))
     return run_budget_gate(budgets);
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,99 @@
+#include "federated/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace s2a::federated {
+
+std::size_t sparse_wire_bytes(const SparseDelta& delta) {
+  return 16 + delta.entries.size() * (sizeof(std::uint32_t) + sizeof(double));
+}
+
+std::size_t dense_wire_bytes(std::size_t numel) {
+  return 16 + numel * sizeof(double);
+}
+
+std::size_t topk_keep_count(std::size_t eligible_count, double k_fraction) {
+  S2A_CHECK(k_fraction > 0.0 && k_fraction <= 1.0);
+  if (eligible_count == 0) return 0;
+  const double raw = std::ceil(k_fraction * static_cast<double>(eligible_count));
+  return std::max<std::size_t>(1, static_cast<std::size_t>(raw));
+}
+
+SparseDelta topk_compress(std::vector<double>& delta, double k_fraction,
+                          std::vector<double>* residual,
+                          const std::vector<unsigned char>* eligible) {
+  S2A_CHECK(k_fraction > 0.0 && k_fraction <= 1.0);
+  const std::size_t n = delta.size();
+  if (eligible != nullptr) S2A_CHECK(eligible->size() == n);
+  if (residual != nullptr) {
+    S2A_CHECK(residual->empty() || residual->size() == n);
+    if (residual->empty()) residual->assign(n, 0.0);
+  }
+
+  const auto is_eligible = [&](std::size_t i) {
+    return eligible == nullptr || (*eligible)[i] != 0;
+  };
+
+  // Fold the carried residual into the delta on eligible positions; the
+  // ineligible ones keep their residual untouched for a later round in
+  // which the client trains those units again.
+  std::size_t eligible_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_eligible(i)) continue;
+    ++eligible_count;
+    if (residual != nullptr) delta[i] += (*residual)[i];
+  }
+
+  const std::size_t keep = topk_keep_count(eligible_count, k_fraction);
+
+  // Candidate order: |value| descending, index ascending on ties — a
+  // strict total order, so the kept set is unique no matter how the
+  // selection algorithm permutes equal elements.
+  std::vector<std::uint32_t> order;
+  order.reserve(eligible_count);
+  for (std::size_t i = 0; i < n; ++i)
+    if (is_eligible(i) && delta[i] != 0.0)
+      order.push_back(static_cast<std::uint32_t>(i));
+  const auto better = [&](std::uint32_t a, std::uint32_t b) {
+    const double ma = std::abs(delta[a]);
+    const double mb = std::abs(delta[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  };
+  if (order.size() > keep) {
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(keep),
+                     order.end(), better);
+    order.resize(keep);
+  }
+  std::sort(order.begin(), order.end());
+
+  SparseDelta out;
+  out.dense_numel = n;
+  out.entries.reserve(order.size());
+  for (std::uint32_t idx : order)
+    out.entries.push_back({idx, delta[idx]});
+
+  // Error feedback: everything eligible that was not shipped is carried;
+  // shipped positions are fully discharged.
+  if (residual != nullptr) {
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_eligible(i)) continue;
+      const bool shipped =
+          next < order.size() && order[next] == static_cast<std::uint32_t>(i);
+      if (shipped) {
+        (*residual)[i] = 0.0;
+        ++next;
+      } else {
+        (*residual)[i] = delta[i];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace s2a::federated

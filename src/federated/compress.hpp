@@ -1,0 +1,65 @@
+// Sparse top-k delta compression with error feedback (the uplink side of
+// hierarchical federated scaling, docs/ARCHITECTURE.md).
+//
+// A participating client ships only the k largest-magnitude entries of
+// its (flattened) model delta; everything it did not ship is carried in
+// a per-client residual accumulator and added back the next time the
+// client participates, so the compression error is fed back instead of
+// lost ("error feedback" / EF-SGD). Selection is deterministic — ties
+// break on the lower flat index — so compressed runs are bit-identical
+// at every thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace s2a::federated {
+
+/// One surviving entry of a compressed delta.
+struct SparseEntry {
+  std::uint32_t index = 0;  ///< flat position in the w1|b1|w2|b2 layout
+  double value = 0.0;
+};
+
+/// A compressed client delta: entries sorted by ascending index.
+struct SparseDelta {
+  std::vector<SparseEntry> entries;
+  std::size_t dense_numel = 0;  ///< size of the dense vector it came from
+};
+
+/// Modeled wire cost of a compressed delta: 16-byte header plus a
+/// 4-byte index and 8-byte value per surviving entry.
+std::size_t sparse_wire_bytes(const SparseDelta& delta);
+/// Modeled wire cost of the dense alternative: 16-byte header plus
+/// 8 bytes per parameter.
+std::size_t dense_wire_bytes(std::size_t numel);
+
+/// Number of entries kept at `k_fraction` of an `eligible_count`-entry
+/// delta: ceil(fraction * eligible), at least 1 when anything is
+/// eligible.
+std::size_t topk_keep_count(std::size_t eligible_count, double k_fraction);
+
+/// Magnitude top-k compression of `delta` (modified in place), with
+/// optional error feedback and an optional eligibility mask.
+///
+///  * If `residual` is non-null it must be empty or sized like `delta`;
+///    it is added into `delta` on eligible positions before selection
+///    (an empty residual is grown to size, zero-filled), and afterwards
+///    holds exactly the part of the corrected delta that was NOT
+///    shipped — so shipped + residual' == delta_in + residual_in,
+///    position-exact.
+///  * If `eligible` is non-null it must be sized like `delta`; only
+///    positions with a nonzero flag participate (DC-NAS clients never
+///    ship — or carry residual for — the hidden units they did not
+///    train this round).
+///  * Selection keeps the topk_keep_count() largest |value| entries,
+///    ties broken toward the lower index; exact zeros are never
+///    shipped. k_fraction must be in (0, 1]; 1.0 ships every eligible
+///    nonzero entry, so a residual (if present) drains to zero on the
+///    eligible positions.
+SparseDelta topk_compress(std::vector<double>& delta, double k_fraction,
+                          std::vector<double>* residual,
+                          const std::vector<unsigned char>* eligible);
+
+}  // namespace s2a::federated

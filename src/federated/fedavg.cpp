@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
+#include "federated/hierarchy.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
-#include "util/finite.hpp"
 #include "util/thread_pool.hpp"
 
 namespace s2a::federated {
@@ -219,17 +218,6 @@ PrecisionConfig select_precision(const HardwareProfile& hw,
   return cfg.precision_candidates.front();  // nothing fits: cheapest
 }
 
-namespace {
-
-/// Whether a client's update participates in this round's aggregation.
-enum class ClientStatus {
-  kOk = 0,      ///< responded in time; update eligible for aggregation
-  kNoResponse,  ///< plan dropout: never computed, never responded
-  kTimedOut,    ///< computed, but response missed the server deadline
-};
-
-}  // namespace
-
 FlResult run_federated(FlStrategy strategy,
                        const sim::ClassificationDataset& train,
                        const sim::ClassificationDataset& test,
@@ -237,247 +225,19 @@ FlResult run_federated(FlStrategy strategy,
                        const std::vector<HardwareProfile>& fleet,
                        const FlConfig& cfg, Rng& rng,
                        const fault::FaultPlan* faults) {
-  S2A_CHECK(shards.size() == fleet.size());
-  S2A_CHECK(cfg.client_timeout_s > 0.0);
-  const int clients = static_cast<int>(shards.size());
-  MlpParams global = init_mlp(train.feature_dim, cfg.hidden,
-                              train.num_classes, rng);
-
-  FlResult res;
-  res.client_widths.assign(static_cast<std::size_t>(clients), cfg.hidden);
-  res.client_precisions.assign(static_cast<std::size_t>(clients),
-                               PrecisionConfig{});
-
-  // Per-client adaptation decisions (stable across rounds).
-  for (int c = 0; c < clients; ++c) {
-    const auto& hw = fleet[static_cast<std::size_t>(c)];
-    if (strategy == FlStrategy::kDcNas) {
-      res.client_widths[static_cast<std::size_t>(c)] = select_width(
-          hw, cfg, shards[static_cast<std::size_t>(c)].size(), train.feature_dim,
-          train.num_classes);
-    } else if (strategy == FlStrategy::kHaloFl) {
-      const double round_macs =
-          static_cast<double>(cfg.local_epochs) *
-          static_cast<double>(shards[static_cast<std::size_t>(c)].size()) *
-          3.0 * static_cast<double>(mlp_macs(global, cfg.hidden));
-      res.client_precisions[static_cast<std::size_t>(c)] =
-          select_precision(hw, cfg, round_macs);
-    }
-  }
-
-  double total_area = 0.0;
-
-  for (int round = 0; round < cfg.rounds; ++round) {
-    S2A_TRACE_SCOPE_CAT("fed.round", "federated");
-    S2A_COUNTER_ADD("fed.rounds", 1);
-
-    // Client updates run on the shared pool. Determinism at every thread
-    // count: per-client RNG streams are spawned serially in client order
-    // (so the parent generator advances identically), each task reads
-    // only `global`/config state and writes only its own slots, and every
-    // reduction below is client-ordered on the calling thread.
-    std::vector<Rng> client_rngs;
-    client_rngs.reserve(static_cast<std::size_t>(clients));
-    for (int c = 0; c < clients; ++c) client_rngs.push_back(rng.spawn());
-
-    // Resolve this round's client faults up front — a pure lookup in the
-    // plan, so the failure schedule is identical at every thread count.
-    std::vector<ClientStatus> status(static_cast<std::size_t>(clients),
-                                     ClientStatus::kOk);
-    std::vector<double> latency_mult(static_cast<std::size_t>(clients), 1.0);
-    std::vector<bool> corrupt(static_cast<std::size_t>(clients), false);
-    if (faults != nullptr) {
-      for (int c = 0; c < clients; ++c) {
-        const fault::FaultEvent* ev = faults->client_fault_at(round, c);
-        if (ev == nullptr) continue;
-        switch (ev->kind) {
-          case fault::FaultKind::kClientDropout:
-            status[static_cast<std::size_t>(c)] = ClientStatus::kNoResponse;
-            break;
-          case fault::FaultKind::kClientStraggler:
-            latency_mult[static_cast<std::size_t>(c)] = ev->magnitude;
-            break;
-          case fault::FaultKind::kClientCorrupt:
-            corrupt[static_cast<std::size_t>(c)] = true;
-            break;
-          default:
-            break;
-        }
-      }
-    }
-
-    std::vector<MlpParams> deltas(static_cast<std::size_t>(clients));
-    std::vector<std::vector<bool>> masks(static_cast<std::size_t>(clients));
-    std::vector<double> client_macs(static_cast<std::size_t>(clients), 0.0);
-
-    util::global_pool().parallel_for(
-        0, static_cast<std::size_t>(clients), 1, [&](std::size_t ci) {
-          // A plan-dropped client never computes: no delta, no energy.
-          if (status[ci] == ClientStatus::kNoResponse) return;
-          S2A_TRACE_SCOPE_CAT("fed.client_update", "federated");
-          MlpParams local = global;
-
-          // Channel mask: DC-NAS keeps the top-w hidden units by ‖w1 row‖.
-          std::vector<bool> active(static_cast<std::size_t>(cfg.hidden), true);
-          const int width = res.client_widths[ci];
-          if (strategy == FlStrategy::kDcNas && width < cfg.hidden) {
-            std::vector<std::pair<double, int>> norms;
-            for (int j = 0; j < cfg.hidden; ++j) {
-              double n = 0.0;
-              const double* w = global.w1.data() + static_cast<std::size_t>(j) * global.in;
-              for (int i = 0; i < global.in; ++i) n += w[i] * w[i];
-              norms.push_back({n, j});
-            }
-            std::sort(norms.begin(), norms.end(),
-                      [](const auto& a, const auto& b) { return a.first > b.first; });
-            active.assign(static_cast<std::size_t>(cfg.hidden), false);
-            for (int k = 0; k < width; ++k)
-              active[static_cast<std::size_t>(norms[static_cast<std::size_t>(k)].second)] = true;
-          }
-
-          client_macs[ci] =
-              local_train(local, train, shards[ci], active,
-                          res.client_precisions[ci], cfg.local_epochs,
-                          cfg.batch, cfg.lr, client_rngs[ci]);
-
-          // Ship the update as a delta against the broadcast weights
-          // (what a bandwidth-frugal client would transmit). Units this
-          // client never trained are untouched, so their delta is an
-          // exact 0 and drops out of the masked aggregation below.
-          for (std::size_t i = 0; i < local.w1.numel(); ++i)
-            local.w1[i] -= global.w1[i];
-          for (std::size_t i = 0; i < local.b1.numel(); ++i)
-            local.b1[i] -= global.b1[i];
-          for (std::size_t i = 0; i < local.w2.numel(); ++i)
-            local.w2[i] -= global.w2[i];
-          for (std::size_t i = 0; i < local.b2.numel(); ++i)
-            local.b2[i] -= global.b2[i];
-          // An injected transmission corruption: the update arrives with
-          // a poisoned payload, which the server-side finite check below
-          // must quarantine before it can touch the global model.
-          if (corrupt[ci] && local.w1.numel() > 0)
-            local.w1[0] = std::numeric_limits<double>::quiet_NaN();
-          deltas[ci] = std::move(local);
-          masks[ci] = std::move(active);
-        });
-
-    // Cost accounting, serial and client-ordered so the float sums are
-    // identical at every thread count. Plan-dropped clients cost nothing
-    // (they never ran); stragglers burn their energy even when the
-    // server stops waiting for them, and the server's wait for a
-    // timed-out client is capped at exactly the deadline.
-    double round_latency = 0.0;
-    for (int c = 0; c < clients; ++c) {
-      if (status[static_cast<std::size_t>(c)] == ClientStatus::kNoResponse)
-        continue;
-      const double model_fraction =
-          static_cast<double>(res.client_widths[static_cast<std::size_t>(c)]) /
-          cfg.hidden;
-      const RoundCost cost =
-          round_cost(client_macs[static_cast<std::size_t>(c)],
-                     fleet[static_cast<std::size_t>(c)],
-                     res.client_precisions[static_cast<std::size_t>(c)],
-                     model_fraction);
-      res.total_energy_j += cost.energy_j;
-      const double latency =
-          cost.latency_s * latency_mult[static_cast<std::size_t>(c)];
-      if (latency > cfg.client_timeout_s)
-        status[static_cast<std::size_t>(c)] = ClientStatus::kTimedOut;
-      round_latency =
-          std::max(round_latency, std::min(latency, cfg.client_timeout_s));
-      total_area += cost.area_mm2;
-    }
-    res.total_latency_s += round_latency;
-    S2A_HISTOGRAM_RECORD("fed.round_latency_s", round_latency);
-
-    {
-      // Mask-aware weighted aggregation, in place on `global`: the
-      // batched deltas are accumulated client-ordered into one scratch
-      // set and applied once, instead of averaging full per-client
-      // parameter copies. Units no client trained keep their zero
-      // aggregate weight and are left untouched. Only the surviving
-      // client set participates — dropped and timed-out clients are
-      // skipped, and any delta carrying a non-finite value is
-      // quarantined here, at the server boundary. The iteration stays
-      // client-ordered, so the surviving aggregation is bit-identical
-      // at every thread count.
-      S2A_TRACE_SCOPE_CAT("fed.aggregate", "federated");
-      MlpParams agg = global;
-      agg.w1.fill(0.0);
-      agg.b1.fill(0.0);
-      agg.w2.fill(0.0);
-      agg.b2.fill(0.0);
-      std::vector<double> unit_weight(static_cast<std::size_t>(cfg.hidden), 0.0);
-      std::vector<bool> aggregated(static_cast<std::size_t>(clients), false);
-      double round_weight = 0.0;
-      int survivors = 0;
-      for (int c = 0; c < clients; ++c) {
-        if (status[static_cast<std::size_t>(c)] != ClientStatus::kOk) {
-          ++res.dropped_client_rounds;
-          S2A_COUNTER_ADD("fed.client_dropouts", 1);
-          continue;
-        }
-        const auto& d = deltas[static_cast<std::size_t>(c)];
-        if (!util::all_finite(d.w1.data(), d.w1.numel()) ||
-            !util::all_finite(d.b1.data(), d.b1.numel()) ||
-            !util::all_finite(d.w2.data(), d.w2.numel()) ||
-            !util::all_finite(d.b2.data(), d.b2.numel())) {
-          ++res.nonfinite_deltas;
-          S2A_COUNTER_ADD("fed.nonfinite_deltas", 1);
-          continue;
-        }
-        aggregated[static_cast<std::size_t>(c)] = true;
-        ++survivors;
-        round_weight +=
-            static_cast<double>(shards[static_cast<std::size_t>(c)].size());
-      }
-      res.survivors_per_round.push_back(survivors);
-      S2A_GAUGE_SET("fed.round_survivors", survivors);
-      for (int c = 0; c < clients; ++c) {
-        if (!aggregated[static_cast<std::size_t>(c)]) continue;
-        const auto& d = deltas[static_cast<std::size_t>(c)];
-        const double wgt = static_cast<double>(shards[static_cast<std::size_t>(c)].size());
-        for (int j = 0; j < cfg.hidden; ++j) {
-          if (!masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) continue;
-          unit_weight[static_cast<std::size_t>(j)] += wgt;
-          for (int i = 0; i < global.in; ++i)
-            agg.w1[static_cast<std::size_t>(j) * global.in + i] +=
-                wgt * d.w1[static_cast<std::size_t>(j) * global.in + i];
-          agg.b1[static_cast<std::size_t>(j)] += wgt * d.b1[static_cast<std::size_t>(j)];
-          for (int k = 0; k < global.classes; ++k)
-            agg.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
-                wgt * d.w2[static_cast<std::size_t>(k) * global.hidden + j];
-        }
-        for (int k = 0; k < global.classes; ++k)
-          agg.b2[static_cast<std::size_t>(k)] += wgt * d.b2[static_cast<std::size_t>(k)];
-      }
-      for (int j = 0; j < cfg.hidden; ++j) {
-        const double uw = unit_weight[static_cast<std::size_t>(j)];
-        if (uw == 0.0) continue;  // no client trained this unit: keep global
-        for (int i = 0; i < global.in; ++i)
-          global.w1[static_cast<std::size_t>(j) * global.in + i] +=
-              agg.w1[static_cast<std::size_t>(j) * global.in + i] / uw;
-        global.b1[static_cast<std::size_t>(j)] += agg.b1[static_cast<std::size_t>(j)] / uw;
-        for (int k = 0; k < global.classes; ++k)
-          global.w2[static_cast<std::size_t>(k) * global.hidden + j] +=
-              agg.w2[static_cast<std::size_t>(k) * global.hidden + j] / uw;
-      }
-      // A round that lost every client leaves the global model untouched.
-      if (round_weight > 0.0)
-        for (int k = 0; k < global.classes; ++k)
-          global.b2[static_cast<std::size_t>(k)] +=
-              agg.b2[static_cast<std::size_t>(k)] / round_weight;
-    }
-
-    {
-      S2A_TRACE_SCOPE_CAT("fed.evaluate", "federated");
-      res.accuracy_per_round.push_back(evaluate_accuracy(global, test));
-    }
-  }
-
-  res.final_accuracy = res.accuracy_per_round.back();
-  res.mean_area_mm2 = total_area / (static_cast<double>(clients) * cfg.rounds);
-  return res;
+  // The flat server is the degenerate tree: one edge holding the whole
+  // fleet, one region, everyone sampled, dense updates. The hierarchical
+  // engine's fixed-point aggregation is shape-invariant, so this wrapper
+  // is bit-identical to any deeper topology over the same participant
+  // set (tests/federated_hier_test.cpp) — one aggregation implementation
+  // serves both paths.
+  HierConfig hier;
+  hier.fl = cfg;
+  hier.clients_per_edge = std::max<int>(1, static_cast<int>(shards.size()));
+  hier.edges_per_region = 1;
+  return run_federated_hier(strategy, train, test, shards, fleet, hier, rng,
+                            faults)
+      .fl;
 }
 
 }  // namespace s2a::federated

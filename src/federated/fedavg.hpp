@@ -61,10 +61,15 @@ struct FlConfig {
   /// HaLo-FL candidate precisions, cheapest-first.
   std::vector<PrecisionConfig> precision_candidates{
       {6, 6, 8}, {8, 8, 8}, {8, 8, 16}, {16, 16, 16}, {32, 32, 32}};
-  /// Per-round client response deadline: a client whose (possibly
-  /// straggler-inflated) round latency exceeds this is dropped from
-  /// aggregation — the server waits out exactly the deadline, no longer.
-  /// Infinity (the default) waits for everyone.
+  /// Per-round client response deadline, applied by the aggregator the
+  /// client reports to — in hierarchical mode (hierarchy.hpp) that is
+  /// the client's *edge aggregator*, of which the flat server is the
+  /// one-edge special case. A client whose (possibly straggler-inflated,
+  /// possibly uplink-billed) round latency exceeds this is dropped from
+  /// aggregation and counted in FlResult::dropped_client_rounds; the
+  /// aggregator waits out exactly the deadline, no longer. Infinity
+  /// (the default) waits for everyone. Edge aggregates themselves answer
+  /// to HierConfig::edge_timeout_s one level up.
   double client_timeout_s = std::numeric_limits<double>::infinity();
 };
 
@@ -77,8 +82,11 @@ struct FlResult {
   /// Per-client adaptation choices (width or precision), for reporting.
   std::vector<int> client_widths;
   std::vector<PrecisionConfig> client_precisions;
-  // Robustness accounting (docs/RESILIENCE.md).
-  long dropped_client_rounds = 0;  ///< plan dropouts + deadline timeouts
+  // Robustness accounting (docs/RESILIENCE.md). In hierarchical mode
+  // dropped_client_rounds sums losses across every level of the tree:
+  // plan dropouts, per-edge deadline timeouts, and surviving updates
+  // stranded inside a dropped or quarantined edge/region.
+  long dropped_client_rounds = 0;  ///< client rounds lost, all levels summed
   long nonfinite_deltas = 0;       ///< corrupt updates quarantined at the server
   std::vector<int> survivors_per_round;  ///< clients aggregated per round
 };

@@ -353,6 +353,77 @@ TEST(SpeculativeLatency, FreeDraftDegeneratesToTokensPerPass) {
   EXPECT_NEAR(st.speedup(cfg), st.tokens_per_pass(), 1e-12);
 }
 
+TEST(Markov, ConstructorRejectsNonStochasticRows) {
+  // Row sums off by more than the tolerance must be caught at the
+  // boundary, not silently renormalized.
+  nn::Tensor bad({2, 2}, {0.9, 0.9, 0.5, 0.5});
+  EXPECT_THROW(MarkovModel(2, std::move(bad)), CheckError);
+  nn::Tensor negative({2, 2}, {1.5, -0.5, 0.5, 0.5});
+  EXPECT_THROW(MarkovModel(2, std::move(negative)), CheckError);
+}
+
+TEST(Markov, SmoothedZeroIsIdentity) {
+  Rng rng(19);
+  const MarkovModel m = MarkovModel::random(8, 4.0, rng);
+  const MarkovModel same = m.smoothed(0.0);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      EXPECT_DOUBLE_EQ(same.prob(i, j), m.prob(i, j));
+}
+
+TEST(Markov, SampleMatchesTransitionProbabilities) {
+  Rng rng(20);
+  const MarkovModel m = MarkovModel::random(6, 3.0, rng);
+  const int current = 2;
+  std::vector<double> freq(6, 0.0);
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i)
+    freq[static_cast<std::size_t>(m.sample(current, rng))] += 1.0 / draws;
+  for (int j = 0; j < 6; ++j)
+    EXPECT_NEAR(freq[static_cast<std::size_t>(j)], m.prob(current, j), 0.01);
+}
+
+TEST(Speculative, GammaOneStillAmortizesViaBonusToken) {
+  Rng rng(24);
+  const MarkovModel target = MarkovModel::random(8, 4.0, rng);
+  SpeculativeConfig cfg;
+  cfg.gamma = 1;
+  const SpeculativeStats st =
+      speculative_decode(target, target, 1000, cfg, rng);
+  // Perfect draft at γ=1: every pass yields the draft token + the bonus.
+  EXPECT_NEAR(st.acceptance_rate(), 1.0, 1e-12);
+  EXPECT_NEAR(st.tokens_per_pass(), 2.0, 0.1);
+  EXPECT_EQ(st.tokens_generated, 1000);
+  EXPECT_GE(st.draft_tokens, st.accepted);
+}
+
+TEST(Speculative, DecodeIsDeterministicForAGivenSeed) {
+  Rng model_rng(25);
+  const MarkovModel target = MarkovModel::random(12, 4.0, model_rng);
+  const MarkovModel draft = target.smoothed(0.4);
+  Rng r1(26), r2(26);
+  std::vector<int> s1, s2;
+  const SpeculativeStats a =
+      speculative_decode(target, draft, 800, SpeculativeConfig{}, r1, &s1);
+  const SpeculativeStats b =
+      speculative_decode(target, draft, 800, SpeculativeConfig{}, r2, &s2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(a.target_passes, b.target_passes);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.draft_tokens, b.draft_tokens);
+}
+
+TEST(Speculative, UnigramDistributionCountsExactly) {
+  const std::vector<int> tokens{0, 1, 1, 2, 2, 2, 3, 3, 3, 3};
+  const auto d = unigram_distribution(tokens, 5);
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d[0], 0.1);
+  EXPECT_DOUBLE_EQ(d[1], 0.2);
+  EXPECT_DOUBLE_EQ(d[2], 0.3);
+  EXPECT_DOUBLE_EQ(d[3], 0.4);
+  EXPECT_DOUBLE_EQ(d[4], 0.0);
+}
+
 }  // namespace
 }  // namespace s2a::federated
 
